@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Sections 6-7: from NVENC's limits to the three-in-one tensor codec.
+
+Reproduces the hardware argument end to end: NVENC/NVDEC throughput
+ceilings, die-area comparisons (Figure 12), compression-vs-transfer
+energy (Table 3 arithmetic), communication-system sizing (Figure 15a),
+and the cluster-level Pareto analysis (Figure 16a).
+
+Run:  python examples/hardware_codesign.py
+"""
+
+from repro.gpu.capabilities import GPU_CODEC_SUPPORT, best_codec_for, supports
+from repro.gpu.engines import NVDEC, NVENC, effective_link_bandwidth
+from repro.hardware.cluster import (
+    NVENC_OPTION,
+    THREE_IN_ONE_OPTION,
+    UNCOMPRESSED,
+    Workload,
+    pareto_frontier,
+    performance_at_budget,
+    sweep,
+)
+from repro.hardware.components import CODEC_COMPONENTS, DEVICES, area_ratio
+from repro.hardware.energy import (
+    compression_energy_ratio,
+    compression_vs_transfer_ratio,
+)
+from repro.hardware.nic import communication_system_area
+
+
+def section6_nvenc_limits() -> None:
+    print("=== Section 6.1: the NVENC/NVDEC ceiling ===")
+    print(f"  NVENC tensor throughput: {NVENC.throughput_mb_s:.0f} MB/s")
+    print(f"  NVDEC tensor throughput: {NVDEC.throughput_mb_s:.0f} MB/s")
+    bandwidth = effective_link_bandwidth(12.5, compression_ratio=16 / 3.5)
+    print(f"  end-to-end on a 100 Gb/s link at 4.57x compression: "
+          f"{bandwidth:.0f} MB/s (the engine, not the wire, is the limit)")
+
+    print("\n=== Table 2: codec support per GPU generation ===")
+    for generation, row in GPU_CODEC_SUPPORT.items():
+        cells = "  ".join(f"{codec}:{entry.describe()}" for codec, entry in row.items())
+        print(f"  {generation:13s} {cells}  -> paper picks {best_codec_for(generation)}")
+
+
+def section6_die_area() -> None:
+    print("\n=== Figure 12: die area (7 nm-normalised) ===")
+    for name in ("rtx3090-7nm", "server-cpu", "cx5-nic"):
+        device = DEVICES[name]
+        flag = " (assumed)" if device.assumed else ""
+        print(f"  {device.name:13s} {device.area_mm2:7.1f} mm^2{flag}")
+    pair = CODEC_COMPONENTS["h264-enc"].area_mm2 + CODEC_COMPONENTS["h264-dec"].area_mm2
+    print(f"  h264 enc+dec @100Gbps: {pair:.2f} mm^2  "
+          f"({area_ratio('rtx3090-7nm', 'h264'):.0f}x smaller than the GPU, "
+          f"{area_ratio('cx5-nic', 'h264'):.0f}x smaller than the NIC)")
+
+
+def section7_energy() -> None:
+    print("\n=== Table 3 / Section 7.3: energy arithmetic ===")
+    print(f"  compressing a bit vs transmitting it: "
+          f"{compression_vs_transfer_ratio('three-in-one'):.1f}x cheaper "
+          f"(paper: 31.7x)")
+    print(f"  end-to-end win at 5x compression: "
+          f"{compression_energy_ratio(5.0):.2f}x (paper: 4.32x)")
+
+    print("\n=== Figure 15(a): codec+NIC area for 100 Gb/s effective ===")
+    for codec, ratio in ((None, 1.0), ("h264", 4.57), ("three-in-one", 4.57)):
+        sizing = communication_system_area(codec, ratio)
+        label = codec or "uncompressed"
+        print(f"  {label:13s} codec {sizing['codec_mm2']:6.2f} + "
+              f"NIC {sizing['nic_mm2']:6.1f} = {sizing['total_mm2']:6.1f} mm^2")
+
+
+def section7_cluster() -> None:
+    print("\n=== Figure 16(a): area budget vs training performance ===")
+    workload = Workload()
+    frontiers = {
+        option.name: pareto_frontier(sweep(workload, option))
+        for option in (UNCOMPRESSED, NVENC_OPTION, THREE_IN_ONE_OPTION)
+    }
+    print(f"  {'budget mm^2':>12s}  " + "  ".join(f"{n:>14s}" for n in frontiers))
+    for budget in (20_000, 50_000, 100_000, 200_000):
+        row = []
+        for name, frontier in frontiers.items():
+            point = performance_at_budget(frontier, budget)
+            row.append(f"{point.tokens_per_s:11.0f} t/s" if point else "-")
+        print(f"  {budget:12,}  " + "  ".join(f"{cell:>14s}" for cell in row))
+
+
+def main() -> None:
+    section6_nvenc_limits()
+    section6_die_area()
+    section7_energy()
+    section7_cluster()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""LLM.265 reproduction: video codecs repurposed as general-purpose tensor codecs.
+
+This package reimplements, from scratch and in pure Python/numpy, every
+system described in *"LLM.265: Video Codecs are Secretly Tensor Codecs"*
+(MICRO 2025): an intra/inter video codec with a CABAC-style entropy
+coder, the LLM.265 tensor codec built on top of it, the quantization
+baselines it is compared against (RTN, GPTQ, AWQ, rotation-based),
+a numpy transformer + autograd substrate with pipeline- and
+data-parallel training simulators, and analytical models of the
+NVENC/NVDEC engines and the proposed "three-in-one" hardware codec.
+
+Quickstart::
+
+    import numpy as np
+    from repro import TensorCodec
+
+    codec = TensorCodec()
+    weight = np.random.randn(256, 256).astype(np.float32) * 0.02
+    blob = codec.encode(weight, bits_per_value=3.0)
+    restored = codec.decode(blob)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TensorCodec",
+    "CompressedTensor",
+    "H264_PROFILE",
+    "H265_PROFILE",
+    "AV1_PROFILE",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "TensorCodec": ("repro.tensor.codec", "TensorCodec"),
+    "CompressedTensor": ("repro.tensor.codec", "CompressedTensor"),
+    "H264_PROFILE": ("repro.codec.profiles", "H264_PROFILE"),
+    "H265_PROFILE": ("repro.codec.profiles", "H265_PROFILE"),
+    "AV1_PROFILE": ("repro.codec.profiles", "AV1_PROFILE"),
+}
+
+
+def __getattr__(name):
+    """Lazily resolve the public API (PEP 562)."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

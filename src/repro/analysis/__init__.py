@@ -1,0 +1,29 @@
+"""Diagnostics: Section 3.1 tensor statistics + Section 4 memory math."""
+
+from repro.analysis.memory import (
+    LLAMA2_7B,
+    LLAMA3_70B,
+    kv_cache_bytes,
+    paper_deployment_table,
+    per_device_memory,
+    weight_bytes,
+)
+from repro.analysis.statistics import (
+    channel_structure_score,
+    outlier_ratio,
+    rate_distortion_sweep,
+    tensor_entropy_bits,
+)
+
+__all__ = [
+    "tensor_entropy_bits",
+    "outlier_ratio",
+    "channel_structure_score",
+    "rate_distortion_sweep",
+    "weight_bytes",
+    "kv_cache_bytes",
+    "per_device_memory",
+    "paper_deployment_table",
+    "LLAMA2_7B",
+    "LLAMA3_70B",
+]

@@ -1,0 +1,103 @@
+"""Deployment memory arithmetic (Section 4's headline numbers).
+
+Reproduces the paper's claims exactly from model shapes:
+
+- LLaMA-3-70B FP16 weights ~141 GB -> ~25 GB at 5.5x compression;
+- a 128k-token KV cache ~40 GB FP16 -> 7.2 GB at 2.9 bits;
+- distributed over 4 pipeline stages: ~6.3 GB weights + ~1.8 GB cache
+  per device ~= 8 GB -- edge-device territory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class LLMShape:
+    """Architecture numbers of a deployment-target LLM."""
+
+    name: str
+    params: float
+    layers: int
+    hidden: int
+    num_heads: int
+    num_kv_heads: int  # grouped-query attention
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+    @property
+    def kv_dim(self) -> int:
+        return self.num_kv_heads * self.head_dim
+
+
+#: The paper's deployment target.
+LLAMA3_70B = LLMShape(
+    name="llama-3-70b", params=70.6e9, layers=80, hidden=8192,
+    num_heads=64, num_kv_heads=8,
+)
+LLAMA2_7B = LLMShape(
+    name="llama-2-7b", params=6.7e9, layers=32, hidden=4096,
+    num_heads=32, num_kv_heads=32,
+)
+DEEPSEEK_V3 = LLMShape(
+    name="deepseek-v3", params=671e9, layers=61, hidden=7168,
+    num_heads=128, num_kv_heads=128,
+)
+
+
+def weight_bytes(shape: LLMShape, bits_per_value: float = 16.0) -> float:
+    """Bytes to store the parameters at a (fractional) bit-width."""
+    if bits_per_value <= 0:
+        raise ValueError("bits_per_value must be positive")
+    return shape.params * bits_per_value / 8.0
+
+
+def kv_cache_bytes(
+    shape: LLMShape, context_tokens: int, bits_per_value: float = 16.0
+) -> float:
+    """Bytes of KV cache for one sequence of ``context_tokens``."""
+    values = 2.0 * shape.layers * shape.kv_dim * context_tokens  # K and V
+    return values * bits_per_value / 8.0
+
+
+def per_device_memory(
+    shape: LLMShape,
+    pipeline_stages: int,
+    context_tokens: int,
+    weight_bits: float,
+    kv_bits: float,
+) -> Dict[str, float]:
+    """Memory per pipeline stage (bytes) under LLM.265 compression."""
+    if pipeline_stages < 1:
+        raise ValueError("need at least one stage")
+    weights = weight_bytes(shape, weight_bits) / pipeline_stages
+    cache = kv_cache_bytes(shape, context_tokens, kv_bits) / pipeline_stages
+    return {
+        "weights_bytes": weights,
+        "kv_cache_bytes": cache,
+        "total_bytes": weights + cache,
+    }
+
+
+def paper_deployment_table(
+    shape: LLMShape = LLAMA3_70B,
+    context_tokens: int = 128 * 1024,
+    weight_bits: float = 2.9,
+    kv_bits: float = 2.9,
+    pipeline_stages: int = 4,
+) -> Dict[str, float]:
+    """The Section 4.2 bottom line, in GB."""
+    gb = 1e9
+    return {
+        "weights_fp16_gb": weight_bytes(shape, 16.0) / gb,
+        "weights_compressed_gb": weight_bytes(shape, weight_bits) / gb,
+        "kv_fp16_gb": kv_cache_bytes(shape, context_tokens, 16.0) / gb,
+        "kv_compressed_gb": kv_cache_bytes(shape, context_tokens, kv_bits) / gb,
+        "per_device_gb": per_device_memory(
+            shape, pipeline_stages, context_tokens, weight_bits, kv_bits
+        )["total_bytes"] / gb,
+    }

@@ -1,0 +1,138 @@
+"""Command-line interface: ``llm265``.
+
+Subcommands:
+
+- ``compress``   -- .npy tensor -> .lv265 compressed blob
+- ``decompress`` -- .lv265 blob -> .npy tensor
+- ``info``       -- inspect a compressed blob
+- ``profile``    -- the Section 3.1 statistics of a tensor
+- ``sweep``      -- rate-distortion curve of a tensor
+
+Install with ``pip install -e .`` and run ``llm265 --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.statistics import profile_tensor, rate_distortion_sweep
+from repro.codec.profiles import profile_by_name
+from repro.tensor.codec import CompressedTensor, TensorCodec
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="llm265",
+        description="LLM.265: video codecs repurposed as tensor codecs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compress = sub.add_parser("compress", help="compress a .npy tensor")
+    compress.add_argument("input", help=".npy file to compress")
+    compress.add_argument("output", help="destination .lv265 file")
+    group = compress.add_mutually_exclusive_group()
+    group.add_argument("--bits", type=float, help="bits/value budget (fractional ok)")
+    group.add_argument("--qp", type=float, help="explicit quantization parameter")
+    group.add_argument("--mse", type=float, help="max mean squared error")
+    compress.add_argument("--codec", default="h265", choices=["h264", "h265", "av1"])
+    compress.add_argument("--tile", type=int, default=256)
+
+    decompress = sub.add_parser("decompress", help="restore a tensor")
+    decompress.add_argument("input", help=".lv265 file")
+    decompress.add_argument("output", help="destination .npy file")
+
+    info = sub.add_parser("info", help="inspect a compressed tensor")
+    info.add_argument("input", help=".lv265 file")
+
+    profile = sub.add_parser("profile", help="Section 3.1 statistics of a tensor")
+    profile.add_argument("input", help=".npy file")
+
+    sweep = sub.add_parser("sweep", help="rate-distortion curve of a tensor")
+    sweep.add_argument("input", help=".npy file")
+    sweep.add_argument("--qps", default="8,16,24,32,40")
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    tensor = np.load(args.input)
+    codec = TensorCodec(profile=profile_by_name(args.codec), tile=args.tile)
+    kwargs = {}
+    if args.bits is not None:
+        kwargs["bits_per_value"] = args.bits
+    elif args.qp is not None:
+        kwargs["qp"] = args.qp
+    elif args.mse is not None:
+        kwargs["target_mse"] = args.mse
+    compressed = codec.encode(tensor, **kwargs)
+    with open(args.output, "wb") as handle:
+        handle.write(compressed.to_bytes())
+    print(
+        f"{args.input}: {tensor.size} values -> {compressed.nbytes} bytes "
+        f"({compressed.bits_per_value:.2f} bits/value, "
+        f"{compressed.compression_ratio:.1f}x vs FP16)"
+    )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        compressed = CompressedTensor.from_bytes(handle.read())
+    codec = TensorCodec(profile=profile_by_name(compressed.profile_name))
+    tensor = codec.decode(compressed)
+    np.save(args.output, tensor)
+    print(f"{args.input} -> {args.output}: shape {tensor.shape}, dtype {tensor.dtype}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        compressed = CompressedTensor.from_bytes(handle.read())
+    print(f"shape:          {compressed.layout.shape}")
+    print(f"dtype:          {compressed.dtype}")
+    print(f"codec:          {compressed.profile_name} (qp={compressed.qp:.2f})")
+    print(f"frames:         {compressed.layout.num_tiles} x {compressed.frame_shape}")
+    print(f"size:           {compressed.nbytes} bytes")
+    print(f"bits/value:     {compressed.bits_per_value:.3f}")
+    print(f"ratio vs FP16:  {compressed.compression_ratio:.2f}x")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    tensor = np.load(args.input)
+    summary = profile_tensor(tensor)
+    print(f"entropy (8-bit mapped):   {summary['entropy_bits']:.2f} bits/value")
+    print(f"outlier ratio (>4 sigma): {summary['outlier_ratio']:.2e}")
+    print(f"channel structure score:  {summary['channel_structure']:.3f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    tensor = np.load(args.input)
+    qps = [float(v) for v in args.qps.split(",")]
+    print(f"{'QP':>6s} {'bits/value':>11s} {'MSE':>12s}")
+    for qp, bits, mse in rate_distortion_sweep(tensor, qps=qps):
+        print(f"{qp:6.1f} {bits:11.3f} {mse:12.3e}")
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "info": _cmd_info,
+    "profile": _cmd_profile,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also the console script)."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Bit-exact decoder for the bitstreams produced by :mod:`repro.codec.encoder`."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.codec import intra
+from repro.codec.encoder import QpDither, unpack_header
+from repro.codec.entropy.arithmetic import BinaryDecoder
+from repro.codec.profiles import PROFILES_BY_ID
+from repro.codec.quantizer import dequantize
+from repro.codec.syntax import (
+    CodecContexts,
+    decode_coeff_block,
+    decode_intra_mode,
+    decode_mv,
+)
+from repro.codec.transform import inverse_dct2_batch
+
+
+class FrameDecoder:
+    """Parses a bitstream and reconstructs the frame sequence."""
+
+    def __init__(self, data: bytes) -> None:
+        self._header = unpack_header(data)
+        self._profile = PROFILES_BY_ID[self._header["profile_id"]]
+        self._dec = BinaryDecoder(data[self._header["header_size"] :])
+        self._ctx = CodecContexts()
+
+    def decode(self) -> List[np.ndarray]:
+        """Return the decoded frames (uint8, original dimensions)."""
+        h = self._header
+        ctu = h["ctu"]
+        width, height = h["width"], h["height"]
+        pad_w = width + ((-width) % ctu)
+        pad_h = height + ((-height) % ctu)
+        dither = QpDither(h["qp_base"], h["qp_frac"])
+        self._reference: Optional[np.ndarray] = None
+
+        frames: List[np.ndarray] = []
+        for frame_index in range(h["n_frames"]):
+            recon = self._decode_frame(pad_h, pad_w, frame_index, dither)
+            frames.append(
+                np.clip(np.rint(recon[:height, :width]), 0, 255).astype(np.uint8)
+            )
+            self._reference = recon
+        return frames
+
+    def _decode_frame(
+        self, height: int, width: int, frame_index: int, dither: QpDither
+    ) -> np.ndarray:
+        h = self._header
+        ctu = h["ctu"]
+        self._recon = np.zeros((height, width), dtype=np.float64)
+        self._mask = np.zeros((height, width), dtype=bool)
+        self._modes = np.full((height, width), -1, dtype=np.int16)
+        self._inter_allowed = (
+            h["use_inter"] and frame_index > 0 and self._reference is not None
+        )
+        for y0 in range(0, height, ctu):
+            for x0 in range(0, width, ctu):
+                self._qp = dither.next()
+                self._decode_cu(y0, x0, ctu, depth=0)
+        return self._recon
+
+    def _decode_cu(self, y0: int, x0: int, size: int, depth: int) -> None:
+        h = self._header
+        if h["use_partition"] and size > h["min_cu"]:
+            if self._dec.decode_bit(self._ctx.split, min(depth, 5)):
+                half = size // 2
+                for qy in (0, 1):
+                    for qx in (0, 1):
+                        self._decode_cu(
+                            y0 + qy * half, x0 + qx * half, half, depth + 1
+                        )
+                return
+        self._decode_leaf(y0, x0, size)
+
+    def _decode_leaf(self, y0: int, x0: int, size: int) -> None:
+        h = self._header
+        is_inter = False
+        if self._inter_allowed:
+            is_inter = bool(self._dec.decode_bit(self._ctx.pred_flag, 0))
+
+        mode: Optional[int] = None
+        if is_inter:
+            mv = decode_mv(self._dec, self._ctx)
+            ry, rx = y0 + mv[0], x0 + mv[1]
+            prediction = self._reference[ry : ry + size, rx : rx + size].astype(
+                np.float64
+            )
+        elif h["use_intra"]:
+            left_mode = self._neighbor_mode(y0, x0 - 1)
+            top_mode = self._neighbor_mode(y0 - 1, x0)
+            mode = decode_intra_mode(
+                self._dec, self._ctx, left_mode, top_mode, self._profile.all_modes
+            )
+            top, left = intra.gather_references(
+                self._recon, self._mask, y0, x0, size
+            )
+            prediction = intra.predict(top, left, mode, size)
+        else:
+            prediction = np.full((size, size), 128.0)
+
+        levels = decode_coeff_block(self._dec, self._ctx, size)
+        dequant = dequantize(levels[None], self._qp)
+        if h["use_transform"]:
+            residual = inverse_dct2_batch(dequant)[0]
+        else:
+            residual = dequant[0]
+        recon = np.clip(prediction + residual, 0.0, 255.0)
+
+        sl = (slice(y0, y0 + size), slice(x0, x0 + size))
+        self._recon[sl] = recon
+        self._mask[sl] = True
+        self._modes[sl] = mode if mode is not None else intra.DC
+
+    def _neighbor_mode(self, y: int, x: int) -> Optional[int]:
+        if y < 0 or x < 0:
+            return None
+        if not self._mask[y, x]:
+            return None
+        value = int(self._modes[y, x])
+        return value if value >= 0 else None
+
+
+def decode_frames(data: bytes) -> List[np.ndarray]:
+    """Decode a complete bitstream into its frame sequence."""
+    return FrameDecoder(data).decode()

@@ -1,0 +1,549 @@
+"""RD-optimised frame encoder (intra + optional inter, quad-tree CUs).
+
+The encoder plans each CTU with rate-distortion optimisation (trial
+reconstructions against a cheap rate proxy), commits the winning plan
+to the reconstruction buffers, and then serialises the plan with the
+CABAC-style arithmetic coder.  The decoder in
+:mod:`repro.codec.decoder` replays the same syntax, so reconstructions
+are bit-exact on both sides.
+
+Stage flags (``use_intra`` / ``use_transform`` / ``use_partition`` /
+``use_inter``) exist so the Figure 2(b) ablation can enable the
+pipeline one stage at a time.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codec import intra
+from repro.codec.entropy.arithmetic import BinaryEncoder
+from repro.codec.profiles import H265_PROFILE, CodecProfile
+from repro.codec.quantizer import dequantize, quantize, rd_lambda
+from repro.codec.syntax import (
+    CodecContexts,
+    encode_coeff_block,
+    encode_intra_mode,
+    encode_mv,
+    estimate_mode_bits,
+)
+from repro.codec.transform import (
+    forward_dct2_batch,
+    inverse_dct2_batch,
+    zigzag_order,
+)
+
+MAGIC = b"LV65"
+VERSION = 1
+
+_FLAG_INTRA = 1
+_FLAG_TRANSFORM = 2
+_FLAG_PARTITION = 4
+_FLAG_INTER = 8
+
+_HEADER_FMT = "<4sBBBHHHBBBB"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+
+@dataclass
+class EncoderConfig:
+    """Knobs for one encoding session."""
+
+    profile: CodecProfile = H265_PROFILE
+    qp: float = 30.0
+    use_intra: bool = True
+    use_transform: bool = True
+    use_partition: bool = True
+    use_inter: bool = False
+    fixed_cu_size: int = 8  # CU grid when partitioning is disabled
+    search_range: int = 7  # inter motion search radius (full pel)
+
+    def flags(self) -> int:
+        value = 0
+        if self.use_intra:
+            value |= _FLAG_INTRA
+        if self.use_transform:
+            value |= _FLAG_TRANSFORM
+        if self.use_partition:
+            value |= _FLAG_PARTITION
+        if self.use_inter:
+            value |= _FLAG_INTER
+        return value
+
+
+@dataclass
+class EncodeResult:
+    """Bitstream plus bookkeeping the rate-control loop uses."""
+
+    data: bytes
+    num_values: int
+    mse: float
+
+    @property
+    def bits_per_value(self) -> float:
+        return 8.0 * len(self.data) / max(1, self.num_values)
+
+
+def pack_header(
+    config: EncoderConfig, width: int, height: int, n_frames: int
+) -> bytes:
+    """Serialize stream parameters (everything the decoder needs up front)."""
+    qp_base = int(np.floor(config.qp))
+    qp_frac = int(round((config.qp - qp_base) * 256.0))
+    if qp_frac == 256:
+        qp_base += 1
+        qp_frac = 0
+    return struct.pack(
+        _HEADER_FMT,
+        MAGIC,
+        VERSION,
+        config.profile.profile_id,
+        config.flags(),
+        width,
+        height,
+        n_frames,
+        max(0, min(255, qp_base)),
+        qp_frac,
+        config.profile.ctu_size if config.use_partition else config.fixed_cu_size,
+        config.profile.min_cu_size if config.use_partition else config.fixed_cu_size,
+    )
+
+
+def unpack_header(data: bytes) -> Dict[str, int]:
+    """Parse the stream header written by :func:`pack_header`."""
+    if len(data) < _HEADER_SIZE:
+        raise ValueError("stream too short for header")
+    (
+        magic,
+        version,
+        profile_id,
+        flags,
+        width,
+        height,
+        n_frames,
+        qp_base,
+        qp_frac,
+        ctu,
+        min_cu,
+    ) = struct.unpack_from(_HEADER_FMT, data, 0)
+    if magic != MAGIC:
+        raise ValueError("bad magic: not an LLM.265 stream")
+    if version != VERSION:
+        raise ValueError(f"unsupported stream version {version}")
+    return {
+        "profile_id": profile_id,
+        "use_intra": bool(flags & _FLAG_INTRA),
+        "use_transform": bool(flags & _FLAG_TRANSFORM),
+        "use_partition": bool(flags & _FLAG_PARTITION),
+        "use_inter": bool(flags & _FLAG_INTER),
+        "width": width,
+        "height": height,
+        "n_frames": n_frames,
+        "qp_base": qp_base,
+        "qp_frac": qp_frac,
+        "ctu": ctu,
+        "min_cu": min_cu,
+        "header_size": _HEADER_SIZE,
+    }
+
+
+class QpDither:
+    """Bresenham dither over CTUs turning a float QP into integer QPs.
+
+    Encoder and decoder both instantiate this with the header's
+    (base, frac) pair and call :meth:`next` once per CTU, so the two
+    sides always agree on the per-CTU quantizer.
+    """
+
+    def __init__(self, qp_base: int, qp_frac: int) -> None:
+        self._base = qp_base
+        self._frac = qp_frac
+        self._accum = 128  # start mid-bucket so frac=0 never bumps
+
+    def next(self) -> int:
+        self._accum += self._frac
+        if self._accum >= 256:
+            self._accum -= 256
+            return min(51, self._base + 1)
+        return self._base
+
+
+def pad_frame(frame: np.ndarray, multiple: int) -> np.ndarray:
+    """Replicate-pad a frame so both dimensions divide ``multiple``."""
+    height, width = frame.shape
+    pad_h = (-height) % multiple
+    pad_w = (-width) % multiple
+    if pad_h == 0 and pad_w == 0:
+        return frame
+    return np.pad(frame, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+# Plan nodes: ("leaf", mode, is_inter, mv, levels) | ("split", [children x4]).
+_Plan = Tuple
+
+
+class FrameEncoder:
+    """Encodes a sequence of 8-bit grayscale frames into one bitstream."""
+
+    def __init__(self, config: Optional[EncoderConfig] = None) -> None:
+        self.config = config or EncoderConfig()
+        if self.config.profile.min_cu_size < 4:
+            raise ValueError("minimum CU size is 4")
+
+    # -- public API ----------------------------------------------------
+
+    def encode(self, frames: Sequence[np.ndarray]) -> EncodeResult:
+        """Encode frames; returns bitstream + achieved distortion."""
+        frames = [np.asarray(f) for f in frames]
+        if not frames:
+            raise ValueError("need at least one frame")
+        height, width = frames[0].shape
+        for frame in frames:
+            if frame.shape != (height, width):
+                raise ValueError("all frames must share one shape")
+            if frame.dtype != np.uint8:
+                raise ValueError("frames must be uint8")
+
+        cfg = self.config
+        self._ctu = cfg.profile.ctu_size if cfg.use_partition else cfg.fixed_cu_size
+        self._min_cu = (
+            cfg.profile.min_cu_size if cfg.use_partition else cfg.fixed_cu_size
+        )
+        header = pack_header(cfg, width, height, len(frames))
+        qp_base = header[_HEADER_SIZE - 4]
+        qp_frac = header[_HEADER_SIZE - 3]
+        dither = QpDither(qp_base, qp_frac)
+
+        enc = BinaryEncoder()
+        ctx = CodecContexts()
+        self._reference: Optional[np.ndarray] = None
+        sse_total = 0.0
+        for index, frame in enumerate(frames):
+            padded = pad_frame(frame, self._ctu)
+            recon = self._encode_frame(enc, ctx, padded, index, dither)
+            crop = recon[:height, :width]
+            sse_total += float(
+                np.sum((crop.astype(np.float64) - frame.astype(np.float64)) ** 2)
+            )
+            self._reference = recon
+        payload = enc.finish()
+        num_values = height * width * len(frames)
+        return EncodeResult(
+            data=header + payload,
+            num_values=num_values,
+            mse=sse_total / num_values,
+        )
+
+    # -- per-frame -----------------------------------------------------
+
+    def _encode_frame(
+        self,
+        enc: BinaryEncoder,
+        ctx: CodecContexts,
+        frame: np.ndarray,
+        frame_index: int,
+        dither: QpDither,
+    ) -> np.ndarray:
+        cfg = self.config
+        height, width = frame.shape
+        self._frame = frame.astype(np.float64)
+        self._recon = np.zeros((height, width), dtype=np.float64)
+        self._mask = np.zeros((height, width), dtype=bool)
+        self._modes = np.full((height, width), -1, dtype=np.int16)
+        self._inter_allowed = (
+            cfg.use_inter and frame_index > 0 and self._reference is not None
+        )
+
+        for y0 in range(0, height, self._ctu):
+            for x0 in range(0, width, self._ctu):
+                qp = dither.next()
+                self._qp = qp
+                self._lambda = rd_lambda(qp)
+                _, plan = self._plan_cu(y0, x0, self._ctu, depth=0)
+                self._write_cu(enc, ctx, plan, y0, x0, self._ctu, depth=0)
+        return self._recon
+
+    # -- planning ------------------------------------------------------
+
+    def _save(self, y0: int, x0: int, size: int):
+        sl = (slice(y0, y0 + size), slice(x0, x0 + size))
+        return (
+            self._recon[sl].copy(),
+            self._mask[sl].copy(),
+            self._modes[sl].copy(),
+        )
+
+    def _restore(self, y0: int, x0: int, size: int, state) -> None:
+        sl = (slice(y0, y0 + size), slice(x0, x0 + size))
+        self._recon[sl], self._mask[sl], self._modes[sl] = (
+            state[0].copy(),
+            state[1].copy(),
+            state[2].copy(),
+        )
+
+    def _plan_cu(self, y0: int, x0: int, size: int, depth: int) -> Tuple[float, _Plan]:
+        can_split = self.config.use_partition and size > self._min_cu
+        before = self._save(y0, x0, size)
+        leaf_cost, leaf_plan = self._plan_leaf(y0, x0, size)
+        if not can_split:
+            return leaf_cost, leaf_plan
+        leaf_state = self._save(y0, x0, size)
+        self._restore(y0, x0, size, before)
+
+        half = size // 2
+        split_cost = self._lambda  # split flag ~1 bit
+        children: List[_Plan] = []
+        for qy in (0, 1):
+            for qx in (0, 1):
+                c_cost, c_plan = self._plan_cu(
+                    y0 + qy * half, x0 + qx * half, half, depth + 1
+                )
+                split_cost += c_cost
+                children.append(c_plan)
+        if leaf_cost + self._lambda <= split_cost:
+            self._restore(y0, x0, size, leaf_state)
+            return leaf_cost + self._lambda, leaf_plan
+        return split_cost, ("split", children)
+
+    def _plan_leaf(self, y0: int, x0: int, size: int) -> Tuple[float, _Plan]:
+        best_cost, best_plan = self._plan_leaf_intra(y0, x0, size)
+        if self._inter_allowed:
+            inter_cost, inter_plan = self._plan_leaf_inter(y0, x0, size)
+            # ~1 bit to signal the prediction type either way.
+            if inter_cost < best_cost:
+                best_cost, best_plan = inter_cost, inter_plan
+                self._commit_leaf(y0, x0, size, best_plan)
+            best_cost += self._lambda
+        return best_cost, best_plan
+
+    def _plan_leaf_intra(self, y0: int, x0: int, size: int) -> Tuple[float, _Plan]:
+        cfg = self.config
+        orig = self._frame[y0 : y0 + size, x0 : x0 + size]
+        if not cfg.use_intra:
+            prediction = np.full((size, size), 128.0)
+            cost, levels, recon = self._code_residual(orig, prediction[None])
+            plan = ("leaf", None, False, (0, 0), levels[0])
+            self._commit_block(y0, x0, size, recon[0], intra.DC)
+            return cost[0], plan
+
+        top, left = intra.gather_references(self._recon, self._mask, y0, x0, size)
+        left_mode = self._neighbor_mode(y0, x0 - 1)
+        top_mode = self._neighbor_mode(y0 - 1, x0)
+
+        modes = list(cfg.profile.coarse_modes())
+        preds = intra.predict_batch(top, left, modes, size)
+        costs, levels, recons = self._code_residual(orig, preds)
+        mode_bits = np.array(
+            [estimate_mode_bits(m, left_mode, top_mode) for m in modes]
+        )
+        costs = costs + self._lambda * mode_bits
+        best = int(np.argmin(costs))
+
+        refine = cfg.profile.refine_modes(modes[best])
+        if refine:
+            r_modes = list(refine)
+            r_preds = intra.predict_batch(top, left, r_modes, size)
+            r_costs, r_levels, r_recons = self._code_residual(orig, r_preds)
+            r_costs = r_costs + self._lambda * np.array(
+                [estimate_mode_bits(m, left_mode, top_mode) for m in r_modes]
+            )
+            r_best = int(np.argmin(r_costs))
+            if r_costs[r_best] < costs[best]:
+                plan = ("leaf", r_modes[r_best], False, (0, 0), r_levels[r_best])
+                self._commit_block(y0, x0, size, r_recons[r_best], r_modes[r_best])
+                return float(r_costs[r_best]), plan
+
+        plan = ("leaf", modes[best], False, (0, 0), levels[best])
+        self._commit_block(y0, x0, size, recons[best], modes[best])
+        return float(costs[best]), plan
+
+    def _plan_leaf_inter(self, y0: int, x0: int, size: int) -> Tuple[float, _Plan]:
+        orig = self._frame[y0 : y0 + size, x0 : x0 + size]
+        mv = self._motion_search(y0, x0, size)
+        prediction = self._motion_compensate(y0, x0, size, mv)
+        costs, levels, recons = self._code_residual(orig, prediction[None])
+        mv_bits = 2.0 + 2.0 * (np.log2(abs(mv[0]) + 1) + np.log2(abs(mv[1]) + 1))
+        cost = float(costs[0]) + self._lambda * mv_bits
+        return cost, ("leaf", None, True, mv, levels[0])
+
+    def _motion_search(self, y0: int, x0: int, size: int) -> Tuple[int, int]:
+        """Diamond search over the previous reconstructed frame."""
+        assert self._reference is not None
+        ref = self._reference
+        height, width = ref.shape
+        orig = self._frame[y0 : y0 + size, x0 : x0 + size]
+        radius = self.config.search_range
+
+        def sad(dy: int, dx: int) -> float:
+            ry, rx = y0 + dy, x0 + dx
+            if ry < 0 or rx < 0 or ry + size > height or rx + size > width:
+                return np.inf
+            return float(np.abs(ref[ry : ry + size, rx : rx + size] - orig).sum())
+
+        best = (0, 0)
+        best_sad = sad(0, 0)
+        step = max(1, radius // 2)
+        while step >= 1:
+            improved = True
+            while improved:
+                improved = False
+                for dy, dx in ((-step, 0), (step, 0), (0, -step), (0, step)):
+                    cand = (best[0] + dy, best[1] + dx)
+                    if max(abs(cand[0]), abs(cand[1])) > radius:
+                        continue
+                    value = sad(*cand)
+                    if value < best_sad:
+                        best, best_sad = cand, value
+                        improved = True
+            step //= 2
+        return best
+
+    def _motion_compensate(
+        self, y0: int, x0: int, size: int, mv: Tuple[int, int]
+    ) -> np.ndarray:
+        assert self._reference is not None
+        ry, rx = y0 + mv[0], x0 + mv[1]
+        return self._reference[ry : ry + size, rx : rx + size].astype(np.float64)
+
+    def _code_residual(
+        self, orig: np.ndarray, predictions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Transform+quantize residuals for a batch of predictions.
+
+        Returns (rd_costs, quantized_levels, reconstructions) with the
+        leading batch axis matching ``predictions``.
+        """
+        cfg = self.config
+        size = orig.shape[0]
+        residuals = orig[None] - predictions
+        if cfg.use_transform:
+            coeffs = forward_dct2_batch(residuals)
+        else:
+            coeffs = residuals
+        levels = quantize(coeffs, self._qp, deadzone=cfg.profile.deadzone)
+        dequant = dequantize(levels, self._qp)
+        if cfg.use_transform:
+            resid_rec = inverse_dct2_batch(dequant)
+        else:
+            resid_rec = dequant
+        recons = np.clip(predictions + resid_rec, 0.0, 255.0)
+        sse = np.sum((recons - orig[None]) ** 2, axis=(1, 2))
+
+        # Vectorised rate proxy (mirrors syntax.estimate_coeff_bits).
+        zz = zigzag_order(size)
+        scanned = levels.reshape(levels.shape[0], -1)[:, zz]
+        mags = np.abs(scanned).astype(np.float64)
+        nonzero = mags > 0
+        any_nz = nonzero.any(axis=1)
+        last = np.where(
+            any_nz, size * size - 1 - np.argmax(nonzero[:, ::-1], axis=1), -1
+        )
+        level_bits = np.sum(
+            np.where(nonzero, 2.0 * np.log2(mags + 1.0) + 2.0, 0.0), axis=1
+        )
+        bits = np.where(any_nz, 4.0 + (last + 1) + level_bits, 1.0)
+        return sse + self._lambda * bits, levels, recons
+
+    def _commit_block(
+        self, y0: int, x0: int, size: int, recon: np.ndarray, mode: int
+    ) -> None:
+        sl = (slice(y0, y0 + size), slice(x0, x0 + size))
+        self._recon[sl] = recon
+        self._mask[sl] = True
+        self._modes[sl] = mode
+
+    def _commit_leaf(self, y0: int, x0: int, size: int, plan: _Plan) -> None:
+        """Re-apply a chosen plan's reconstruction (used after inter wins)."""
+        _, mode, is_inter, mv, levels = plan
+        if is_inter:
+            prediction = self._motion_compensate(y0, x0, size, mv)
+        else:
+            top, left = intra.gather_references(
+                self._recon, self._mask, y0, x0, size
+            )
+            prediction = (
+                intra.predict(top, left, mode, size)
+                if mode is not None
+                else np.full((size, size), 128.0)
+            )
+        dequant = dequantize(levels[None], self._qp)
+        if self.config.use_transform:
+            resid = inverse_dct2_batch(dequant)[0]
+        else:
+            resid = dequant[0]
+        recon = np.clip(prediction + resid, 0.0, 255.0)
+        self._commit_block(y0, x0, size, recon, mode if mode is not None else intra.DC)
+
+    def _neighbor_mode(self, y: int, x: int) -> Optional[int]:
+        if y < 0 or x < 0:
+            return None
+        if not self._mask[y, x]:
+            return None
+        mode = int(self._modes[y, x])
+        return mode if mode >= 0 else None
+
+    # -- serialization ---------------------------------------------------
+
+    def _write_cu(
+        self,
+        enc: BinaryEncoder,
+        ctx: CodecContexts,
+        plan: _Plan,
+        y0: int,
+        x0: int,
+        size: int,
+        depth: int,
+    ) -> None:
+        cfg = self.config
+        if cfg.use_partition and size > self._min_cu:
+            is_split = plan[0] == "split"
+            enc.encode_bit(ctx.split, min(depth, 5), 1 if is_split else 0)
+            if is_split:
+                half = size // 2
+                index = 0
+                for qy in (0, 1):
+                    for qx in (0, 1):
+                        self._write_cu(
+                            enc,
+                            ctx,
+                            plan[1][index],
+                            y0 + qy * half,
+                            x0 + qx * half,
+                            half,
+                            depth + 1,
+                        )
+                        index += 1
+                return
+        _, mode, is_inter, mv, levels = plan
+        if self._inter_allowed:
+            enc.encode_bit(ctx.pred_flag, 0, 1 if is_inter else 0)
+        if is_inter:
+            encode_mv(enc, ctx, mv)
+        elif cfg.use_intra:
+            left_mode = self._neighbor_mode_for_signal(y0, x0 - 1)
+            top_mode = self._neighbor_mode_for_signal(y0 - 1, x0)
+            encode_intra_mode(
+                enc, ctx, mode, left_mode, top_mode, cfg.profile.all_modes
+            )
+        encode_coeff_block(enc, ctx, levels)
+
+    def _neighbor_mode_for_signal(self, y: int, x: int) -> Optional[int]:
+        """Neighbour mode exactly as the decoder will know it.
+
+        The planner's ``self._modes`` is already final for the whole
+        frame region processed so far, and left/top neighbours always
+        precede the current CU in decode order, so the committed map is
+        safe to consult during serialization.
+        """
+        return self._neighbor_mode(y, x)
+
+
+def encode_frames(
+    frames: Sequence[np.ndarray], config: Optional[EncoderConfig] = None
+) -> EncodeResult:
+    """Convenience wrapper: encode frames with a fresh :class:`FrameEncoder`."""
+    return FrameEncoder(config).encode(frames)

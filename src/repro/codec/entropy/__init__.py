@@ -1,0 +1,41 @@
+"""Entropy-coding substrate: every coder ships an encoder *and* a decoder.
+
+The binary arithmetic coder (:mod:`repro.codec.entropy.arithmetic`) is
+the CABAC stand-in used by the video codec.  The byte-oriented coders
+(:mod:`huffman`, :mod:`lz4`, :mod:`deflate`, and the adaptive byte coder
+in :mod:`bytecoder`) double as the baseline "tensor codecs" evaluated in
+Figure 14/15 of the paper (Huffman / Deflate / LZ4 / CABAC grid).
+"""
+
+from repro.codec.entropy.arithmetic import BinaryDecoder, BinaryEncoder, ContextSet
+from repro.codec.entropy.bitio import BitReader, BitWriter
+from repro.codec.entropy.bytecoder import byte_arith_decode, byte_arith_encode
+from repro.codec.entropy.deflate import deflate_compress, deflate_decompress
+from repro.codec.entropy.golomb import (
+    read_sexp_golomb,
+    read_uexp_golomb,
+    write_sexp_golomb,
+    write_uexp_golomb,
+)
+from repro.codec.entropy.huffman import huffman_compress, huffman_decompress
+from repro.codec.entropy.lz4 import lz4_compress, lz4_decompress
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "BinaryEncoder",
+    "BinaryDecoder",
+    "ContextSet",
+    "write_uexp_golomb",
+    "read_uexp_golomb",
+    "write_sexp_golomb",
+    "read_sexp_golomb",
+    "huffman_compress",
+    "huffman_decompress",
+    "lz4_compress",
+    "lz4_decompress",
+    "deflate_compress",
+    "deflate_decompress",
+    "byte_arith_encode",
+    "byte_arith_decode",
+]

@@ -1,0 +1,209 @@
+"""Context-adaptive binary arithmetic coder (the CABAC stand-in).
+
+The coder is an LZMA-style range coder: 32-bit range, 64-bit low with
+carry propagation on the encoder side, 11-bit adaptive probabilities
+with shift-5 adaptation.  It provides the three primitives CABAC-based
+video codecs are built from:
+
+- context-coded bins (``encode_bit`` / ``decode_bit``),
+- bypass (equiprobable) bins,
+- adaptive unary + Exp-Golomb hybrid codes (``encode_ueg`` /
+  ``decode_ueg``) used for coefficient levels, runs, and positions.
+
+The encoder and decoder are bit-exact inverses as long as the same
+context objects are touched in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_PROB_BITS = 11
+_PROB_ONE = 1 << _PROB_BITS  # 2048
+_PROB_INIT = _PROB_ONE // 2
+_ADAPT_SHIFT = 5
+_TOP = 1 << 24
+_MASK32 = 0xFFFFFFFF
+
+
+class ContextSet:
+    """A bank of adaptive binary contexts addressed by integer index."""
+
+    def __init__(self, count: int) -> None:
+        self.probs: List[int] = [_PROB_INIT] * count
+
+    def reset(self) -> None:
+        """Re-initialise every context to the equiprobable state."""
+        for i in range(len(self.probs)):
+            self.probs[i] = _PROB_INIT
+
+    def __len__(self) -> int:
+        return len(self.probs)
+
+
+class BinaryEncoder:
+    """Arithmetic encoder; collect output with :meth:`finish`."""
+
+    def __init__(self) -> None:
+        self._low = 0
+        self._range = _MASK32
+        self._cache = 0
+        self._cache_size = 1
+        self._out = bytearray()
+        self._finished = False
+
+    def _shift_low(self) -> None:
+        if self._low < 0xFF000000 or self._low > _MASK32:
+            carry = self._low >> 32
+            self._out.append((self._cache + carry) & 0xFF)
+            for _ in range(self._cache_size - 1):
+                self._out.append((0xFF + carry) & 0xFF)
+            self._cache = (self._low >> 24) & 0xFF
+            self._cache_size = 0
+        self._cache_size += 1
+        self._low = (self._low << 8) & _MASK32
+
+    def encode_bit(self, ctx: ContextSet, index: int, bit: int) -> None:
+        """Encode one bin under the adaptive context ``ctx[index]``."""
+        prob = ctx.probs[index]
+        bound = (self._range >> _PROB_BITS) * prob
+        if bit == 0:
+            self._range = bound
+            ctx.probs[index] = prob + ((_PROB_ONE - prob) >> _ADAPT_SHIFT)
+        else:
+            self._low += bound
+            self._range -= bound
+            ctx.probs[index] = prob - (prob >> _ADAPT_SHIFT)
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._shift_low()
+
+    def encode_bypass(self, bit: int) -> None:
+        """Encode one equiprobable bin (no context adaptation)."""
+        self._range >>= 1
+        if bit:
+            self._low += self._range
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._shift_low()
+
+    def encode_bypass_bits(self, value: int, width: int) -> None:
+        """Encode ``width`` bypass bins, most significant first."""
+        for shift in range(width - 1, -1, -1):
+            self.encode_bypass((value >> shift) & 1)
+
+    def encode_ueg(
+        self, ctx: ContextSet, base: int, value: int, max_prefix: int, k: int = 0
+    ) -> None:
+        """Encode ``value`` >= 0 as adaptive truncated unary + Exp-Golomb.
+
+        The unary prefix uses contexts ``ctx[base .. base+max_prefix-1]``
+        (the last context is reused when the prefix saturates); any
+        remainder beyond ``max_prefix`` is coded as an order-``k``
+        Exp-Golomb bypass suffix.
+        """
+        prefix = min(value, max_prefix)
+        for i in range(prefix):
+            self.encode_bit(ctx, base + min(i, max_prefix - 1), 1)
+        if prefix < max_prefix:
+            self.encode_bit(ctx, base + min(prefix, max_prefix - 1), 0)
+        else:
+            remainder = value - max_prefix
+            shifted = (remainder >> k) + 1
+            prefix_len = shifted.bit_length() - 1
+            for _ in range(prefix_len):
+                self.encode_bypass(0)
+            self.encode_bypass_bits(shifted, prefix_len + 1)
+            if k:
+                self.encode_bypass_bits(remainder & ((1 << k) - 1), k)
+
+    def finish(self) -> bytes:
+        """Flush and return the bitstream."""
+        if not self._finished:
+            for _ in range(5):
+                self._shift_low()
+            self._finished = True
+        return bytes(self._out)
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes emitted so far (grows as the stream is flushed)."""
+        return len(self._out)
+
+
+class BinaryDecoder:
+    """Arithmetic decoder; mirror image of :class:`BinaryEncoder`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 1  # the first emitted byte is the encoder's cache seed
+        self._range = _MASK32
+        self._code = 0
+        for _ in range(4):
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+
+    def _next_byte(self) -> int:
+        if self._pos < len(self._data):
+            byte = self._data[self._pos]
+        else:
+            byte = 0
+        self._pos += 1
+        return byte
+
+    def decode_bit(self, ctx: ContextSet, index: int) -> int:
+        """Decode one bin under the adaptive context ``ctx[index]``."""
+        prob = ctx.probs[index]
+        bound = (self._range >> _PROB_BITS) * prob
+        if self._code < bound:
+            bit = 0
+            self._range = bound
+            ctx.probs[index] = prob + ((_PROB_ONE - prob) >> _ADAPT_SHIFT)
+        else:
+            bit = 1
+            self._code -= bound
+            self._range -= bound
+            ctx.probs[index] = prob - (prob >> _ADAPT_SHIFT)
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+        return bit
+
+    def decode_bypass(self) -> int:
+        """Decode one equiprobable bin."""
+        self._range >>= 1
+        if self._code >= self._range:
+            self._code -= self._range
+            bit = 1
+        else:
+            bit = 0
+        while self._range < _TOP:
+            self._range = (self._range << 8) & _MASK32
+            self._code = ((self._code << 8) | self._next_byte()) & _MASK32
+        return bit
+
+    def decode_bypass_bits(self, width: int) -> int:
+        """Decode ``width`` bypass bins, most significant first."""
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.decode_bypass()
+        return value
+
+    def decode_ueg(self, ctx: ContextSet, base: int, max_prefix: int, k: int = 0) -> int:
+        """Decode a value written by :meth:`BinaryEncoder.encode_ueg`."""
+        prefix = 0
+        while prefix < max_prefix:
+            if self.decode_bit(ctx, base + min(prefix, max_prefix - 1)) == 0:
+                return prefix
+            prefix += 1
+        prefix_len = 0
+        while self.decode_bypass() == 0:
+            prefix_len += 1
+            if prefix_len > 64:
+                raise ValueError("corrupt UEG suffix")
+        shifted = 1
+        for _ in range(prefix_len):
+            shifted = (shifted << 1) | self.decode_bypass()
+        remainder = (shifted - 1) << k
+        if k:
+            remainder |= self.decode_bypass_bits(k)
+        return max_prefix + remainder

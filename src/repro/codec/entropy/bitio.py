@@ -1,0 +1,84 @@
+"""Bit-level writer/reader used by the fixed-length and Golomb coders."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as ``bytes``."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._nbits = 0
+        self._total_bits = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._current = (self._current << 1) | (bit & 1)
+        self._nbits += 1
+        self._total_bits += 1
+        if self._nbits == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` one-bits followed by a terminating zero."""
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    @property
+    def bit_length(self) -> int:
+        """Number of bits written so far (excluding flush padding)."""
+        return self._total_bits
+
+    def getvalue(self) -> bytes:
+        """Return the bitstream, zero-padded to a byte boundary."""
+        data = bytearray(self._buffer)
+        if self._nbits:
+            data.append((self._current << (8 - self._nbits)) & 0xFF)
+        return bytes(data)
+
+
+class BitReader:
+    """Reads bits MSB-first from a ``bytes`` object."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        """Read one bit; raises ``EOFError`` past the end of the stream."""
+        byte_index = self._pos >> 3
+        if byte_index >= len(self._data):
+            raise EOFError("bitstream exhausted")
+        bit = (self._data[byte_index] >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits, most significant first."""
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        """Read a unary code: count of one-bits before the first zero."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    @property
+    def bits_consumed(self) -> int:
+        """Number of bits read so far."""
+        return self._pos

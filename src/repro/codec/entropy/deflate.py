@@ -1,0 +1,21 @@
+"""Deflate-style coder: LZ77 parse + canonical Huffman entropy stage.
+
+The LZ77 parse reuses the LZ4-style greedy matcher; the resulting token
+byte stream is then Huffman coded, mirroring Deflate's two-stage
+structure.  One of the Figure 14/15 baseline tensor codecs.
+"""
+
+from __future__ import annotations
+
+from repro.codec.entropy.huffman import huffman_compress, huffman_decompress
+from repro.codec.entropy.lz4 import lz4_compress, lz4_decompress
+
+
+def deflate_compress(data: bytes) -> bytes:
+    """LZ77-parse then Huffman-code ``data``."""
+    return huffman_compress(lz4_compress(data))
+
+
+def deflate_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`deflate_compress`."""
+    return lz4_decompress(huffman_decompress(blob))

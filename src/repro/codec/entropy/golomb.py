@@ -1,0 +1,45 @@
+"""Exp-Golomb codes (the universal codes used by H.264/H.265 syntax)."""
+
+from __future__ import annotations
+
+from repro.codec.entropy.bitio import BitReader, BitWriter
+
+
+def write_uexp_golomb(writer: BitWriter, value: int, k: int = 0) -> None:
+    """Write an unsigned order-``k`` Exp-Golomb code for ``value`` >= 0."""
+    if value < 0:
+        raise ValueError("unsigned Exp-Golomb requires value >= 0")
+    shifted = (value >> k) + 1
+    prefix_len = shifted.bit_length() - 1
+    writer.write_bits(0, prefix_len)
+    writer.write_bits(shifted, prefix_len + 1)
+    if k:
+        writer.write_bits(value & ((1 << k) - 1), k)
+
+
+def read_uexp_golomb(reader: BitReader, k: int = 0) -> int:
+    """Read an unsigned order-``k`` Exp-Golomb code."""
+    prefix_len = 0
+    while reader.read_bit() == 0:
+        prefix_len += 1
+        if prefix_len > 64:
+            raise ValueError("corrupt Exp-Golomb prefix")
+    shifted = (1 << prefix_len) | reader.read_bits(prefix_len)
+    value = (shifted - 1) << k
+    if k:
+        value |= reader.read_bits(k)
+    return value
+
+
+def write_sexp_golomb(writer: BitWriter, value: int, k: int = 0) -> None:
+    """Write a signed Exp-Golomb code using the H.264 zig-zag mapping."""
+    mapped = 2 * value - 1 if value > 0 else -2 * value
+    write_uexp_golomb(writer, mapped, k)
+
+
+def read_sexp_golomb(reader: BitReader, k: int = 0) -> int:
+    """Read a signed Exp-Golomb code (inverse of :func:`write_sexp_golomb`)."""
+    mapped = read_uexp_golomb(reader, k)
+    if mapped & 1:
+        return (mapped + 1) >> 1
+    return -(mapped >> 1)

@@ -1,0 +1,99 @@
+"""Canonical Huffman coding of byte streams (with full decoder)."""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.codec.entropy.bitio import BitReader, BitWriter
+
+_MAX_CODE_LEN = 32
+
+
+def _code_lengths(freqs: Dict[int, int]) -> Dict[int, int]:
+    """Huffman code length per symbol via the classic heap construction."""
+    if not freqs:
+        return {}
+    if len(freqs) == 1:
+        only = next(iter(freqs))
+        return {only: 1}
+    heap: List[Tuple[int, int, Tuple]] = []
+    counter = 0
+    for sym, freq in freqs.items():
+        heap.append((freq, counter, ("leaf", sym)))
+        counter += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, ("node", n1, n2)))
+        counter += 1
+    lengths: Dict[int, int] = {}
+
+    stack = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node[0] == "leaf":
+            lengths[node[1]] = max(depth, 1)
+        else:
+            stack.append((node[1], depth + 1))
+            stack.append((node[2], depth + 1))
+    return lengths
+
+
+def _canonical_codes(lengths: Dict[int, int]) -> Dict[int, Tuple[int, int]]:
+    """Assign canonical codes (value, length) from code lengths."""
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for sym, length in ordered:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+def huffman_compress(data: bytes) -> bytes:
+    """Compress ``data``; the header stores the 256 code lengths."""
+    freqs = dict(Counter(data))
+    lengths = _code_lengths(freqs)
+    if any(length > _MAX_CODE_LEN for length in lengths.values()):
+        # Pathological skew: fall back to flattened frequencies.
+        lengths = _code_lengths({sym: 1 for sym in freqs})
+    codes = _canonical_codes(lengths)
+    writer = BitWriter()
+    for byte in data:
+        value, width = codes[byte]
+        writer.write_bits(value, width)
+    length_table = bytes(lengths.get(sym, 0) for sym in range(256))
+    header = struct.pack("<I", len(data)) + length_table
+    return header + writer.getvalue()
+
+
+def huffman_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`huffman_compress`."""
+    (length,) = struct.unpack_from("<I", blob, 0)
+    length_table = blob[4:260]
+    lengths = {sym: l for sym, l in enumerate(length_table) if l > 0}
+    codes = _canonical_codes(lengths)
+    # Decoding table: (length, code) -> symbol.
+    table = {(width, value): sym for sym, (value, width) in codes.items()}
+    reader = BitReader(blob[260:])
+    out = bytearray()
+    code = 0
+    width = 0
+    while len(out) < length:
+        code = (code << 1) | reader.read_bit()
+        width += 1
+        sym = table.get((width, code))
+        if sym is not None:
+            out.append(sym)
+            code = 0
+            width = 0
+        elif width > _MAX_CODE_LEN:
+            raise ValueError("corrupt Huffman stream")
+    return bytes(out)

@@ -1,0 +1,141 @@
+"""LZ4-style byte-oriented dictionary coder (block format).
+
+Implements the real LZ4 block layout: a sequence of
+``[token][ext literal lengths][literals][offset][ext match lengths]``
+records, greedy hash-chain matching, minimum match of 4 bytes, and a
+final literals-only sequence.  Used as one of the Figure 14/15 baseline
+tensor codecs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MIN_MATCH = 4
+_HASH_LOG = 14
+_MAX_DISTANCE = 65535
+_LAST_LITERALS = 5
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    word = struct.unpack_from("<I", data, pos)[0]
+    return ((word * 2654435761) & 0xFFFFFFFF) >> (32 - _HASH_LOG)
+
+
+def _write_length(out: bytearray, length: int) -> None:
+    while length >= 255:
+        out.append(255)
+        length -= 255
+    out.append(length)
+
+
+def lz4_compress(data: bytes) -> bytes:
+    """Compress ``data`` into an LZ4-style block with a size header."""
+    n = len(data)
+    out = bytearray(struct.pack("<I", n))
+    if n < _MIN_MATCH + _LAST_LITERALS:
+        token_pos = len(out)
+        out.append(0)
+        lit_len = n
+        if lit_len >= 15:
+            out[token_pos] = 15 << 4
+            _write_length(out, lit_len - 15)
+        else:
+            out[token_pos] = lit_len << 4
+        out.extend(data)
+        return bytes(out)
+
+    table = [-1] * (1 << _HASH_LOG)
+    anchor = 0
+    pos = 0
+    limit = n - _LAST_LITERALS
+
+    while pos < limit - _MIN_MATCH:
+        h = _hash4(data, pos)
+        candidate = table[h]
+        table[h] = pos
+        if (
+            candidate >= 0
+            and pos - candidate <= _MAX_DISTANCE
+            and data[candidate : candidate + _MIN_MATCH] == data[pos : pos + _MIN_MATCH]
+        ):
+            match_len = _MIN_MATCH
+            max_len = limit - pos
+            while (
+                match_len < max_len
+                and data[candidate + match_len] == data[pos + match_len]
+            ):
+                match_len += 1
+            lit_len = pos - anchor
+            token_pos = len(out)
+            out.append(0)
+            token = 0
+            if lit_len >= 15:
+                token |= 15 << 4
+                out[token_pos] = token
+                _write_length(out, lit_len - 15)
+            else:
+                token |= lit_len << 4
+            out[token_pos] = token | (out[token_pos] & 0x0F)
+            out.extend(data[anchor:pos])
+            out.extend(struct.pack("<H", pos - candidate))
+            ml_code = match_len - _MIN_MATCH
+            if ml_code >= 15:
+                out[token_pos] |= 15
+                _write_length(out, ml_code - 15)
+            else:
+                out[token_pos] |= ml_code
+            pos += match_len
+            anchor = pos
+        else:
+            pos += 1
+
+    # Final literals-only sequence.
+    lit_len = n - anchor
+    token_pos = len(out)
+    out.append(0)
+    if lit_len >= 15:
+        out[token_pos] = 15 << 4
+        _write_length(out, lit_len - 15)
+    else:
+        out[token_pos] = lit_len << 4
+    out.extend(data[anchor:])
+    return bytes(out)
+
+
+def lz4_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`lz4_compress`."""
+    (n,) = struct.unpack_from("<I", blob, 0)
+    pos = 4
+    out = bytearray()
+    while len(out) < n:
+        token = blob[pos]
+        pos += 1
+        lit_len = token >> 4
+        if lit_len == 15:
+            while True:
+                extra = blob[pos]
+                pos += 1
+                lit_len += extra
+                if extra != 255:
+                    break
+        out.extend(blob[pos : pos + lit_len])
+        pos += lit_len
+        if len(out) >= n:
+            break
+        offset = struct.unpack_from("<H", blob, pos)[0]
+        pos += 2
+        match_len = (token & 0x0F) + _MIN_MATCH
+        if (token & 0x0F) == 15:
+            while True:
+                extra = blob[pos]
+                pos += 1
+                match_len += extra
+                if extra != 255:
+                    break
+        start = len(out) - offset
+        if start < 0:
+            raise ValueError("corrupt LZ4 stream: bad offset")
+        for i in range(match_len):  # byte-by-byte: matches may overlap
+            out.append(out[start + i])
+    return bytes(out[:n])

@@ -1,0 +1,104 @@
+"""Codec toolset profiles: H.264-, H.265-, and AV1-flavoured configurations.
+
+The three standards share the block-coding skeleton this package
+implements; what differs per generation is the toolset size: CTU
+dimensions, minimum CU size, and how many angular prediction directions
+the encoder may choose from.  Table 2 / Figure 6 of the paper treat the
+codecs at exactly this level, so profiles parametrise one engine rather
+than forking three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.codec import intra
+
+#: Angular modes evaluated in the coarse RDO pass before refinement.
+_COARSE_ANGULAR = (2, 6, 10, 14, 18, 22, 26, 30, 34)
+#: H.264 only has 8 directional modes (plus DC / plane).
+_H264_ANGULAR = (2, 6, 10, 14, 18, 22, 26, 30, 34)
+_FULL_ANGULAR = tuple(range(intra.ANGULAR_FIRST, intra.ANGULAR_LAST + 1))
+
+
+@dataclass(frozen=True)
+class CodecProfile:
+    """Immutable description of a codec generation's toolset."""
+
+    name: str
+    profile_id: int
+    ctu_size: int
+    min_cu_size: int
+    angular_modes: Tuple[int, ...]
+    coarse_angular_modes: Tuple[int, ...] = _COARSE_ANGULAR
+    angular_refine_radius: int = 2
+    supports_inter: bool = True
+    deadzone: float = 0.15
+    max_resolution: int = 3840  # per-instance hardware limit (Table 2)
+
+    @property
+    def all_modes(self) -> Tuple[int, ...]:
+        """Every intra mode the profile may signal."""
+        return (intra.PLANAR, intra.DC) + self.angular_modes
+
+    def coarse_modes(self) -> Tuple[int, ...]:
+        """Modes evaluated in the first RDO pass."""
+        coarse = tuple(
+            m for m in self.coarse_angular_modes if m in self.angular_modes
+        )
+        return (intra.PLANAR, intra.DC) + coarse
+
+    def refine_modes(self, best: int) -> Tuple[int, ...]:
+        """Neighbouring angular modes to re-evaluate around ``best``."""
+        if best < intra.ANGULAR_FIRST:
+            return ()
+        radius = self.angular_refine_radius
+        lo = max(intra.ANGULAR_FIRST, best - radius)
+        hi = min(intra.ANGULAR_LAST, best + radius)
+        return tuple(
+            m for m in range(lo, hi + 1) if m != best and m in self.angular_modes
+        )
+
+
+H264_PROFILE = CodecProfile(
+    name="h264",
+    profile_id=0,
+    ctu_size=16,
+    min_cu_size=4,
+    angular_modes=_H264_ANGULAR,
+    coarse_angular_modes=_H264_ANGULAR,
+    angular_refine_radius=0,
+    max_resolution=3840,  # 4K encode/decode per Table 2
+)
+
+H265_PROFILE = CodecProfile(
+    name="h265",
+    profile_id=1,
+    ctu_size=32,
+    min_cu_size=8,
+    angular_modes=_FULL_ANGULAR,
+    max_resolution=7680,  # 8K encode/decode per Table 2
+)
+
+AV1_PROFILE = CodecProfile(
+    name="av1",
+    profile_id=2,
+    ctu_size=32,
+    min_cu_size=8,
+    angular_modes=_FULL_ANGULAR,
+    angular_refine_radius=3,
+    deadzone=0.2,
+    max_resolution=7680,
+)
+
+PROFILES_BY_ID = {p.profile_id: p for p in (H264_PROFILE, H265_PROFILE, AV1_PROFILE)}
+PROFILES_BY_NAME = {p.name: p for p in (H264_PROFILE, H265_PROFILE, AV1_PROFILE)}
+
+
+def profile_by_name(name: str) -> CodecProfile:
+    """Look up a profile by codec name ('h264', 'h265', 'av1')."""
+    try:
+        return PROFILES_BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown codec profile {name!r}") from None

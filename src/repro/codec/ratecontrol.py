@@ -1,0 +1,84 @@
+"""Rate control: hit a bitrate or distortion target by searching QP.
+
+Video encoders expose exactly these two knobs ("set the bitrate
+target", "constrain max distortion"); the paper's experiments sweep
+both.  Fractional bitrates come out naturally because the float QP is
+dithered across CTUs (see :class:`repro.codec.encoder.QpDither`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codec.encoder import EncodeResult, EncoderConfig, FrameEncoder
+
+MIN_QP = 0.0
+MAX_QP = 51.0
+
+
+def encode_at_qp(
+    frames: Sequence[np.ndarray], qp: float, config: Optional[EncoderConfig] = None
+) -> EncodeResult:
+    """Encode at a specific (possibly fractional) QP."""
+    base = config or EncoderConfig()
+    return FrameEncoder(replace(base, qp=qp)).encode(frames)
+
+
+def search_qp_for_mse(
+    frames: Sequence[np.ndarray],
+    max_mse: float,
+    config: Optional[EncoderConfig] = None,
+    precision: float = 0.25,
+) -> Tuple[float, EncodeResult]:
+    """Largest QP (fewest bits) whose pixel-domain MSE stays under target.
+
+    Distortion grows monotonically with QP, so a simple bisection over
+    the float QP range suffices.
+    """
+    lo, hi = MIN_QP, MAX_QP
+    best_qp = lo
+    best = encode_at_qp(frames, lo, config)
+    if best.mse > max_mse:
+        return lo, best  # even the finest quantizer misses the target
+    while hi - lo > precision:
+        mid = (lo + hi) / 2.0
+        result = encode_at_qp(frames, mid, config)
+        if result.mse <= max_mse:
+            best_qp, best = mid, result
+            lo = mid
+        else:
+            hi = mid
+    return best_qp, best
+
+
+def search_qp_for_bitrate(
+    frames: Sequence[np.ndarray],
+    bits_per_value: float,
+    config: Optional[EncoderConfig] = None,
+    precision: float = 0.25,
+) -> Tuple[float, EncodeResult]:
+    """Smallest QP (best quality) whose rate stays under the bit budget.
+
+    Rate decreases monotonically with QP (up to entropy-coder noise);
+    bisection finds the quality-maximising QP within ``precision``.
+    """
+    lo, hi = MIN_QP, MAX_QP
+    best = encode_at_qp(frames, hi, config)
+    best_qp = hi
+    if best.bits_per_value > bits_per_value:
+        return hi, best  # budget unreachable; return the coarsest encode
+    low_result = encode_at_qp(frames, lo, config)
+    if low_result.bits_per_value <= bits_per_value:
+        return lo, low_result
+    while hi - lo > precision:
+        mid = (lo + hi) / 2.0
+        result = encode_at_qp(frames, mid, config)
+        if result.bits_per_value <= bits_per_value:
+            best_qp, best = mid, result
+            hi = mid
+        else:
+            lo = mid
+    return best_qp, best

@@ -1,0 +1,193 @@
+"""Bitstream syntax shared by the encoder and decoder.
+
+Everything here comes in encode/decode pairs that must touch the same
+contexts in the same order -- that is the whole contract of CABAC-style
+coding.  Keeping both directions in one module makes drift much harder.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.entropy.arithmetic import BinaryDecoder, BinaryEncoder, ContextSet
+from repro.codec.intra import most_probable_modes
+from repro.codec.transform import zigzag_scan, zigzag_unscan
+
+_NUM_SIZE_CLASSES = 5  # block sizes 4, 8, 16, 32, 64
+_LAST_PREFIX = 10
+_SIG_CTX_PER_CLASS = 3
+_LEVEL_PREFIX = 3
+_RUN_PREFIX = 4
+
+
+def size_class(n: int) -> int:
+    """Context size class for an ``n`` x ``n`` block."""
+    cls = int(math.log2(n)) - 2
+    if not 0 <= cls < _NUM_SIZE_CLASSES:
+        raise ValueError(f"unsupported block size {n}")
+    return cls
+
+
+class CodecContexts:
+    """All adaptive contexts for one encode or decode session."""
+
+    def __init__(self) -> None:
+        self.split = ContextSet(6)  # by quadtree depth
+        self.pred_flag = ContextSet(1)  # intra vs inter
+        self.mpm_flag = ContextSet(1)
+        self.mpm_index = ContextSet(2)
+        self.cbf = ContextSet(2)
+        self.last = ContextSet(_NUM_SIZE_CLASSES * _LAST_PREFIX)
+        self.sig = ContextSet(_NUM_SIZE_CLASSES * _SIG_CTX_PER_CLASS)
+        self.level = ContextSet(_NUM_SIZE_CLASSES * _LEVEL_PREFIX)
+        self.mv = ContextSet(2 * _RUN_PREFIX)
+
+
+def _sig_ctx(cls: int, index: int, n: int) -> int:
+    """Significance-flag context: position class within the scan."""
+    if index < 2:
+        bucket = 0
+    elif index < n:
+        bucket = 1
+    else:
+        bucket = 2
+    return cls * _SIG_CTX_PER_CLASS + bucket
+
+
+def encode_coeff_block(
+    enc: BinaryEncoder, ctx: CodecContexts, levels: np.ndarray
+) -> None:
+    """Entropy-code one quantized coefficient block (any square size)."""
+    n = levels.shape[0]
+    cls = size_class(n)
+    scanned = zigzag_scan(levels)
+    nz = np.nonzero(scanned)[0]
+    if nz.size == 0:
+        enc.encode_bit(ctx.cbf, 0, 0)
+        return
+    enc.encode_bit(ctx.cbf, 0, 1)
+    last = int(nz[-1])
+    enc.encode_ueg(ctx.last, cls * _LAST_PREFIX, last, _LAST_PREFIX, k=1)
+    for i in range(last, -1, -1):
+        level = int(scanned[i])
+        if i != last:  # significance of the last coefficient is implied
+            enc.encode_bit(ctx.sig, _sig_ctx(cls, i, n), 1 if level else 0)
+        if level:
+            magnitude = abs(level)
+            enc.encode_ueg(
+                ctx.level, cls * _LEVEL_PREFIX, magnitude - 1, _LEVEL_PREFIX, k=1
+            )
+            enc.encode_bypass(1 if level < 0 else 0)
+
+
+def decode_coeff_block(
+    dec: BinaryDecoder, ctx: CodecContexts, n: int
+) -> np.ndarray:
+    """Inverse of :func:`encode_coeff_block`; returns an ``n`` x ``n`` grid."""
+    cls = size_class(n)
+    scanned = np.zeros(n * n, dtype=np.int64)
+    if dec.decode_bit(ctx.cbf, 0) == 0:
+        return zigzag_unscan(scanned, n)
+    last = dec.decode_ueg(ctx.last, cls * _LAST_PREFIX, _LAST_PREFIX, k=1)
+    if last >= n * n:
+        raise ValueError("corrupt stream: last coefficient out of range")
+    for i in range(last, -1, -1):
+        if i != last:
+            significant = dec.decode_bit(ctx.sig, _sig_ctx(cls, i, n))
+            if not significant:
+                continue
+        magnitude = (
+            dec.decode_ueg(ctx.level, cls * _LEVEL_PREFIX, _LEVEL_PREFIX, k=1) + 1
+        )
+        sign = dec.decode_bypass()
+        scanned[i] = -magnitude if sign else magnitude
+    return zigzag_unscan(scanned, n)
+
+
+def estimate_coeff_bits(levels: np.ndarray) -> float:
+    """Cheap rate proxy used during RD mode decision (no coder state)."""
+    scanned = zigzag_scan(levels)
+    nz = np.nonzero(scanned)[0]
+    if nz.size == 0:
+        return 1.0
+    last = int(nz[-1])
+    mags = np.abs(scanned[: last + 1])
+    nonzero = mags[mags > 0]
+    # 1 bit/sig-flag, ~2*log2(m)+2 bits per level (unary-Golomb-ish), sign.
+    level_bits = np.sum(2.0 * np.log2(nonzero.astype(np.float64) + 1.0) + 2.0)
+    return 4.0 + (last + 1) + float(level_bits)
+
+
+def encode_intra_mode(
+    enc: BinaryEncoder,
+    ctx: CodecContexts,
+    mode: int,
+    left_mode: Optional[int],
+    top_mode: Optional[int],
+    all_modes: Tuple[int, ...],
+) -> None:
+    """Signal an intra mode with the 3-entry most-probable-mode scheme."""
+    mpm = most_probable_modes(left_mode, top_mode)
+    if mode in mpm:
+        enc.encode_bit(ctx.mpm_flag, 0, 1)
+        index = mpm.index(mode)
+        enc.encode_bit(ctx.mpm_index, 0, 1 if index > 0 else 0)
+        if index > 0:
+            enc.encode_bit(ctx.mpm_index, 1, index - 1)
+        return
+    enc.encode_bit(ctx.mpm_flag, 0, 0)
+    remaining = [m for m in all_modes if m not in mpm]
+    width = max(1, (len(remaining) - 1).bit_length())
+    enc.encode_bypass_bits(remaining.index(mode), width)
+
+
+def decode_intra_mode(
+    dec: BinaryDecoder,
+    ctx: CodecContexts,
+    left_mode: Optional[int],
+    top_mode: Optional[int],
+    all_modes: Tuple[int, ...],
+) -> int:
+    """Inverse of :func:`encode_intra_mode`."""
+    mpm = most_probable_modes(left_mode, top_mode)
+    if dec.decode_bit(ctx.mpm_flag, 0):
+        if dec.decode_bit(ctx.mpm_index, 0) == 0:
+            return mpm[0]
+        return mpm[1 + dec.decode_bit(ctx.mpm_index, 1)]
+    remaining = [m for m in all_modes if m not in mpm]
+    width = max(1, (len(remaining) - 1).bit_length())
+    index = dec.decode_bypass_bits(width)
+    if index >= len(remaining):
+        raise ValueError("corrupt stream: intra mode index out of range")
+    return remaining[index]
+
+
+def estimate_mode_bits(
+    mode: int, left_mode: Optional[int], top_mode: Optional[int]
+) -> float:
+    """Rate proxy for intra mode signalling."""
+    mpm = most_probable_modes(left_mode, top_mode)
+    return 2.0 if mode in mpm else 6.5
+
+
+def encode_mv(enc: BinaryEncoder, ctx: CodecContexts, mv: Tuple[int, int]) -> None:
+    """Code a motion vector (raw, zero-predicted)."""
+    for axis, component in enumerate(mv):
+        magnitude = abs(component)
+        enc.encode_ueg(ctx.mv, axis * _RUN_PREFIX, magnitude, _RUN_PREFIX, k=1)
+        if magnitude:
+            enc.encode_bypass(1 if component < 0 else 0)
+
+
+def decode_mv(dec: BinaryDecoder, ctx: CodecContexts) -> Tuple[int, int]:
+    """Inverse of :func:`encode_mv`."""
+    out: List[int] = []
+    for axis in range(2):
+        magnitude = dec.decode_ueg(ctx.mv, axis * _RUN_PREFIX, _RUN_PREFIX, k=1)
+        if magnitude and dec.decode_bypass():
+            magnitude = -magnitude
+        out.append(magnitude)
+    return out[0], out[1]

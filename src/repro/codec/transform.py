@@ -1,0 +1,86 @@
+"""2-D DCT transform coding (the "transform" stage of Figure 2/3).
+
+Uses the orthonormal DCT-II so ``inverse(forward(x)) == x`` up to float
+round-off and coefficient energy equals pixel energy (Parseval), which
+is what lets the quantizer's distortion be reasoned about per
+coefficient.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+SUPPORTED_SIZES = (4, 8, 16, 32, 64)
+
+
+@lru_cache(maxsize=None)
+def dct_matrix(n: int) -> np.ndarray:
+    """Orthonormal DCT-II basis matrix of size ``n`` x ``n``."""
+    if n not in SUPPORTED_SIZES:
+        raise ValueError(f"unsupported transform size {n}; choose from {SUPPORTED_SIZES}")
+    k = np.arange(n)[:, None]
+    m = np.arange(n)[None, :]
+    basis = np.sqrt(2.0 / n) * np.cos(np.pi * (2 * m + 1) * k / (2 * n))
+    basis[0, :] /= np.sqrt(2.0)
+    return basis
+
+
+def forward_dct2(block: np.ndarray) -> np.ndarray:
+    """2-D DCT of a square block (rows then columns)."""
+    n = block.shape[0]
+    if block.shape != (n, n):
+        raise ValueError("forward_dct2 expects a square block")
+    basis = dct_matrix(n)
+    return basis @ block.astype(np.float64) @ basis.T
+
+
+def inverse_dct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT (exact inverse of :func:`forward_dct2`)."""
+    n = coeffs.shape[0]
+    if coeffs.shape != (n, n):
+        raise ValueError("inverse_dct2 expects a square block")
+    basis = dct_matrix(n)
+    return basis.T @ coeffs.astype(np.float64) @ basis
+
+
+def forward_dct2_batch(blocks: np.ndarray) -> np.ndarray:
+    """2-D DCT of a stack of square blocks, shape ``(b, n, n)``."""
+    n = blocks.shape[-1]
+    basis = dct_matrix(n)
+    return np.matmul(np.matmul(basis, blocks.astype(np.float64)), basis.T)
+
+
+def inverse_dct2_batch(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`forward_dct2_batch`."""
+    n = coeffs.shape[-1]
+    basis = dct_matrix(n)
+    return np.matmul(np.matmul(basis.T, coeffs.astype(np.float64)), basis)
+
+
+@lru_cache(maxsize=None)
+def zigzag_order(n: int) -> np.ndarray:
+    """Flat indices of an ``n`` x ``n`` block in diagonal (zig-zag) scan.
+
+    Low-frequency coefficients come first, so the scan concentrates the
+    trailing zeros that the entropy coder exploits.
+    """
+    order = sorted(
+        ((r, c) for r in range(n) for c in range(n)),
+        key=lambda rc: (rc[0] + rc[1], rc[1] if (rc[0] + rc[1]) % 2 == 0 else rc[0]),
+    )
+    return np.array([r * n + c for r, c in order], dtype=np.int64)
+
+
+def zigzag_scan(block: np.ndarray) -> np.ndarray:
+    """Flatten a square block in zig-zag order."""
+    n = block.shape[0]
+    return block.reshape(-1)[zigzag_order(n)]
+
+
+def zigzag_unscan(values: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`zigzag_scan`."""
+    flat = np.empty(n * n, dtype=values.dtype)
+    flat[zigzag_order(n)] = values
+    return flat.reshape(n, n)

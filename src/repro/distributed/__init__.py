@@ -1,0 +1,36 @@
+"""Distributed-training simulation with byte-accurate communication.
+
+Single-process stand-ins for the paper's 4-GPU testbeds:
+
+- :mod:`repro.distributed.comm` -- channels + compressors (identity,
+  RTN, LLM.265, residual-compensated) with bit accounting,
+- :mod:`repro.distributed.pipeline` -- GPipe-style pipeline parallelism
+  with activation and activation-gradient compression (Section 5.1),
+- :mod:`repro.distributed.dataparallel` -- data parallelism with
+  weight-gradient compression (Section 5.2).
+"""
+
+from repro.distributed.comm import (
+    Channel,
+    CodecCompressor,
+    ErrorFeedbackCompressor,
+    IdentityCompressor,
+    ResidualCompressor,
+    RTNCompressor,
+)
+from repro.distributed.allreduce import AllReduceResult, ring_allreduce
+from repro.distributed.dataparallel import DataParallelTrainer
+from repro.distributed.pipeline import PipelineParallelTrainer
+
+__all__ = [
+    "Channel",
+    "IdentityCompressor",
+    "RTNCompressor",
+    "CodecCompressor",
+    "ResidualCompressor",
+    "ErrorFeedbackCompressor",
+    "PipelineParallelTrainer",
+    "DataParallelTrainer",
+    "ring_allreduce",
+    "AllReduceResult",
+]

@@ -1,0 +1,24 @@
+"""Evaluation harness: perplexity + synthetic zero-shot task suites.
+
+Stands in for the LM Evaluation Harness: eight multiple-choice suites
+mirroring the paper's commonsense-reasoning benchmarks (PIQA, COPA,
+ARC-e/c, WinoGrande, HellaSwag, RTE, OpenbookQA), plus the four extra
+Figure 7 task proxies (sentiment, retrieval, VQA, image
+classification).
+"""
+
+from repro.evals.tasks import COMMONSENSE_SUITE, ZeroShotTask, build_suite
+from repro.evals.harness import (
+    average_normalized_accuracy,
+    evaluate_model,
+    evaluate_suite,
+)
+
+__all__ = [
+    "ZeroShotTask",
+    "build_suite",
+    "COMMONSENSE_SUITE",
+    "evaluate_suite",
+    "evaluate_model",
+    "average_normalized_accuracy",
+]

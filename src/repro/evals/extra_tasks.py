@@ -1,0 +1,317 @@
+"""Figure 7 task proxies: sentiment, retrieval, VQA, image classification.
+
+Each builder returns a :class:`TaskBundle` whose ``model`` can be
+weight-transformed (compressed) and re-evaluated, matching how the
+paper applies LLM.265 to T5 / Qwen-VL / ViT checkpoints it did not
+train itself.  Trained bundles are cached via the zoo cache directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.models.zoo import cache_dir
+from repro.nn import autograd
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.data import CorpusConfig, SyntheticCorpus
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module, TransformerBlock
+from repro.nn.optim import Adam
+
+
+@dataclass
+class TaskBundle:
+    """A trained task model plus its evaluation closure."""
+
+    name: str
+    model: Module
+    evaluate: Callable[[], float]
+    chance: float
+
+
+class SequenceClassifier(Module):
+    """Transformer trunk + mean pooling + linear head."""
+
+    def __init__(
+        self,
+        vocab: int,
+        max_seq: int,
+        dim: int,
+        heads: int,
+        layers: int,
+        classes: int,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.tok_emb = Embedding(vocab, dim, rng)
+        self.pos_emb = Embedding(max_seq, dim, rng)
+        self.blocks = [TransformerBlock(dim, heads, rng, i) for i in range(layers)]
+        self.ln = LayerNorm(dim)
+        self.head = Linear(dim, classes, rng)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens)
+        batch, seq = tokens.shape
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        x = self.tok_emb(tokens) + self.pos_emb(positions)
+        for block in self.blocks:
+            x = block(x)
+        pooled = self.ln(x).mean(axis=1)
+        return self.head(pooled)
+
+    __call__ = forward
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Mean-pooled hidden state (the retrieval embedding)."""
+        tokens = np.asarray(tokens)
+        batch, seq = tokens.shape
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        with no_grad():
+            x = self.tok_emb(tokens) + self.pos_emb(positions)
+            for block in self.blocks:
+                x = block(x)
+            return self.ln(x).data.mean(axis=1)
+
+    def predict(self, tokens: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return np.argmax(self.forward(tokens).data, axis=-1)
+
+
+def _train_classifier(
+    model: SequenceClassifier,
+    batches: Callable[[int], Tuple[np.ndarray, np.ndarray]],
+    steps: int,
+    lr: float = 3e-3,
+) -> None:
+    optimizer = Adam(model.parameters(), lr=lr)
+    for step in range(steps):
+        tokens, labels = batches(step)
+        logits = model.forward(tokens)
+        loss = autograd.cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+
+def _cached(model: Module, key: str, trainer: Callable[[], None]) -> None:
+    """Train-or-load helper keyed into the shared zoo cache."""
+    path = cache_dir() / f"{key}.npz"
+    if path.exists():
+        with np.load(path) as blob:
+            model.load_state_dict({name: blob[name] for name in blob.files})
+        return
+    trainer()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **model.state_dict())
+
+
+# -- (a) sentiment ----------------------------------------------------------
+
+
+def sentiment_task(
+    num_eval: int = 120, train_steps: int = 120, seed: int = 21
+) -> TaskBundle:
+    """Binary classification: which of two synthetic 'dialects' produced it."""
+    vocab, seq = 48, 24
+    corpora = [
+        SyntheticCorpus(CorpusConfig(vocab_size=vocab, seq_len=seq, seed=seed + c))
+        for c in range(2)
+    ]
+    model = SequenceClassifier(vocab, seq, 32, 2, 2, classes=2, seed=seed)
+
+    def make_batch(step: int, size: int = 16):
+        rng = np.random.default_rng(seed * 31 + step)
+        labels = rng.integers(0, 2, size)
+        tokens = np.stack(
+            [corpora[y].sample(1, seed=step * size + i + 1)[0] for i, y in enumerate(labels)]
+        )
+        return tokens, labels
+
+    _cached(model, f"task-sentiment-{seed}", lambda: _train_classifier(model, make_batch, train_steps))
+    eval_tokens, eval_labels = make_batch(999_999, num_eval)
+
+    def evaluate() -> float:
+        return float(np.mean(model.predict(eval_tokens) == eval_labels))
+
+    return TaskBundle("sentiment", model, evaluate, chance=0.5)
+
+
+# -- (b) retrieval ----------------------------------------------------------
+
+
+def retrieval_task(
+    num_pairs: int = 60, train_steps: int = 150, seed: int = 33
+) -> TaskBundle:
+    """Quora-style duplicate retrieval: match corrupted queries to docs."""
+    vocab, seq = 48, 24
+    corpus = SyntheticCorpus(CorpusConfig(vocab_size=vocab, seq_len=seq, seed=seed))
+    # The trunk trains as a 2-class discriminator between in-distribution
+    # sequences and noise, which shapes useful embeddings.
+    noise_rng = np.random.default_rng(seed + 1)
+    model = SequenceClassifier(vocab, seq, 32, 2, 2, classes=2, seed=seed)
+
+    def make_batch(step: int, size: int = 16):
+        rng = np.random.default_rng(seed * 17 + step)
+        labels = rng.integers(0, 2, size)
+        rows = []
+        for i, y in enumerate(labels):
+            if y:
+                rows.append(corpus.sample(1, seed=step * size + i + 1)[0])
+            else:
+                rows.append(rng.integers(0, vocab, seq))
+        return np.stack(rows), labels
+
+    _cached(model, f"task-retrieval-{seed}", lambda: _train_classifier(model, make_batch, train_steps))
+
+    docs = corpus.sample(num_pairs, seed=77)
+    queries = docs.copy()
+    flip = noise_rng.random(queries.shape) < 0.25
+    queries[flip] = noise_rng.integers(0, vocab, int(flip.sum()))
+
+    def evaluate() -> float:
+        doc_emb = model.embed(docs)
+        query_emb = model.embed(queries)
+        doc_norm = doc_emb / (np.linalg.norm(doc_emb, axis=1, keepdims=True) + 1e-9)
+        query_norm = query_emb / (np.linalg.norm(query_emb, axis=1, keepdims=True) + 1e-9)
+        hits = np.argmax(query_norm @ doc_norm.T, axis=1) == np.arange(num_pairs)
+        return float(np.mean(hits))
+
+    return TaskBundle("retrieval", model, evaluate, chance=1.0 / num_pairs)
+
+
+# -- (c) VQA -----------------------------------------------------------------
+
+
+def vqa_task(num_eval: int = 120, train_steps: int = 150, seed: int = 45) -> TaskBundle:
+    """Visual question answering proxy: image tokens + question token.
+
+    Four 'scenes' render to token patterns; two question types ask for
+    different scene attributes; the answer is a lookup the model must
+    learn from (scene, question) pairs.
+    """
+    vocab, seq = 40, 18
+    num_scenes, num_questions, num_answers = 4, 2, 4
+    answer_table = np.array([[0, 2], [1, 3], [2, 0], [3, 1]])
+    template_rng = np.random.default_rng(seed)
+    templates = template_rng.integers(0, vocab - num_questions, (num_scenes, seq - 1))
+    model = SequenceClassifier(vocab, seq, 32, 2, 2, classes=num_answers, seed=seed)
+
+    def render(rng, scene: int) -> np.ndarray:
+        tokens = templates[scene].copy()
+        flips = rng.random(seq - 1) < 0.15
+        tokens[flips] = rng.integers(0, vocab - num_questions, int(flips.sum()))
+        return tokens
+
+    def make_batch(step: int, size: int = 16):
+        rng = np.random.default_rng(seed * 13 + step)
+        scenes = rng.integers(0, num_scenes, size)
+        questions = rng.integers(0, num_questions, size)
+        tokens = np.stack(
+            [
+                np.concatenate([render(rng, s), [vocab - num_questions + q]])
+                for s, q in zip(scenes, questions)
+            ]
+        )
+        return tokens, answer_table[scenes, questions]
+
+    _cached(model, f"task-vqa-{seed}", lambda: _train_classifier(model, make_batch, train_steps))
+    eval_tokens, eval_labels = make_batch(888_888, num_eval)
+
+    def evaluate() -> float:
+        return float(np.mean(model.predict(eval_tokens) == eval_labels))
+
+    return TaskBundle("vqa", model, evaluate, chance=1.0 / num_answers)
+
+
+# -- (d) image classification -------------------------------------------------
+
+
+class PatchClassifier(Module):
+    """Tiny ViT: linear patch embedding + transformer + mean-pool head."""
+
+    def __init__(
+        self,
+        image_size: int = 16,
+        patch: int = 4,
+        dim: int = 32,
+        heads: int = 2,
+        layers: int = 2,
+        classes: int = 8,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.patch = patch
+        self.image_size = image_size
+        num_patches = (image_size // patch) ** 2
+        self.patch_proj = Linear(patch * patch, dim, rng)
+        self.pos_emb = Embedding(num_patches, dim, rng)
+        self.blocks = [TransformerBlock(dim, heads, rng, i) for i in range(layers)]
+        self.ln = LayerNorm(dim)
+        self.head = Linear(dim, classes, rng)
+
+    def _patchify(self, images: np.ndarray) -> np.ndarray:
+        batch, h, w = images.shape
+        p = self.patch
+        patches = images.reshape(batch, h // p, p, w // p, p)
+        patches = patches.transpose(0, 1, 3, 2, 4).reshape(batch, -1, p * p)
+        return patches
+
+    def forward(self, images: np.ndarray) -> Tensor:
+        patches = self._patchify(np.asarray(images, dtype=np.float64))
+        batch, num_patches, _ = patches.shape
+        positions = np.broadcast_to(np.arange(num_patches), (batch, num_patches))
+        x = self.patch_proj(Tensor(patches)) + self.pos_emb(positions)
+        for block in self.blocks:
+            x = block(x)
+        return self.head(self.ln(x).mean(axis=1))
+
+    __call__ = forward
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return np.argmax(self.forward(images).data, axis=-1)
+
+
+def image_classification_task(
+    num_eval: int = 160, train_steps: int = 150, seed: int = 57
+) -> TaskBundle:
+    """ImageNet proxy: classify noisy renderings of 8 class templates."""
+    classes, size = 8, 16
+    rng = np.random.default_rng(seed)
+    templates = rng.normal(0, 1, (classes, size, size))
+    model = PatchClassifier(image_size=size, classes=classes, seed=seed)
+
+    def make_batch(step: int, batch: int = 16):
+        batch_rng = np.random.default_rng(seed * 7 + step)
+        labels = batch_rng.integers(0, classes, batch)
+        images = templates[labels] + batch_rng.normal(0, 0.7, (batch, size, size))
+        return images, labels
+
+    def trainer() -> None:
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        for step in range(train_steps):
+            images, labels = make_batch(step)
+            loss = autograd.cross_entropy(model.forward(images), labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+    _cached(model, f"task-image-{seed}", trainer)
+    eval_images, eval_labels = make_batch(777_777, num_eval)
+
+    def evaluate() -> float:
+        return float(np.mean(model.predict(eval_images) == eval_labels))
+
+    return TaskBundle("image-classification", model, evaluate, chance=1.0 / classes)
+
+
+def all_extra_tasks() -> List[TaskBundle]:
+    """The four Figure 7 bundles in paper order."""
+    return [
+        sentiment_task(),
+        retrieval_task(),
+        vqa_task(),
+        image_classification_task(),
+    ]

@@ -1,0 +1,143 @@
+"""Synthetic zero-shot multiple-choice tasks.
+
+Each task item is (context, candidates, answer_index): the model scores
+``log P(candidate | context)`` and picks the argmax, exactly how the LM
+Evaluation Harness scores PIQA-style benchmarks.  Real candidates come
+from the corpus HMM; distractors are corruption-controlled so the eight
+suites span a difficulty range, giving compression sweeps a smooth
+accuracy response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.data import SyntheticCorpus
+from repro.nn.transformer import GPT
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Generation recipe for one suite."""
+
+    name: str
+    num_items: int = 60
+    context_len: int = 20
+    continuation_len: int = 8
+    num_choices: int = 4
+    corruption: float = 1.0  # 1.0 = fully random distractors (easy)
+    seed: int = 0
+
+
+#: Mirrors of the paper's eight commonsense suites, difficulty-ordered.
+COMMONSENSE_SUITE: Tuple[TaskSpec, ...] = (
+    TaskSpec("piqa-sim", corruption=1.0, num_choices=2, seed=11),
+    TaskSpec("copa-sim", corruption=0.9, num_choices=2, seed=12),
+    TaskSpec("arc-easy-sim", corruption=0.8, num_choices=4, seed=13),
+    TaskSpec("arc-challenge-sim", corruption=0.45, num_choices=4, seed=14),
+    TaskSpec("winogrande-sim", corruption=0.6, num_choices=2, seed=15),
+    TaskSpec("hellaswag-sim", corruption=0.55, num_choices=4, seed=16),
+    TaskSpec("rte-sim", corruption=0.7, num_choices=2, seed=17),
+    TaskSpec("openbookqa-sim", corruption=0.5, num_choices=4, seed=18),
+)
+
+
+@dataclass
+class ZeroShotTask:
+    """Materialised items: contexts, candidate sets, answers."""
+
+    spec: TaskSpec
+    contexts: List[np.ndarray]
+    candidates: List[List[np.ndarray]]
+    answers: List[int]
+
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+    @property
+    def chance_accuracy(self) -> float:
+        return 1.0 / self.spec.num_choices
+
+    def evaluate(self, model: GPT) -> float:
+        """Accuracy of the model's argmax-logprob choice.
+
+        All of an item's candidates share the context length and the
+        continuation length, so they are scored as one batched forward
+        pass per item.
+        """
+        from repro.nn.autograd import no_grad
+
+        correct = 0
+        for context, cands, answer in zip(self.contexts, self.candidates, self.answers):
+            batch = np.stack([np.concatenate([context, c]) for c in cands])
+            with no_grad():
+                logits = model.forward(batch).data
+            shifted = logits[:, :-1]
+            shifted = shifted - shifted.max(axis=-1, keepdims=True)
+            logprobs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+            targets = batch[:, 1:]
+            rows, cols = np.indices(targets.shape)
+            picked = logprobs[rows, cols, targets]
+            scores = picked[:, len(context) - 1 :].sum(axis=1)
+            if int(np.argmax(scores)) == answer:
+                correct += 1
+        return correct / len(self)
+
+
+def _corrupt(
+    rng: np.random.Generator,
+    continuation: np.ndarray,
+    corruption: float,
+    vocab: int,
+) -> np.ndarray:
+    """Replace a fraction of tokens with random vocabulary draws."""
+    out = continuation.copy()
+    flips = rng.random(len(out)) < corruption
+    if not flips.any():
+        flips[rng.integers(len(out))] = True
+    # Shift by a non-zero offset so a flipped token always changes.
+    offsets = rng.integers(1, vocab, int(flips.sum()))
+    out[flips] = (out[flips] + offsets) % vocab
+    return out
+
+
+def build_task(corpus: SyntheticCorpus, spec: TaskSpec) -> ZeroShotTask:
+    """Generate one suite's items from the corpus HMM."""
+    rng = np.random.default_rng(spec.seed * 7919 + 13)
+    vocab = corpus.config.vocab_size
+    total_len = spec.context_len + spec.continuation_len
+    contexts: List[np.ndarray] = []
+    candidates: List[List[np.ndarray]] = []
+    answers: List[int] = []
+    sequences = corpus.sample(spec.num_items, seq_len=total_len, seed=spec.seed)
+    for item in range(spec.num_items):
+        seq = sequences[item]
+        context = seq[: spec.context_len]
+        real = seq[spec.context_len :]
+        cands = [
+            _corrupt(rng, real, spec.corruption, vocab)
+            for _ in range(spec.num_choices - 1)
+        ]
+        answer = int(rng.integers(spec.num_choices))
+        cands.insert(answer, real)
+        contexts.append(context)
+        candidates.append(cands)
+        answers.append(answer)
+    return ZeroShotTask(spec=spec, contexts=contexts, candidates=candidates, answers=answers)
+
+
+def build_suite(
+    corpus: SyntheticCorpus,
+    specs: Sequence[TaskSpec] = COMMONSENSE_SUITE,
+    num_items: int = 0,
+) -> Dict[str, ZeroShotTask]:
+    """Materialise a set of suites (optionally overriding item counts)."""
+    out: Dict[str, ZeroShotTask] = {}
+    for spec in specs:
+        if num_items:
+            spec = TaskSpec(**{**spec.__dict__, "num_items": num_items})
+        out[spec.name] = build_task(corpus, spec)
+    return out

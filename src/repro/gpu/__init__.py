@@ -1,0 +1,20 @@
+"""GPU video-engine models: capability matrix + NVENC/NVDEC throughput."""
+
+from repro.gpu.capabilities import (
+    GPU_CODEC_SUPPORT,
+    CodecSupport,
+    best_codec_for,
+    supports,
+)
+from repro.gpu.engines import NVDEC, NVENC, HardwareEngine, effective_link_bandwidth
+
+__all__ = [
+    "GPU_CODEC_SUPPORT",
+    "CodecSupport",
+    "supports",
+    "best_codec_for",
+    "HardwareEngine",
+    "NVENC",
+    "NVDEC",
+    "effective_link_bandwidth",
+]

@@ -1,0 +1,81 @@
+"""Per-generation GPU codec support (Table 2 of the paper).
+
+VP9 is decode-only on every generation, which is why the paper excludes
+it: LLM.265 needs hardware for *both* directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CodecSupport:
+    """What one GPU generation can do with one codec."""
+
+    encode: bool
+    decode: bool
+    max_resolution: int  # long-edge pixels: 3840 = 4K, 7680 = 8K
+
+    @property
+    def usable_for_tensors(self) -> bool:
+        """LLM.265 needs both directions in hardware."""
+        return self.encode and self.decode
+
+    def describe(self) -> str:
+        res = "8K" if self.max_resolution >= 7680 else "4K"
+        if self.encode and self.decode:
+            return f"{res} Enc/Dec."
+        if self.decode:
+            return f"{res} Dec"
+        return "-"
+
+
+_4K, _8K = 3840, 7680
+
+#: Table 2 verbatim: generation -> codec -> support.
+GPU_CODEC_SUPPORT: Dict[str, Dict[str, CodecSupport]] = {
+    "ada-lovelace": {
+        "h264": CodecSupport(True, True, _4K),
+        "h265": CodecSupport(True, True, _8K),
+        "av1": CodecSupport(True, True, _8K),
+        "vp9": CodecSupport(False, True, _8K),
+    },
+    "ampere": {
+        "h264": CodecSupport(True, True, _4K),
+        "h265": CodecSupport(True, True, _8K),
+        "av1": CodecSupport(False, False, 0),
+        "vp9": CodecSupport(False, True, _8K),
+    },
+    "volta": {
+        "h264": CodecSupport(True, True, _4K),
+        "h265": CodecSupport(True, True, _8K),
+        "av1": CodecSupport(False, False, 0),
+        "vp9": CodecSupport(False, True, _8K),
+    },
+}
+
+
+def supports(generation: str, codec: str) -> CodecSupport:
+    """Support entry for (generation, codec); raises on unknown keys."""
+    try:
+        return GPU_CODEC_SUPPORT[generation.lower()][codec.lower()]
+    except KeyError:
+        raise ValueError(f"unknown generation/codec: {generation}/{codec}") from None
+
+
+def best_codec_for(generation: str) -> str:
+    """The codec the paper picks: usable everywhere, largest frames.
+
+    H.265 wins on every generation (Section 4.1.1): AV1 needs Ada,
+    VP9 cannot encode, H.264 is capped at 4K.
+    """
+    candidates = [
+        (name, entry)
+        for name, entry in GPU_CODEC_SUPPORT[generation.lower()].items()
+        if entry.usable_for_tensors
+    ]
+    if not candidates:
+        raise ValueError(f"no dual-direction codec on {generation}")
+    return max(candidates, key=lambda kv: kv[1].max_resolution)[0]

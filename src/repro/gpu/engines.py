@@ -1,0 +1,74 @@
+"""NVENC/NVDEC throughput model (Section 6.1 measurements).
+
+The paper measures ~1100 MB/s tensor compression on NVENC and
+~1300 MB/s decompression on NVDEC, which caps end-to-end communication
+bandwidth at ~1100 MB/s regardless of the link -- the motivation for
+the three-in-one codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareEngine:
+    """A fixed-function engine processing bytes at a fixed rate."""
+
+    name: str
+    throughput_mb_s: float  # uncompressed tensor bytes per second
+    sessions: int = 1  # concurrent streams the driver exposes
+
+    @property
+    def throughput_bytes_s(self) -> float:
+        return self.throughput_mb_s * 1e6
+
+    def seconds_for(self, nbytes: float) -> float:
+        """Time to push ``nbytes`` of tensor data through the engine."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.throughput_bytes_s
+
+
+#: The paper's measured figures (Section 6.1).
+NVENC = HardwareEngine("nvenc", throughput_mb_s=1100.0)
+NVDEC = HardwareEngine("nvdec", throughput_mb_s=1300.0)
+
+
+def effective_link_bandwidth(
+    link_gb_s: float,
+    compression_ratio: float,
+    encoder: HardwareEngine = NVENC,
+    decoder: HardwareEngine = NVDEC,
+) -> float:
+    """End-to-end bandwidth in *uncompressed* MB/s with codecs inline.
+
+    The pipeline stages (encode -> transmit compressed -> decode) run
+    concurrently, so the bottleneck is the slowest stage.  With
+    NVENC/NVDEC the encoder is almost always that stage, reproducing
+    the paper's 1100 MB/s ceiling.
+    """
+    if compression_ratio <= 0:
+        raise ValueError("compression ratio must be positive")
+    link_mb_s = link_gb_s * 1e3
+    return min(
+        encoder.throughput_mb_s,
+        decoder.throughput_mb_s,
+        link_mb_s * compression_ratio,
+    )
+
+
+def communication_speedup(
+    link_gb_s: float, compression_ratio: float, use_codecs: bool = True
+) -> float:
+    """Speedup over raw transmission for one link.
+
+    Without codecs the effective bandwidth is the link itself; with
+    codecs it is :func:`effective_link_bandwidth`.  On slow links the
+    codec wins ~ratio; on links faster than NVENC it can *lose*, which
+    is the Section 6 argument for specialised hardware.
+    """
+    raw = link_gb_s * 1e3
+    if not use_codecs:
+        return 1.0
+    return effective_link_bandwidth(link_gb_s, compression_ratio) / raw

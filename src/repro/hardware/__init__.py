@@ -1,0 +1,36 @@
+"""Analytical hardware models: die area, power, energy, cluster scaling.
+
+Synthesis (ASAP7 + Synopsys) is not reproducible offline, so these
+models are calibrated to the paper's published numbers (Figure 12,
+Table 3) and reproduce its *derivations*: instance aggregation to
+100 Gbps, NIC+codec area totals, energy-per-bit comparisons, and the
+Figure 16 cluster Pareto analysis.
+"""
+
+from repro.hardware.components import (
+    CODEC_COMPONENTS,
+    DEVICES,
+    CodecComponent,
+    DeviceArea,
+    aggregate_to_bandwidth,
+)
+from repro.hardware.energy import (
+    NCCL_PJ_PER_BIT,
+    compression_energy_ratio,
+    transfer_energy_joules,
+)
+from repro.hardware.threeinone import THREE_IN_ONE_DEC, THREE_IN_ONE_ENC, ThreeInOneCodec
+
+__all__ = [
+    "CodecComponent",
+    "DeviceArea",
+    "CODEC_COMPONENTS",
+    "DEVICES",
+    "aggregate_to_bandwidth",
+    "NCCL_PJ_PER_BIT",
+    "compression_energy_ratio",
+    "transfer_energy_joules",
+    "ThreeInOneCodec",
+    "THREE_IN_ONE_ENC",
+    "THREE_IN_ONE_DEC",
+]

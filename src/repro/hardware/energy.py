@@ -1,0 +1,64 @@
+"""Energy accounting: compression versus communication (Section 7.3).
+
+The headline arithmetic reproduced here:
+
+- three-in-one enc+dec energy is ``5120 / (97.8 + 63.5) = 31.7x``
+  cheaper than moving the same bit through NCCL end-to-end;
+- at a 5x compression ratio the end-to-end energy win is
+  ``5120 / (5120/5 + 97.8 + 63.5) = 4.32x``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.hardware.components import CODEC_COMPONENTS
+
+#: Measured NCCL end-to-end transfer energy (Table 3).
+NCCL_PJ_PER_BIT = 5120.0
+
+
+def codec_pair_pj_per_bit(codec: str) -> Tuple[float, float]:
+    """(encode, decode) energy per bit for a codec family name."""
+    enc = CODEC_COMPONENTS[f"{codec}-enc"].energy_pj_per_bit
+    dec = CODEC_COMPONENTS[f"{codec}-dec"].energy_pj_per_bit
+    return enc, dec
+
+
+def compression_vs_transfer_ratio(codec: str = "three-in-one") -> float:
+    """How much cheaper compressing a bit is than transmitting it."""
+    enc, dec = codec_pair_pj_per_bit(codec)
+    return NCCL_PJ_PER_BIT / (enc + dec)
+
+
+def compression_energy_ratio(
+    compression_ratio: float, codec: str = "three-in-one"
+) -> float:
+    """End-to-end energy win of compressed vs raw transmission.
+
+    raw:        NCCL_PJ_PER_BIT per payload bit
+    compressed: NCCL_PJ_PER_BIT / ratio (fewer wire bits) + enc + dec
+    """
+    if compression_ratio <= 0:
+        raise ValueError("compression ratio must be positive")
+    enc, dec = codec_pair_pj_per_bit(codec)
+    compressed = NCCL_PJ_PER_BIT / compression_ratio + enc + dec
+    return NCCL_PJ_PER_BIT / compressed
+
+
+def transfer_energy_joules(
+    payload_bytes: float,
+    compression_ratio: float = 1.0,
+    codec: str = "",
+) -> float:
+    """Energy to move ``payload_bytes`` once across the NCCL link.
+
+    With a codec name set, the payload is compressed before the wire
+    and decompressed after; with ``codec=''`` the transfer is raw.
+    """
+    bits = payload_bytes * 8.0
+    if not codec:
+        return bits * NCCL_PJ_PER_BIT * 1e-12
+    enc, dec = codec_pair_pj_per_bit(codec)
+    per_bit = NCCL_PJ_PER_BIT / compression_ratio + enc + dec
+    return bits * per_bit * 1e-12

@@ -1,0 +1,98 @@
+"""NIC model and codec+NIC communication-system sizing (Figure 15a).
+
+The NIC dominates the area and power of the communication system, so a
+codec that transmits fewer wire bits shrinks the *NIC*, not just
+itself -- the paper's explanation for why the three-in-one codec wins
+the total-area comparison despite other codecs being small too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hardware.components import (
+    BASELINE_HW_CODECS,
+    CODEC_COMPONENTS,
+    DEVICES,
+    CodecComponent,
+)
+
+#: Watts for a CX5-class 100 Gbps NIC (vendor spec sheets; assumed).
+NIC_POWER_W_PER_100G = 19.3
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """A NIC normalised to its wire bandwidth."""
+
+    name: str = "cx5"
+    area_mm2_per_100g: float = DEVICES["cx5-nic"].area_mm2
+    power_w_per_100g: float = NIC_POWER_W_PER_100G
+
+    def area_for(self, wire_gbps: float) -> float:
+        return self.area_mm2_per_100g * wire_gbps / 100.0
+
+    def power_for(self, wire_gbps: float) -> float:
+        return self.power_w_per_100g * wire_gbps / 100.0
+
+
+def _lookup(codec: str, direction: str) -> CodecComponent:
+    key = f"{codec}-{direction}"
+    if key in CODEC_COMPONENTS:
+        return CODEC_COMPONENTS[key]
+    if key in BASELINE_HW_CODECS:
+        return BASELINE_HW_CODECS[key]
+    raise ValueError(f"unknown codec component {key!r}")
+
+
+def communication_system_area(
+    codec: Optional[str],
+    compression_ratio: float,
+    effective_gbps: float = 100.0,
+    nic: NICSpec = NICSpec(),
+) -> Dict[str, float]:
+    """Total codec+NIC area to sustain ``effective_gbps`` payload.
+
+    With compression the wire only carries ``effective/ratio`` Gbps, so
+    the NIC shrinks proportionally; the codec pair is sized for the
+    payload rate.  ``codec=None`` means raw transmission.
+    """
+    if compression_ratio <= 0:
+        raise ValueError("compression ratio must be positive")
+    if codec is None:
+        nic_area = nic.area_for(effective_gbps)
+        return {"codec_mm2": 0.0, "nic_mm2": nic_area, "total_mm2": nic_area}
+    enc = _lookup(codec, "enc")
+    dec = _lookup(codec, "dec")
+    codec_area = (enc.area_mm2 + dec.area_mm2) * effective_gbps / enc.throughput_gbps
+    nic_area = nic.area_for(effective_gbps / compression_ratio)
+    return {
+        "codec_mm2": codec_area,
+        "nic_mm2": nic_area,
+        "total_mm2": codec_area + nic_area,
+    }
+
+
+def communication_system_energy(
+    codec: Optional[str],
+    compression_ratio: float,
+    payload_bytes: float,
+    nccl_pj_per_bit: float = 5120.0,
+) -> float:
+    """Joules to move ``payload_bytes`` once (Figure 15b).
+
+    Wire energy scales down with the compression ratio; codec energy is
+    paid per payload bit on both ends.
+    """
+    bits = payload_bytes * 8.0
+    if codec is None:
+        return bits * nccl_pj_per_bit * 1e-12
+    enc = _lookup(codec, "enc")
+    dec = _lookup(codec, "dec")
+    per_bit = (
+        nccl_pj_per_bit / compression_ratio
+        + enc.energy_pj_per_bit
+        + dec.energy_pj_per_bit
+    )
+    return bits * per_bit * 1e-12

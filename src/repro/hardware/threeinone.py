@@ -1,0 +1,85 @@
+"""The three-in-one codec model (Section 7).
+
+An H.264-derived design whose shared pipeline (intra prediction,
+transform, quantization, entropy coding, data-type alignment) serves
+tensors, images, *and* video, while the video-only blocks (inter
+prediction, motion estimation, frame buffer) stay in a separate
+partition that idles during tensor work.  The shared pipeline is sized
+for 100 Gbps tensor throughput; the video partition for 8K60.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.hardware.components import CODEC_COMPONENTS, CodecComponent
+
+
+class InputKind(enum.Enum):
+    """The three input types the codec accepts."""
+
+    TENSOR = "tensor"
+    IMAGE = "image"
+    VIDEO = "video"
+
+
+#: Fraction of total area in the shared (reused) pipeline (Section 7).
+SHARED_PIPELINE_FRACTION = 0.80
+
+
+@dataclass(frozen=True)
+class ThreeInOneCodec:
+    """Area/power/throughput view of the proposed codec."""
+
+    component: CodecComponent
+    tensor_gbps: float = 100.0
+    video_pixels_per_s: float = 7680 * 4320 * 60  # 8K60
+    supports_mixed_precision: bool = True  # FP16/BF16/MX alignment unit
+
+    @property
+    def shared_area_mm2(self) -> float:
+        return self.component.area_mm2 * SHARED_PIPELINE_FRACTION
+
+    @property
+    def video_only_area_mm2(self) -> float:
+        return self.component.area_mm2 * (1.0 - SHARED_PIPELINE_FRACTION)
+
+    def active_blocks(self, kind: InputKind) -> Tuple[str, ...]:
+        """Which partitions power on for an input type."""
+        if kind == InputKind.VIDEO:
+            return ("alignment", "shared-pipeline", "video-pipeline")
+        return ("alignment", "shared-pipeline")
+
+    def active_area_mm2(self, kind: InputKind) -> float:
+        """Area drawing power while processing ``kind``."""
+        if kind == InputKind.VIDEO:
+            return self.component.area_mm2
+        return self.shared_area_mm2
+
+    def partition(self, tensor_share: float) -> Dict[str, float]:
+        """Static split of shared-pipeline throughput between workloads.
+
+        Multimedia is latency-sensitive and gets priority; tensors take
+        the remainder (Section 7's software partitioning policy).
+        """
+        if not 0.0 <= tensor_share <= 1.0:
+            raise ValueError("tensor share must be in [0, 1]")
+        return {
+            "tensor_gbps": self.tensor_gbps * tensor_share,
+            "video_pixels_per_s": self.video_pixels_per_s,  # dedicated blocks
+        }
+
+
+THREE_IN_ONE_ENC = ThreeInOneCodec(CODEC_COMPONENTS["three-in-one-enc"])
+THREE_IN_ONE_DEC = ThreeInOneCodec(CODEC_COMPONENTS["three-in-one-dec"])
+
+
+def overhead_versus_tensor_only() -> float:
+    """Extra area the video/image support costs (the 'marginal' claim).
+
+    Only the non-shared partition exists for multimedia alone, so the
+    overhead over a tensor-only codec is its fraction of the total.
+    """
+    return 1.0 - SHARED_PIPELINE_FRACTION

@@ -1,0 +1,18 @@
+"""Model zoo: scaled-down stand-ins for the paper's evaluation models.
+
+Real LLaMA / Pythia / T5 / ViT checkpoints are unavailable offline, so
+:mod:`repro.models.zoo` trains small transformers from scratch on a
+synthetic corpus (cached on disk), and
+:mod:`repro.models.synthetic_weights` generates weight matrices with
+the channel-wise + outlier statistics the paper identifies as the
+reason video codecs compress LLM tensors well.
+"""
+
+from repro.models.synthetic_weights import (
+    activation_like,
+    gradient_like,
+    kv_cache_like,
+    weight_like,
+)
+
+__all__ = ["weight_like", "activation_like", "gradient_like", "kv_cache_like"]

@@ -1,0 +1,121 @@
+"""Named stand-in models for the paper's evaluation checkpoints.
+
+Each spec is a scaled-down GPT trained from scratch on the synthetic
+corpus; trained weights are cached on disk (``REPRO_CACHE`` or
+``.repro_cache`` under the repo) so experiments pay the training cost
+once.  Names mirror the paper's models; sizes are laptop-scale on
+purpose -- the *statistics* of trained transformer weights, not their
+scale, are what the compression experiments need.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.data import CorpusConfig, SyntheticCorpus
+from repro.nn.optim import Adam
+from repro.nn.transformer import GPT, GPTConfig
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture + training recipe for one zoo entry."""
+
+    name: str
+    config: GPTConfig
+    corpus: CorpusConfig
+    train_steps: int
+    batch_size: int = 8
+    lr: float = 3e-3
+    seed: int = 0
+
+
+def _spec(name, vocab, seq, dim, heads, layers, steps, seed=0) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        config=GPTConfig(
+            vocab_size=vocab,
+            max_seq_len=2 * seq,
+            dim=dim,
+            num_heads=heads,
+            num_layers=layers,
+            name=name,
+        ),
+        corpus=CorpusConfig(vocab_size=vocab, seq_len=seq, seed=1234),
+        train_steps=steps,
+        seed=seed,
+    )
+
+
+SPECS: Dict[str, ModelSpec] = {
+    # Inference-compression subjects (Figures 5-8, Table 1).
+    "llama2-7b-sim": _spec("llama2-7b-sim", 64, 48, 64, 4, 4, 400),
+    "llama3-70b-sim": _spec("llama3-70b-sim", 64, 48, 96, 6, 6, 600),
+    # Training-compression subjects (Figures 9-11, 15).
+    "pythia-160m-sim": _spec("pythia-160m-sim", 32, 32, 32, 2, 2, 200),
+    "pythia-1.4b-sim": _spec("pythia-1.4b-sim", 64, 48, 64, 4, 4, 300),
+    "pythia-125m-sim": _spec("pythia-125m-sim", 32, 32, 32, 2, 2, 200, seed=3),
+    # Figure 7 proxies (decoder trunks reused for non-LLM tasks).
+    "t5-sim": _spec("t5-sim", 48, 32, 48, 4, 3, 300),
+    "vit-sim": _spec("vit-sim", 32, 24, 32, 2, 2, 250, seed=5),
+    # Tiny model for fast unit tests.
+    "tiny-sim": _spec("tiny-sim", 32, 24, 16, 2, 2, 60),
+}
+
+
+def cache_dir() -> Path:
+    """Directory holding trained checkpoints."""
+    root = os.environ.get("REPRO_CACHE")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def train_model(spec: ModelSpec, progress: bool = False) -> Tuple[GPT, SyntheticCorpus]:
+    """Train a zoo model from scratch (no cache involvement)."""
+    corpus = SyntheticCorpus(spec.corpus)
+    model = GPT(spec.config, seed=spec.seed)
+    optimizer = Adam(model.parameters(), lr=spec.lr)
+    for step, (inputs, targets) in enumerate(
+        corpus.batches(spec.batch_size, spec.train_steps, seed=spec.seed)
+    ):
+        loss = model.loss(inputs, targets)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        if progress and step % 50 == 0:
+            print(f"[{spec.name}] step {step} loss {float(loss.data):.3f}")
+    return model, corpus
+
+
+def load_model(
+    name: str, retrain: bool = False, progress: bool = False
+) -> Tuple[GPT, SyntheticCorpus]:
+    """Load a zoo model, training + caching it on first use."""
+    try:
+        spec = SPECS[name]
+    except KeyError:
+        raise ValueError(f"unknown model {name!r}; choose from {sorted(SPECS)}") from None
+    path = cache_dir() / f"{name}.npz"
+    corpus = SyntheticCorpus(spec.corpus)
+    if path.exists() and not retrain:
+        model = GPT(spec.config, seed=spec.seed)
+        with np.load(path) as blob:
+            model.load_state_dict({key: blob[key] for key in blob.files})
+        return model, corpus
+    model, corpus = train_model(spec, progress=progress)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **model.state_dict())
+    return model, corpus
+
+
+def parameter_bytes(name: str, precision_bits: int = 16) -> int:
+    """Checkpoint size at the given precision (for hardware modelling)."""
+    spec = SPECS[name]
+    model = GPT(spec.config, seed=spec.seed)
+    return model.num_parameters() * precision_bits // 8

@@ -1,0 +1,28 @@
+"""Numpy neural-network substrate: autograd, layers, optimizers, data.
+
+A small reverse-mode autograd engine (:mod:`repro.nn.autograd`) powers
+GPT-style transformers (:mod:`repro.nn.transformer`) that stand in for
+the paper's LLaMA / Pythia evaluation models.  Optimizers include Adam,
+LAMB and the 1-bit Adam / 1-bit LAMB communication-compressed variants
+the paper baselines against (:mod:`repro.nn.optim`).
+"""
+
+from repro.nn.autograd import Parameter, Tensor, no_grad
+from repro.nn.generate import IncrementalDecoder, KVCache, generate
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module
+from repro.nn.transformer import GPT, GPTConfig
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "no_grad",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "GPT",
+    "GPTConfig",
+    "generate",
+    "IncrementalDecoder",
+    "KVCache",
+]

@@ -1,0 +1,159 @@
+"""Incremental decoding with a (compressible) KV cache.
+
+A pure-numpy inference path for :class:`repro.nn.transformer.GPT`:
+the prompt is prefilled once, then tokens decode one at a time against
+cached keys/values.  The cache can be compressed in place on a stride
+(``compress_every``) through any hook with the
+``(k, v, layer_index) -> (k, v)`` signature -- the same seam the
+Section 4.2 experiments use, now exercised during *generation* rather
+than scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.transformer import GPT
+
+
+def _layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + 1e-5) * gamma + beta
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    c = np.sqrt(2.0 / np.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=-1, keepdims=True)
+
+
+@dataclass
+class KVCache:
+    """Per-layer key/value arrays of shape (heads, tokens, head_dim)."""
+
+    keys: List[np.ndarray] = field(default_factory=list)
+    values: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def seq_len(self) -> int:
+        return self.keys[0].shape[1] if self.keys else 0
+
+    def nbytes_fp16(self) -> int:
+        """What the cache would occupy at FP16."""
+        return sum(k.size + v.size for k, v in zip(self.keys, self.values)) * 2
+
+    def apply_hook(self, hook: Callable) -> None:
+        """Run a KV hook over every layer's cache in place."""
+        for layer, (k, v) in enumerate(zip(self.keys, self.values)):
+            new_k, new_v = hook(k[None], v[None], layer)
+            self.keys[layer] = np.asarray(new_k)[0]
+            self.values[layer] = np.asarray(new_v)[0]
+
+
+class IncrementalDecoder:
+    """Stateful single-sequence decoder over a GPT's weights."""
+
+    def __init__(self, model: GPT, kv_hook: Optional[Callable] = None,
+                 compress_every: int = 0) -> None:
+        self.model = model
+        self.kv_hook = kv_hook
+        self.compress_every = compress_every
+        self.cache = KVCache()
+        self._position = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _block_step(self, block, layer: int, x: np.ndarray) -> np.ndarray:
+        """One transformer block over ``t_new`` tokens with caching."""
+        attn = block.attn
+        heads, head_dim = attn.num_heads, attn.head_dim
+        t_new, dim = x.shape
+
+        normed = _layer_norm(x, block.ln1.gamma.data, block.ln1.beta.data)
+        qkv = normed @ attn.qkv.weight.data + attn.qkv.bias.data
+        qkv = qkv.reshape(t_new, 3, heads, head_dim).transpose(1, 2, 0, 3)
+        q, k, v = qkv[0], qkv[1], qkv[2]  # (H, t_new, Dh)
+
+        if layer < len(self.cache.keys):
+            k = np.concatenate([self.cache.keys[layer], k], axis=1)
+            v = np.concatenate([self.cache.values[layer], v], axis=1)
+            self.cache.keys[layer] = k
+            self.cache.values[layer] = v
+        else:
+            self.cache.keys.append(k)
+            self.cache.values.append(v)
+
+        total = k.shape[1]
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)  # (H, t_new, T)
+        # Causal mask: new token i may attend to positions <= past + i.
+        past = total - t_new
+        cols = np.arange(total)[None, None, :]
+        rows = past + np.arange(t_new)[None, :, None]
+        scores = np.where(cols <= rows, scores, -1e9)
+        out = _softmax(scores) @ v  # (H, t_new, Dh)
+        out = out.transpose(1, 0, 2).reshape(t_new, dim)
+        x = x + out @ attn.proj.weight.data + attn.proj.bias.data
+
+        normed = _layer_norm(x, block.ln2.gamma.data, block.ln2.beta.data)
+        hidden = _gelu(normed @ block.mlp.fc.weight.data + block.mlp.fc.bias.data)
+        x = x + hidden @ block.mlp.out.weight.data + block.mlp.out.bias.data
+        return x
+
+    def feed(self, tokens: np.ndarray) -> np.ndarray:
+        """Process tokens, extend the cache, return last-position logits."""
+        tokens = np.asarray(tokens).reshape(-1)
+        if self._position + len(tokens) > self.model.config.max_seq_len:
+            raise ValueError("sequence exceeds the model's maximum length")
+        positions = self._position + np.arange(len(tokens))
+        x = (
+            self.model.tok_emb.weight.data[tokens]
+            + self.model.pos_emb.weight.data[positions]
+        )
+        for layer, block in enumerate(self.model.blocks):
+            x = self._block_step(block, layer, x)
+        self._position += len(tokens)
+        if self.compress_every and self._position % self.compress_every == 0:
+            if self.kv_hook is not None:
+                self.cache.apply_hook(self.kv_hook)
+        x = _layer_norm(x, self.model.ln_f.gamma.data, self.model.ln_f.beta.data)
+        logits = x @ self.model.head.weight.data + self.model.head.bias.data
+        return logits[-1]
+
+
+def generate(
+    model: GPT,
+    prompt: np.ndarray,
+    max_new_tokens: int,
+    temperature: float = 0.0,
+    kv_hook: Optional[Callable] = None,
+    compress_every: int = 0,
+    seed: int = 0,
+) -> Tuple[np.ndarray, KVCache]:
+    """Greedy/sampled generation; returns (full sequence, final cache).
+
+    With ``kv_hook`` + ``compress_every`` the cache is lossily
+    re-compressed on that stride, modelling a memory-bounded deployment
+    that stores the KV cache in LLM.265 form.
+    """
+    decoder = IncrementalDecoder(model, kv_hook=kv_hook, compress_every=compress_every)
+    rng = np.random.default_rng(seed)
+    tokens = list(np.asarray(prompt).reshape(-1))
+    logits = decoder.feed(np.array(tokens))
+    for _ in range(max_new_tokens):
+        if temperature <= 0.0:
+            next_token = int(np.argmax(logits))
+        else:
+            probs = _softmax(logits / temperature)
+            next_token = int(rng.choice(len(probs), p=probs))
+        tokens.append(next_token)
+        logits = decoder.feed(np.array([next_token]))
+    return np.array(tokens), decoder.cache

@@ -1,0 +1,176 @@
+"""Neural-network layers built on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.nn import autograd
+from repro.nn.autograd import Parameter, Tensor
+
+
+class Module:
+    """Base class: parameter discovery + state (de)serialisation."""
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, depth-first, deterministic order."""
+        found: List[Parameter] = []
+        for _, param in self.named_parameters():
+            found.append(param)
+        return found
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, value in sorted(vars(self).items()):
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(f"{full}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise ValueError(f"state mismatch: missing={missing} extra={extra}")
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{own[name].data.shape} vs {values.shape}"
+                )
+            own[name].data = values.astype(np.float64).copy()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def weight_matrices(self) -> Dict[str, np.ndarray]:
+        """The 2-D weights compression studies target (not embeddings)."""
+        return {
+            name: param.data
+            for name, param in self.named_parameters()
+            if param.data.ndim == 2 and "emb" not in name
+        }
+
+    def apply_weight_transform(self, transform) -> None:
+        """Replace each 2-D non-embedding weight with ``transform(name, w)``."""
+        for name, param in self.named_parameters():
+            if param.data.ndim == 2 and "emb" not in name:
+                param.data = np.asarray(
+                    transform(name, param.data), dtype=np.float64
+                )
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        scale = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(rng.normal(0.0, scale, (in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class LayerNorm(Module):
+    """Layer normalisation with learned affine."""
+
+    def __init__(self, dim: int) -> None:
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return autograd.layer_norm(x, self.gamma, self.beta)
+
+
+class Embedding(Module):
+    """Token (or position) embedding table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator) -> None:
+        self.weight = Parameter(rng.normal(0.0, 0.02, (num_embeddings, dim)))
+
+    def __call__(self, indices: np.ndarray) -> Tensor:
+        return autograd.embedding(self.weight, indices)
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal attention with optional KV-intervention hook.
+
+    ``kv_hook(k_data, v_data, layer_index)`` -- when set, receives the
+    raw key/value arrays (B, H, T, D) during the forward pass and
+    returns replacements.  This is the seam LLM.265 uses to compress
+    the KV cache: quantize/compress/decompress the arrays and attention
+    proceeds with the lossy cache (Section 4.2).
+    """
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, layer_index: int = 0) -> None:
+        if dim % num_heads != 0:
+            raise ValueError("dim must divide num_heads")
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.layer_index = layer_index
+        self.qkv = Linear(dim, 3 * dim, rng)
+        self.proj = Linear(dim, dim, rng)
+        self.kv_hook = None  # set externally for KV-cache experiments
+
+    def __call__(self, x: Tensor) -> Tensor:
+        batch, seq, dim = x.shape
+        qkv = self.qkv(x)  # (B, T, 3D)
+        qkv = qkv.reshape(batch, seq, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, B, H, T, Dh)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+
+        if self.kv_hook is not None:
+            k_new, v_new = self.kv_hook(k.data, v.data, self.layer_index)
+            k = Tensor(k_new)
+            v = Tensor(v_new)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale  # (B, H, T, T)
+        mask = np.triu(np.full((seq, seq), -1e9), k=1)
+        scores = scores + Tensor(mask)
+        attn = scores.softmax(axis=-1)
+        out = attn @ v  # (B, H, T, Dh)
+        out = out.transpose(0, 2, 1, 3).reshape(batch, seq, dim)
+        return self.proj(out)
+
+
+class MLP(Module):
+    """Transformer feed-forward block (GELU)."""
+
+    def __init__(self, dim: int, hidden: int, rng: np.random.Generator) -> None:
+        self.fc = Linear(dim, hidden, rng)
+        self.out = Linear(hidden, dim, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.out(self.fc(x).gelu())
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator, layer_index: int = 0) -> None:
+        self.ln1 = LayerNorm(dim)
+        self.attn = CausalSelfAttention(dim, num_heads, rng, layer_index)
+        self.ln2 = LayerNorm(dim)
+        self.mlp = MLP(dim, 4 * dim, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.ln1(x))
+        x = x + self.mlp(self.ln2(x))
+        return x

@@ -1,0 +1,8 @@
+"""Optimizers: SGD / Adam / LAMB plus the 1-bit compressed variants."""
+
+from repro.nn.optim.adam import Adam
+from repro.nn.optim.lamb import LAMB
+from repro.nn.optim.onebit import OneBitAdam, OneBitLAMB
+from repro.nn.optim.sgd import SGD
+
+__all__ = ["SGD", "Adam", "LAMB", "OneBitAdam", "OneBitLAMB"]

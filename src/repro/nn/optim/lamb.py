@@ -1,0 +1,55 @@
+"""LAMB optimizer (You et al.): layer-wise adaptive rates for large batches."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Parameter
+
+
+class LAMB:
+    """LAMB: Adam direction rescaled by the layer-wise trust ratio."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.step_count = 0
+        self._m: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+        self._v: List[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one LAMB update from the accumulated gradients."""
+        self.step_count += 1
+        bc1 = 1.0 - self.beta1**self.step_count
+        bc2 = 1.0 - self.beta2**self.step_count
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            self._m[index] = self.beta1 * self._m[index] + (1 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1 - self.beta2) * grad**2
+            m_hat = self._m[index] / bc1
+            v_hat = self._v[index] / bc2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            w_norm = float(np.linalg.norm(param.data))
+            u_norm = float(np.linalg.norm(update))
+            trust = w_norm / u_norm if w_norm > 0 and u_norm > 0 else 1.0
+            param.data -= self.lr * trust * update
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()

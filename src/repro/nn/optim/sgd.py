@@ -1,0 +1,40 @@
+"""Plain SGD with optional momentum."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent."""
+
+    def __init__(
+        self, params: Sequence[Parameter], lr: float = 0.01, momentum: float = 0.0
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[Optional[np.ndarray]] = [None] * len(self.params)
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for index, param in enumerate(self.params):
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.momentum:
+                if self._velocity[index] is None:
+                    self._velocity[index] = np.zeros_like(param.data)
+                self._velocity[index] = (
+                    self.momentum * self._velocity[index] + update
+                )
+                update = self._velocity[index]
+            param.data -= self.lr * update
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()

@@ -1,0 +1,119 @@
+"""GPT-style transformer: the stand-in for LLaMA / Pythia / T5 decoders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn import autograd
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module, TransformerBlock
+
+
+@dataclass(frozen=True)
+class GPTConfig:
+    """Model hyper-parameters."""
+
+    vocab_size: int = 128
+    max_seq_len: int = 128
+    dim: int = 64
+    num_heads: int = 4
+    num_layers: int = 4
+    name: str = "gpt"
+
+
+class GPT(Module):
+    """Decoder-only transformer with weight access for compression studies."""
+
+    def __init__(self, config: GPTConfig, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.tok_emb = Embedding(config.vocab_size, config.dim, rng)
+        self.pos_emb = Embedding(config.max_seq_len, config.dim, rng)
+        self.blocks = [
+            TransformerBlock(config.dim, config.num_heads, rng, layer_index=i)
+            for i in range(config.num_layers)
+        ]
+        self.ln_f = LayerNorm(config.dim)
+        self.head = Linear(config.dim, config.vocab_size, rng)
+        #: inference-time activation interventions: {block_index: fn},
+        #: applied to the block's output array.  This is the seam the
+        #: Section 4.2 experiments use to compress activations crossing
+        #: pipeline-stage boundaries (forward pass only; the training
+        #: path uses repro.distributed.pipeline instead).
+        self.activation_hooks = {}
+
+    # -- forward -----------------------------------------------------------
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Logits of shape (batch, seq, vocab)."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        batch, seq = tokens.shape
+        if seq > self.config.max_seq_len:
+            raise ValueError(f"sequence length {seq} exceeds model maximum")
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        x = self.tok_emb(tokens) + self.pos_emb(positions)
+        for index, block in enumerate(self.blocks):
+            x = block(x)
+            hook = self.activation_hooks.get(index)
+            if hook is not None:
+                x = Tensor(hook(x.data))
+        return self.head(self.ln_f(x))
+
+    __call__ = forward
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean next-token cross-entropy (targets may use -100 padding)."""
+        return autograd.cross_entropy(self.forward(tokens), targets)
+
+    # -- inference utilities ---------------------------------------------
+
+    def sequence_logprob(self, tokens: np.ndarray, start: int = 1) -> float:
+        """Total log-probability of ``tokens[start:]`` given the prefix."""
+        tokens = np.asarray(tokens)
+        with no_grad():
+            logits = self.forward(tokens[None, :]).data[0]
+        shifted = logits[:-1]
+        shifted = shifted - shifted.max(axis=-1, keepdims=True)
+        logprobs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        targets = tokens[1:]
+        picked = logprobs[np.arange(len(targets)), targets]
+        return float(picked[start - 1 :].sum())
+
+    def perplexity(self, tokens: np.ndarray, batch_size: int = 8) -> float:
+        """Perplexity over (num_sequences, seq_len) token arrays."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim == 1:
+            tokens = tokens[None, :]
+        total_nll = 0.0
+        total_count = 0
+        with no_grad():
+            for begin in range(0, len(tokens), batch_size):
+                chunk = tokens[begin : begin + batch_size]
+                logits = self.forward(chunk).data
+                shifted = logits[:, :-1]
+                shifted = shifted - shifted.max(axis=-1, keepdims=True)
+                logprobs = shifted - np.log(
+                    np.exp(shifted).sum(axis=-1, keepdims=True)
+                )
+                targets = chunk[:, 1:]
+                rows, cols = np.indices(targets.shape)
+                total_nll -= float(logprobs[rows, cols, targets].sum())
+                total_count += targets.size
+        return float(np.exp(total_nll / max(1, total_count)))
+
+    # -- compression seams (weight_matrices / apply_weight_transform are
+    # inherited from Module) -----------------------------------------------
+
+    def set_kv_hook(self, hook: Optional[Callable]) -> None:
+        """Install a KV-cache intervention on every attention layer."""
+        for block in self.blocks:
+            block.attn.kv_hook = hook
+
+    def layer_output_hooks(self) -> List[TransformerBlock]:
+        """Blocks, exposed for pipeline-stage slicing."""
+        return self.blocks

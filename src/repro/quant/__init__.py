@@ -1,0 +1,42 @@
+"""Quantization baselines the paper compares LLM.265 against.
+
+- :mod:`repro.quant.rtn` -- round-to-nearest, symmetric/asymmetric,
+  optional group-wise scaling (the "RTN" and "-128G" baselines).
+- :mod:`repro.quant.gptq` -- GPTQ: Hessian-guided post-training
+  quantization with error compensation.
+- :mod:`repro.quant.awq` -- AWQ: activation-aware per-channel scaling.
+- :mod:`repro.quant.rotation` -- Hadamard-rotation quantization
+  (QuaRot / SpinQuant family).
+- :mod:`repro.quant.nf4` -- NormalFloat quantile codebooks.
+- :mod:`repro.quant.mxfp` -- MX micro-scaling float formats (MXFP4/6/8).
+- :mod:`repro.quant.kvcache` -- KV-cache quantizers and hooks.
+"""
+
+from repro.quant.awq import awq_quantize
+from repro.quant.gptq import gptq_quantize
+from repro.quant.kvcache import codec_kv_hook, quantize_kv, rotation_kv_hook, rtn_kv_hook
+from repro.quant.mxfp import MXFP_FORMATS, mx_bits_per_value, mx_pack_bytes, mx_roundtrip
+from repro.quant.nf4 import nf_quantize, normalfloat_codebook
+from repro.quant.rotation import hadamard_matrix, incoherence, rotate_quantize
+from repro.quant.rtn import rtn_dequantize, rtn_quantize, rtn_roundtrip
+
+__all__ = [
+    "rtn_quantize",
+    "rtn_dequantize",
+    "rtn_roundtrip",
+    "gptq_quantize",
+    "awq_quantize",
+    "rotate_quantize",
+    "hadamard_matrix",
+    "incoherence",
+    "nf_quantize",
+    "normalfloat_codebook",
+    "mx_roundtrip",
+    "mx_pack_bytes",
+    "mx_bits_per_value",
+    "MXFP_FORMATS",
+    "quantize_kv",
+    "rtn_kv_hook",
+    "rotation_kv_hook",
+    "codec_kv_hook",
+]

@@ -1,0 +1,81 @@
+"""Calibration-data collection for GPTQ / AWQ.
+
+Both baselines need the activations flowing *into* each linear layer.
+:func:`collect_linear_inputs` temporarily instruments every
+:class:`~repro.nn.layers.Linear` in a model, runs calibration batches,
+and returns per-parameter input matrices -- the WikiText-2 calibration
+pass of the original methods, on our synthetic corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import Linear, Module
+
+
+def collect_linear_inputs(
+    model: Module,
+    batches: Sequence[np.ndarray],
+    forward=None,
+    max_rows: int = 2048,
+) -> Dict[str, np.ndarray]:
+    """Run calibration batches and capture each Linear's input rows.
+
+    Returns ``{"<linear>.weight": X}`` with ``X`` of shape
+    ``(rows, in_features)``, keyed to match ``named_parameters``.
+    ``forward`` defaults to calling the model on each batch.
+    """
+    forward = forward or (lambda tokens: model.forward(tokens))
+    linears: Dict[int, str] = {}
+    for name, _ in model.named_parameters():
+        if name.endswith(".weight"):
+            linears[name[: -len(".weight")]] = name
+
+    # Map Linear objects to their parameter names via attribute walk.
+    owners: Dict[int, str] = {}
+
+    def walk(module: Module, prefix: str) -> None:
+        for attr, value in sorted(vars(module).items()):
+            full = f"{prefix}{attr}"
+            if isinstance(value, Linear):
+                owners[id(value)] = f"{full}.weight"
+            elif isinstance(value, Module):
+                walk(value, f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        walk(item, f"{full}.{index}.")
+
+    walk(model, "")
+
+    captured: Dict[str, List[np.ndarray]] = {name: [] for name in owners.values()}
+    original_call = Linear.__call__
+
+    def recording_call(self, x: Tensor) -> Tensor:
+        name = owners.get(id(self))
+        if name is not None:
+            rows = x.data.reshape(-1, x.data.shape[-1])
+            captured[name].append(rows.copy())
+        return original_call(self, x)
+
+    Linear.__call__ = recording_call
+    try:
+        with no_grad():
+            for batch in batches:
+                forward(np.asarray(batch))
+    finally:
+        Linear.__call__ = original_call
+
+    out: Dict[str, np.ndarray] = {}
+    for name, chunks in captured.items():
+        if chunks:
+            stacked = np.concatenate(chunks, axis=0)
+            if stacked.shape[0] > max_rows:
+                stride = stacked.shape[0] // max_rows
+                stacked = stacked[::stride][:max_rows]
+            out[name] = stacked
+    return out

@@ -1,0 +1,72 @@
+"""KV-cache quantizers: per-head asymmetric dynamic quantization.
+
+The Figure 8 baselines ("KV3"/"KV4") quantize the key/value cache with
+asymmetric min-max dynamic quantization per head; the LLM.265 path
+routes the same tensors through the video codec instead.  Both are
+exposed as KV hooks compatible with
+:meth:`repro.nn.transformer.GPT.set_kv_hook`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.quant.rotation import rotate_quantize
+from repro.quant.rtn import rtn_roundtrip
+
+
+def quantize_kv(cache: np.ndarray, bits: int, group_size: int = 128) -> np.ndarray:
+    """Asymmetric min-max dynamic quantization of a KV tensor."""
+    return rtn_roundtrip(cache, bits, symmetric=False, group_size=group_size)
+
+
+def rtn_kv_hook(bits: int, group_size: int = 128) -> Callable:
+    """KV hook applying per-group asymmetric RTN to keys and values."""
+
+    def hook(k: np.ndarray, v: np.ndarray, layer_index: int):
+        return (
+            quantize_kv(k, bits, group_size),
+            quantize_kv(v, bits, group_size),
+        )
+
+    return hook
+
+
+def rotation_kv_hook(bits: int, seed: int = 0, group_size: int = 128) -> Callable:
+    """KV hook in the QuaRot/SpinQuant style: rotate, quantize, unrotate."""
+
+    def hook(k: np.ndarray, v: np.ndarray, layer_index: int):
+        return (
+            rotate_quantize(k, bits, seed=seed + layer_index, group_size=group_size),
+            rotate_quantize(v, bits, seed=seed + layer_index + 1000, group_size=group_size),
+        )
+
+    return hook
+
+
+def codec_kv_hook(codec, bits_per_value: float, qp_cache: Optional[dict] = None) -> Callable:
+    """KV hook routing the cache through the LLM.265 tensor codec.
+
+    ``qp_cache`` (optional dict) memoises the QP found for each layer's
+    first call so later calls skip the bitrate search -- the same trick
+    the throughput path uses on real NVENC sessions.
+    """
+    qp_cache = qp_cache if qp_cache is not None else {}
+
+    def compress(tensor: np.ndarray, key) -> np.ndarray:
+        if key in qp_cache:
+            compressed = codec.encode(tensor, qp=qp_cache[key])
+        else:
+            compressed = codec.encode(tensor, bits_per_value=bits_per_value)
+            qp_cache[key] = compressed.qp
+        return codec.decode(compressed).astype(np.float64)
+
+    def hook(k: np.ndarray, v: np.ndarray, layer_index: int):
+        return (
+            compress(k, ("k", layer_index, k.shape)),
+            compress(v, ("v", layer_index, v.shape)),
+        )
+
+    return hook

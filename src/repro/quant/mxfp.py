@@ -1,0 +1,142 @@
+"""MX micro-scaling floating-point formats (OCP MX spec; Rouhani et al.).
+
+A block of 32 values shares one power-of-two scale (E8M0); each element
+is a tiny float (FP4 E2M1 / FP6 E2M3 / FP8 E4M3).  These are the
+"custom numeric format" half of the Figure 14 baseline grid: convert to
+MXFP, then feed the packed bytes to a general compressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ElementFormat:
+    """A miniature IEEE-style float: sign + exponent + mantissa bits."""
+
+    name: str
+    exponent_bits: int
+    mantissa_bits: int
+
+    @property
+    def bits(self) -> int:
+        return 1 + self.exponent_bits + self.mantissa_bits
+
+    @property
+    def bias(self) -> int:
+        return 2 ** (self.exponent_bits - 1) - 1
+
+    @property
+    def max_value(self) -> float:
+        max_exp = 2**self.exponent_bits - 1 - self.bias  # no inf/nan reserved
+        return float(2.0**max_exp * (2.0 - 2.0**-self.mantissa_bits))
+
+    def grid(self) -> np.ndarray:
+        """Every non-negative representable value, sorted ascending."""
+        values = [0.0]
+        for exp_code in range(2**self.exponent_bits):
+            for mant in range(2**self.mantissa_bits):
+                if exp_code == 0:  # subnormals
+                    value = (mant / 2**self.mantissa_bits) * 2.0 ** (1 - self.bias)
+                else:
+                    value = (1.0 + mant / 2**self.mantissa_bits) * 2.0 ** (
+                        exp_code - self.bias
+                    )
+                values.append(value)
+        return np.unique(np.array(values))
+
+
+FP4_E2M1 = ElementFormat("fp4_e2m1", 2, 1)
+FP6_E2M3 = ElementFormat("fp6_e2m3", 2, 3)
+FP6_E3M2 = ElementFormat("fp6_e3m2", 3, 2)
+FP8_E4M3 = ElementFormat("fp8_e4m3", 4, 3)
+
+MXFP_FORMATS: Dict[str, ElementFormat] = {
+    "mxfp4": FP4_E2M1,
+    "mxfp6": FP6_E2M3,
+    "mxfp8": FP8_E4M3,
+}
+
+MX_BLOCK = 32
+_SCALE_BITS = 8  # shared E8M0 scale per block
+
+
+def _snap_to_grid(values: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Round each magnitude to the nearest grid point."""
+    idx = np.searchsorted(grid, values)
+    idx = np.clip(idx, 1, len(grid) - 1)
+    left = grid[idx - 1]
+    right = grid[idx]
+    return np.where(values - left > right - values, right, left)
+
+
+def mx_quantize(
+    values: np.ndarray, fmt: ElementFormat, block: int = MX_BLOCK
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize to an MX format; returns (restored, shared_exponents)."""
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.reshape(-1)
+    pad = (-flat.size) % block
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad)])
+    blocks = flat.reshape(-1, block)
+    absmax = np.max(np.abs(blocks), axis=1, keepdims=True)
+    # Shared scale: power of two placing the block max at the format max.
+    with np.errstate(divide="ignore"):
+        exponents = np.floor(np.log2(absmax / fmt.max_value))
+    exponents = np.where(np.isfinite(exponents), exponents, 0.0)
+    scale = 2.0**exponents
+    grid = fmt.grid()
+    magnitudes = np.abs(blocks) / scale
+    snapped = _snap_to_grid(np.minimum(magnitudes, fmt.max_value), grid)
+    restored = np.sign(blocks) * snapped * scale
+    out = restored.reshape(-1)[: values.size].reshape(values.shape)
+    return out, exponents.reshape(-1)
+
+
+def mx_roundtrip(values: np.ndarray, fmt_name: str = "mxfp4") -> np.ndarray:
+    """Quantize-dequantize with a named MX format."""
+    return mx_quantize(values, MXFP_FORMATS[fmt_name])[0]
+
+
+def mx_bits_per_value(fmt: ElementFormat, block: int = MX_BLOCK) -> float:
+    """Element bits plus the amortised shared-scale overhead."""
+    return fmt.bits + _SCALE_BITS / block
+
+
+def mx_pack_bytes(values: np.ndarray, fmt: ElementFormat, block: int = MX_BLOCK) -> bytes:
+    """Pack an MX-quantized tensor into bytes for downstream compressors.
+
+    The packing stores, per block, the shared exponent byte followed by
+    one byte per element (code index into the signed grid).  This is a
+    byte-aligned stand-in for the dense bit packing real hardware uses;
+    byte alignment is what lets Huffman/LZ4/CABAC baselines consume it.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    flat = values.reshape(-1)
+    pad = (-flat.size) % block
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad)])
+    blocks = flat.reshape(-1, block)
+    absmax = np.max(np.abs(blocks), axis=1, keepdims=True)
+    with np.errstate(divide="ignore"):
+        exponents = np.floor(np.log2(absmax / fmt.max_value))
+    exponents = np.where(np.isfinite(exponents), exponents, 0.0)
+    scale = 2.0**exponents
+    grid = fmt.grid()
+    signed_grid = np.concatenate([-grid[::-1][:-1], grid])  # symmetric codes
+    magnitudes = blocks / scale
+    idx = np.searchsorted(signed_grid, magnitudes)
+    idx = np.clip(idx, 1, len(signed_grid) - 1)
+    left = signed_grid[idx - 1]
+    right = signed_grid[idx]
+    codes = np.where(magnitudes - left > right - magnitudes, idx, idx - 1)
+    out = bytearray()
+    for block_codes, exponent in zip(codes.astype(np.uint8), exponents.reshape(-1)):
+        out.append(int(exponent) & 0xFF)
+        out.extend(block_codes.tobytes())
+    return bytes(out)

@@ -1,0 +1,52 @@
+"""NormalFloat quantization (QLoRA's NF4 and the general NF-k family).
+
+The codebook places quantile centres of the standard normal so every
+code is used equally often on Gaussian data; values are scaled by the
+per-block absmax before lookup.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def normalfloat_codebook(bits: int = 4) -> np.ndarray:
+    """Symmetric quantile codebook in [-1, 1] with 2**bits entries."""
+    if not 2 <= bits <= 8:
+        raise ValueError("bits must be in 2..8")
+    from scipy.stats import norm  # offline SciPy is available
+
+    count = 2**bits
+    # Evenly spaced quantiles, avoiding the infinite tails, split so that
+    # zero is exactly representable (as in the QLoRA construction).
+    half = count // 2
+    neg = norm.ppf(np.linspace(0.03, 0.5, half, endpoint=False))
+    pos = norm.ppf(np.linspace(0.5, 0.97, count - half, endpoint=True))
+    levels = np.concatenate([neg, pos])
+    levels[half] = 0.0
+    return np.sort(levels / np.max(np.abs(levels)))
+
+
+def nf_quantize(values: np.ndarray, bits: int = 4, block_size: int = 64) -> np.ndarray:
+    """Quantize-dequantize with the NormalFloat codebook (blockwise absmax)."""
+    values = np.asarray(values, dtype=np.float64)
+    codebook = normalfloat_codebook(bits)
+    flat = values.reshape(-1)
+    pad = (-flat.size) % block_size
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad)])
+    blocks = flat.reshape(-1, block_size)
+    absmax = np.max(np.abs(blocks), axis=1, keepdims=True)
+    absmax = np.where(absmax > 0, absmax, 1.0)
+    normalised = blocks / absmax
+    indices = np.searchsorted(codebook, normalised)
+    indices = np.clip(indices, 1, len(codebook) - 1)
+    left = codebook[indices - 1]
+    right = codebook[indices]
+    pick_right = (normalised - left) > (right - normalised)
+    snapped = np.where(pick_right, right, left)
+    restored = (snapped * absmax).reshape(-1)[: values.size]
+    return restored.reshape(values.shape)

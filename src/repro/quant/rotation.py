@@ -1,0 +1,67 @@
+"""Rotation-based quantization (the QuaRot / SpinQuant family).
+
+A random orthogonal (Hadamard) rotation spreads outlier energy across
+all channels, making the rotated tensor nearly Gaussian and hence easy
+to quantize; the inverse rotation is applied after dequantization.
+Used as the activation/KV baseline in Figure 8.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.rtn import rtn_roundtrip
+
+
+@lru_cache(maxsize=None)
+def hadamard_matrix(n: int) -> np.ndarray:
+    """Sylvester Hadamard matrix of size ``n`` (power of two), normalised."""
+    if n < 1 or n & (n - 1):
+        raise ValueError("Hadamard size must be a power of two")
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h / np.sqrt(n)
+
+
+def randomized_hadamard(n: int, seed: int = 0) -> np.ndarray:
+    """Hadamard with random sign flips: a cheap random rotation."""
+    rng = np.random.default_rng(seed)
+    signs = rng.choice([-1.0, 1.0], size=n)
+    return hadamard_matrix(n) * signs[None, :]
+
+
+def rotate_quantize(
+    values: np.ndarray,
+    bits: int,
+    seed: int = 0,
+    group_size: Optional[int] = None,
+    symmetric: bool = False,
+) -> np.ndarray:
+    """Quantize in the rotated domain; returns the dequantized tensor.
+
+    The rotation acts on the last axis.  Non-power-of-two dims are
+    zero-padded for the rotation and cropped afterwards.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    dim = values.shape[-1]
+    padded = 1 << (dim - 1).bit_length()
+    rotation = randomized_hadamard(padded, seed)
+    flat = values.reshape(-1, dim)
+    if padded != dim:
+        flat = np.pad(flat, ((0, 0), (0, padded - dim)))
+    rotated = flat @ rotation.T
+    restored = rtn_roundtrip(rotated, bits, symmetric=symmetric, group_size=group_size)
+    back = restored @ rotation
+    return back[:, :dim].reshape(values.shape)
+
+
+def incoherence(values: np.ndarray) -> float:
+    """max|x| / (std * sqrt(2 log n)): ~1 for Gaussian, >>1 with outliers."""
+    flat = np.asarray(values, dtype=np.float64).reshape(-1)
+    std = float(np.std(flat)) or 1.0
+    n = max(2, flat.size)
+    return float(np.max(np.abs(flat)) / (std * np.sqrt(2.0 * np.log(n))))

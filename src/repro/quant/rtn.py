@@ -1,0 +1,104 @@
+"""Round-to-nearest (RTN) quantization, the vanilla baseline.
+
+Implements the paper's Section 2.1 definition with both symmetric
+(absmax) and asymmetric (min-max) grids and optional group-wise
+scaling along the last axis ("128G" style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class RTNQuantized:
+    """Integer codes plus the affine grid(s) that produced them."""
+
+    codes: np.ndarray
+    scale: np.ndarray
+    zero: np.ndarray
+    bits: int
+    symmetric: bool
+    group_size: Optional[int]
+    shape: Tuple[int, ...]
+
+    @property
+    def bits_per_value(self) -> float:
+        """Code bits plus amortised scale/zero-point overhead (FP16 each)."""
+        num = int(np.prod(self.shape))
+        overhead = 16.0 * self.scale.size
+        if not self.symmetric:
+            overhead += 16.0 * self.zero.size
+        return self.bits + overhead / max(1, num)
+
+
+def _grouped(values: np.ndarray, group_size: Optional[int]) -> np.ndarray:
+    """Reshape so the last axis is one quantization group."""
+    flat = values.reshape(-1)
+    if group_size is None:
+        return flat.reshape(1, -1)
+    if flat.size % group_size != 0:
+        pad = group_size - flat.size % group_size
+        flat = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)])
+    return flat.reshape(-1, group_size)
+
+
+def rtn_quantize(
+    values: np.ndarray,
+    bits: int,
+    symmetric: bool = True,
+    group_size: Optional[int] = None,
+) -> RTNQuantized:
+    """Quantize to ``bits``-bit integers with RTN rounding."""
+    if not 1 <= bits <= 16:
+        raise ValueError("bits must be in 1..16")
+    values = np.asarray(values, dtype=np.float64)
+    groups = _grouped(values, group_size)
+
+    if symmetric:
+        qmax = float(2 ** (bits - 1) - 1) if bits > 1 else 1.0
+        absmax = np.max(np.abs(groups), axis=1, keepdims=True)
+        scale = np.where(absmax > 0, absmax / qmax, 1.0)
+        codes = np.clip(np.rint(groups / scale), -qmax - (bits > 1), qmax)
+        zero = np.zeros_like(scale)
+    else:
+        levels = float(2**bits - 1)
+        lo = np.min(groups, axis=1, keepdims=True)
+        hi = np.max(groups, axis=1, keepdims=True)
+        span = hi - lo
+        scale = np.where(span > 0, span / levels, 1.0)
+        zero = lo
+        codes = np.clip(np.rint((groups - zero) / scale), 0, levels)
+
+    return RTNQuantized(
+        codes=codes.astype(np.int32),
+        scale=scale.astype(np.float64),
+        zero=zero.astype(np.float64),
+        bits=bits,
+        symmetric=symmetric,
+        group_size=group_size,
+        shape=tuple(values.shape),
+    )
+
+
+def rtn_dequantize(quantized: RTNQuantized) -> np.ndarray:
+    """Reconstruct float values from :class:`RTNQuantized`."""
+    if quantized.symmetric:
+        groups = quantized.codes * quantized.scale
+    else:
+        groups = quantized.codes * quantized.scale + quantized.zero
+    flat = groups.reshape(-1)[: int(np.prod(quantized.shape))]
+    return flat.reshape(quantized.shape)
+
+
+def rtn_roundtrip(
+    values: np.ndarray,
+    bits: int,
+    symmetric: bool = True,
+    group_size: Optional[int] = None,
+) -> np.ndarray:
+    """Quantize-dequantize in one call (what most callers want)."""
+    return rtn_dequantize(rtn_quantize(values, bits, symmetric, group_size))

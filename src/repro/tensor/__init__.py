@@ -1,0 +1,28 @@
+"""LLM.265 tensor codec: tensors in, video bitstreams out.
+
+- :mod:`repro.tensor.precision` -- FP tensors <-> 8-bit frames (the
+  conversion NVENC requires).
+- :mod:`repro.tensor.frames` -- chunking tensors into frame tiles.
+- :mod:`repro.tensor.codec` -- the public :class:`TensorCodec` API with
+  QP / bitrate / MSE targeting at fractional bitrates.
+- :mod:`repro.tensor.allocation` -- variable per-layer bit-width search
+  (the ``B = k*l + b`` scheme of Section 4.1).
+- :mod:`repro.tensor.residual` -- residual-compensated gradient
+  compression (the two-stage scheme of Section 5.1).
+- :mod:`repro.tensor.checkpoint` -- whole state dicts stored at
+  fractional bit-widths.
+"""
+
+from repro.tensor.checkpoint import load_checkpoint, save_checkpoint
+from repro.tensor.codec import CompressedTensor, TensorCodec
+from repro.tensor.precision import QuantizationGrid, dequantize_from_uint8, quantize_to_uint8
+
+__all__ = [
+    "TensorCodec",
+    "CompressedTensor",
+    "QuantizationGrid",
+    "quantize_to_uint8",
+    "dequantize_from_uint8",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,89 @@
+"""Data-type alignment unit (Section 7, Figure 13(a)).
+
+The three-in-one codec front-ends the shared pipeline with a hardware
+block that converts arbitrary floating-point inputs to the codec's
+8-bit samples, including *micro-scaling* support: one shared
+power-of-two exponent per 32-value block, so a block of tiny values
+keeps full sample resolution even when another block holds outliers.
+
+Functionally this is an alternative to the per-frame min-max mapping:
+
+- ``minmax``: one affine grid per frame (the paper's default path);
+- ``mx``: per-32-block E8M0 exponents + fixed [-1, 1) sample grid,
+  with the exponent plane entropy-coded as side information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.codec.entropy.bytecoder import byte_arith_decode, byte_arith_encode
+
+MX_BLOCK = 32
+_SAMPLE_SCALE = 127.5  # [-1, 1) mapped onto 0..255
+
+
+@dataclass
+class MXAlignment:
+    """Per-block exponents plus the encoded side-information size."""
+
+    exponents: np.ndarray  # int8 per block
+    original_size: int
+    side_info: bytes
+
+    @property
+    def side_bits_per_value(self) -> float:
+        return 8.0 * len(self.side_info) / max(1, self.original_size)
+
+
+def mx_align(values: np.ndarray, block: int = MX_BLOCK) -> Tuple[np.ndarray, MXAlignment]:
+    """Map floats to 8-bit codes with shared per-block exponents."""
+    values = np.asarray(values, dtype=np.float64)
+    if not np.isfinite(values).all():
+        raise ValueError("tensor contains NaN/inf; refuse to align")
+    flat = values.reshape(-1)
+    pad = (-flat.size) % block
+    if pad:
+        flat = np.concatenate([flat, np.zeros(pad)])
+    blocks = flat.reshape(-1, block)
+    absmax = np.max(np.abs(blocks), axis=1)
+    with np.errstate(divide="ignore"):
+        exponents = np.where(absmax > 0, np.ceil(np.log2(absmax / 0.999)), -127.0)
+    exponents = np.clip(exponents, -127, 127).astype(np.int8)
+    scale = 2.0 ** exponents.astype(np.float64)
+    normalised = blocks / scale[:, None]  # in [-1, 1]
+    codes = np.clip(
+        np.rint(normalised * _SAMPLE_SCALE + _SAMPLE_SCALE), 0, 255
+    ).astype(np.uint8)
+    side_info = byte_arith_encode((exponents.astype(np.int16) + 128).astype(np.uint8).tobytes())
+    alignment = MXAlignment(
+        exponents=exponents, original_size=values.size, side_info=side_info
+    )
+    return codes.reshape(-1)[: flat.size].reshape(-1), alignment
+
+
+def mx_unalign(
+    codes: np.ndarray, alignment: MXAlignment, shape: Tuple[int, ...], block: int = MX_BLOCK
+) -> np.ndarray:
+    """Inverse of :func:`mx_align` (uses the stored exponent plane)."""
+    raw = byte_arith_decode(alignment.side_info)
+    exponents = np.frombuffer(raw, dtype=np.uint8).astype(np.int16) - 128
+    scale = 2.0 ** exponents.astype(np.float64)
+    flat = codes.astype(np.float64).reshape(-1)
+    pad = (-flat.size) % block
+    if pad:
+        flat = np.concatenate([flat, np.full(pad, _SAMPLE_SCALE)])
+    blocks = (flat.reshape(-1, block) - _SAMPLE_SCALE) / _SAMPLE_SCALE
+    restored = blocks * scale[: blocks.shape[0], None]
+    return restored.reshape(-1)[: alignment.original_size].reshape(shape)
+
+
+def alignment_mse_bound(block_values: np.ndarray) -> float:
+    """Worst-case rounding MSE of the MX sample grid for one block."""
+    absmax = float(np.max(np.abs(block_values))) or 1.0
+    exponent = np.ceil(np.log2(absmax / 0.999))
+    step = 2.0**exponent / _SAMPLE_SCALE
+    return step**2 / 12.0

@@ -1,0 +1,136 @@
+"""Variable per-layer bit allocation (Section 4.1, footnote 2).
+
+In variable-bit-width mode the per-layer budget is ``B_l = k*l + b``:
+``l`` is the layer index, ``k`` a searched slope, and ``b`` chosen so
+the average matches the user's budget.  The search evaluates a small
+``k`` grid with a caller-supplied loss (defaulting to total relative
+reconstruction error) and keeps the best slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.tensor.codec import CompressedTensor, TensorCodec
+
+_MIN_BITS = 0.4  # below this the codec degenerates; clamp and renormalise
+
+
+def linear_schedule(num_layers: int, avg_bits: float, k: float) -> List[float]:
+    """Per-layer budgets ``k*l + b`` hitting ``avg_bits`` on average."""
+    if num_layers < 1:
+        raise ValueError("need at least one layer")
+    indices = np.arange(num_layers, dtype=np.float64)
+    b = avg_bits - k * float(indices.mean())
+    budgets = k * indices + b
+    budgets = np.maximum(budgets, _MIN_BITS)
+    # Clamping shifts the mean; rescale the slack above the floor.
+    excess = budgets - _MIN_BITS
+    target_excess = max(0.0, avg_bits - _MIN_BITS) * num_layers
+    if excess.sum() > 0:
+        budgets = _MIN_BITS + excess * (target_excess / excess.sum())
+    return budgets.tolist()
+
+
+def relative_error_loss(
+    originals: Sequence[np.ndarray], restored: Sequence[np.ndarray]
+) -> float:
+    """Sum of per-layer MSE normalised by layer variance."""
+    total = 0.0
+    for orig, rest in zip(originals, restored):
+        var = float(np.var(orig)) or 1.0
+        total += float(np.mean((orig - rest) ** 2)) / var
+    return total
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of a variable-bit-width search."""
+
+    k: float
+    budgets: List[float]
+    compressed: List[CompressedTensor]
+    loss: float
+
+    @property
+    def average_bits(self) -> float:
+        total_bits = sum(c.nbytes * 8 for c in self.compressed)
+        total_values = sum(c.num_values for c in self.compressed)
+        return total_bits / max(1, total_values)
+
+
+def compress_with_schedule(
+    codec: TensorCodec, layers: Sequence[np.ndarray], budgets: Sequence[float]
+) -> List[CompressedTensor]:
+    """Compress each layer at its own fractional bit budget."""
+    if len(layers) != len(budgets):
+        raise ValueError("one budget per layer required")
+    return [
+        codec.encode(layer, bits_per_value=budget)
+        for layer, budget in zip(layers, budgets)
+    ]
+
+
+def search_allocation(
+    codec: TensorCodec,
+    layers: Sequence[np.ndarray],
+    avg_bits: float,
+    k_grid: Sequence[float] = (-0.08, -0.04, 0.0, 0.04, 0.08),
+    loss_fn: Optional[Callable[[Sequence[np.ndarray], Sequence[np.ndarray]], float]] = None,
+) -> AllocationResult:
+    """Search the slope ``k`` that minimises the reconstruction loss."""
+    loss_fn = loss_fn or relative_error_loss
+    best: Optional[AllocationResult] = None
+    for k in k_grid:
+        budgets = linear_schedule(len(layers), avg_bits, k)
+        compressed = compress_with_schedule(codec, layers, budgets)
+        restored = [codec.decode(c) for c in compressed]
+        loss = loss_fn(layers, restored)
+        candidate = AllocationResult(k=k, budgets=budgets, compressed=compressed, loss=loss)
+        if best is None or candidate.loss < best.loss:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def sensitivity_schedule(
+    codec: TensorCodec,
+    layers: Sequence[np.ndarray],
+    avg_bits: float,
+    probe_bits: Sequence[float] = (1.5, 3.0),
+    floor: float = _MIN_BITS,
+) -> List[float]:
+    """Per-layer budgets from measured rate-distortion slopes (extension).
+
+    The paper's ``B = k*l + b`` assumes difficulty varies linearly with
+    depth.  This water-filling variant measures it instead: each layer
+    is probed at two rates; the layer's relative-error *slope* between
+    them estimates how much it gains per extra bit, and the global
+    budget is split proportionally to those gains (floored and
+    renormalised like :func:`linear_schedule`).
+    """
+    if len(probe_bits) != 2 or probe_bits[0] >= probe_bits[1]:
+        raise ValueError("probe_bits must be (low, high) with low < high")
+    low, high = probe_bits
+    gains = []
+    for layer in layers:
+        var = float(np.var(layer)) or 1.0
+        errs = []
+        for bits in (low, high):
+            compressed = codec.encode(layer, bits_per_value=bits)
+            restored = codec.decode(compressed)
+            errs.append(float(np.mean((restored - layer) ** 2)) / var)
+        # Error improvement per bit; tiny floor keeps degenerate layers sane.
+        gains.append(max(1e-9, (errs[0] - errs[1]) / (high - low)))
+    weights = np.sqrt(np.asarray(gains))
+    weights = weights / weights.sum() * len(layers)
+    budgets = np.maximum(avg_bits * weights, floor)
+    # Renormalise the mass above the floor to restore the average.
+    excess = budgets - floor
+    target_excess = max(0.0, avg_bits - floor) * len(layers)
+    if excess.sum() > 0:
+        budgets = floor + excess * (target_excess / excess.sum())
+    return budgets.tolist()

@@ -1,0 +1,97 @@
+"""Chunking tensors into video frames and back.
+
+NVENC/NVDEC cap frame dimensions (4K/8K depending on codec, Table 2),
+so a large weight matrix becomes several frames: the tensor is viewed
+as 2-D (leading axes flattened) and tiled.  Layer stacks can map the
+layer index to the temporal axis, which is how the paper probes
+inter-frame prediction (and finds it does not help).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TileLayout:
+    """How a 2-D view of a tensor was cut into frame tiles."""
+
+    shape: Tuple[int, ...]  # original tensor shape
+    rows: int  # 2-D view height
+    cols: int  # 2-D view width
+    tile: int  # tile edge length
+
+    @property
+    def grid(self) -> Tuple[int, int]:
+        """Tile grid dimensions (tiles_down, tiles_across)."""
+        down = (self.rows + self.tile - 1) // self.tile
+        across = (self.cols + self.tile - 1) // self.tile
+        return down, across
+
+    @property
+    def num_tiles(self) -> int:
+        down, across = self.grid
+        return down * across
+
+    def tile_box(self, index: int) -> Tuple[int, int, int, int]:
+        """(y0, x0, height, width) of tile ``index`` in raster order."""
+        down, across = self.grid
+        if not 0 <= index < down * across:
+            raise IndexError(f"tile index {index} out of range")
+        ty, tx = divmod(index, across)
+        y0 = ty * self.tile
+        x0 = tx * self.tile
+        return (
+            y0,
+            x0,
+            min(self.tile, self.rows - y0),
+            min(self.tile, self.cols - x0),
+        )
+
+
+def as_2d(tensor: np.ndarray) -> np.ndarray:
+    """View any tensor as 2-D: flatten leading axes, keep the last."""
+    array = np.asarray(tensor)
+    if array.ndim == 0:
+        return array.reshape(1, 1)
+    if array.ndim == 1:
+        return array.reshape(1, -1)
+    return array.reshape(-1, array.shape[-1])
+
+
+def split_tiles(tensor: np.ndarray, tile: int) -> Tuple[List[np.ndarray], TileLayout]:
+    """Cut a tensor into frame tiles of at most ``tile`` x ``tile``."""
+    if tile < 8:
+        raise ValueError("tile edge must be at least 8")
+    flat = as_2d(tensor)
+    layout = TileLayout(
+        shape=tuple(np.asarray(tensor).shape),
+        rows=flat.shape[0],
+        cols=flat.shape[1],
+        tile=tile,
+    )
+    tiles = []
+    for index in range(layout.num_tiles):
+        y0, x0, h, w = layout.tile_box(index)
+        tiles.append(np.ascontiguousarray(flat[y0 : y0 + h, x0 : x0 + w]))
+    return tiles, layout
+
+
+def join_tiles(tiles: Sequence[np.ndarray], layout: TileLayout) -> np.ndarray:
+    """Inverse of :func:`split_tiles`."""
+    if len(tiles) != layout.num_tiles:
+        raise ValueError(
+            f"expected {layout.num_tiles} tiles, got {len(tiles)}"
+        )
+    flat = np.empty((layout.rows, layout.cols), dtype=np.asarray(tiles[0]).dtype)
+    for index, piece in enumerate(tiles):
+        y0, x0, h, w = layout.tile_box(index)
+        if piece.shape != (h, w):
+            raise ValueError(
+                f"tile {index} has shape {piece.shape}, expected {(h, w)}"
+            )
+        flat[y0 : y0 + h, x0 : x0 + w] = piece
+    return flat.reshape(layout.shape)

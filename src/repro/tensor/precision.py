@@ -1,0 +1,66 @@
+"""Precision conversion: floating-point tensors <-> 8-bit integer frames.
+
+Hardware video codecs only accept 8-bit samples, so LLM.265 first maps
+the FP16/FP32 tensor onto the 0..255 grid with an asymmetric min-max
+affine (Section 3.2).  The mapping is *data-independent* in the paper's
+sense: it uses only the tensor being compressed, never a calibration
+set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizationGrid:
+    """Affine map ``value ~= code * scale + offset`` for one frame."""
+
+    scale: float
+    offset: float
+
+    def to_codes(self, values: np.ndarray) -> np.ndarray:
+        """Map float values onto the 0..255 grid."""
+        if self.scale == 0.0:
+            return np.zeros(values.shape, dtype=np.uint8)
+        codes = np.rint((values - self.offset) / self.scale)
+        return np.clip(codes, 0, 255).astype(np.uint8)
+
+    def to_values(self, codes: np.ndarray) -> np.ndarray:
+        """Map 0..255 codes back to float values."""
+        return codes.astype(np.float64) * self.scale + self.offset
+
+    @property
+    def step_mse(self) -> float:
+        """Expected MSE of the rounding alone (uniform-error model)."""
+        return self.scale**2 / 12.0
+
+
+def grid_for(values: np.ndarray) -> QuantizationGrid:
+    """Min-max asymmetric grid covering every value (outlier-free).
+
+    Raises ``ValueError`` on NaN/inf-free violations: a single NaN
+    would silently poison the whole affine map otherwise.
+    """
+    if values.size == 0:
+        return QuantizationGrid(scale=0.0, offset=0.0)
+    if not np.isfinite(values).all():
+        raise ValueError("tensor contains NaN/inf; refuse to quantize")
+    lo = float(np.min(values))
+    hi = float(np.max(values))
+    if hi == lo:
+        return QuantizationGrid(scale=0.0, offset=lo)
+    return QuantizationGrid(scale=(hi - lo) / 255.0, offset=lo)
+
+
+def quantize_to_uint8(values: np.ndarray) -> tuple:
+    """Quantize a float array to uint8 codes plus its grid."""
+    grid = grid_for(np.asarray(values, dtype=np.float64))
+    return grid.to_codes(np.asarray(values, dtype=np.float64)), grid
+
+
+def dequantize_from_uint8(codes: np.ndarray, grid: QuantizationGrid) -> np.ndarray:
+    """Inverse of :func:`quantize_to_uint8`."""
+    return grid.to_values(codes)

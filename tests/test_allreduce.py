@@ -1,0 +1,62 @@
+"""Tests for the ring all-reduce simulation."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import RTNCompressor
+from repro.distributed.allreduce import ring_allreduce
+
+
+class TestRingAllReduce:
+    @pytest.mark.parametrize("workers", [2, 3, 4, 7])
+    def test_lossless_matches_mean(self, workers):
+        rng = np.random.default_rng(workers)
+        tensors = [rng.normal(size=(13, 9)) for _ in range(workers)]
+        result = ring_allreduce(tensors)
+        expected = np.mean(tensors, axis=0)
+        for reduced in result.reduced:
+            assert np.allclose(reduced, expected, atol=1e-12)
+
+    def test_sum_mode(self):
+        tensors = [np.ones((4, 4)) * (i + 1) for i in range(3)]
+        result = ring_allreduce(tensors, average=False)
+        assert np.allclose(result.reduced[0], 6.0)
+
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_traffic_matches_textbook_formula(self, workers):
+        """The 2(p-1)/p constant used by the Figure 16 model, derived."""
+        tensors = [np.zeros(workers * 64) for _ in range(workers)]
+        result = ring_allreduce(tensors)
+        assert result.bytes_per_worker == pytest.approx(
+            result.textbook_bytes, rel=0.01
+        )
+
+    def test_step_count(self):
+        tensors = [np.zeros(32) for _ in range(4)]
+        assert ring_allreduce(tensors).steps == 2 * (4 - 1)
+
+    def test_compressed_collective_is_close_not_exact(self):
+        rng = np.random.default_rng(5)
+        tensors = [rng.normal(size=256) for _ in range(4)]
+        result = ring_allreduce(tensors, compressor=RTNCompressor(8, group_size=64))
+        expected = np.mean(tensors, axis=0)
+        for reduced in result.reduced:
+            error = np.mean((reduced - expected) ** 2)
+            assert 0 < error < np.var(expected) / 50
+
+    def test_single_worker_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(4)])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ring_allreduce([np.zeros(4), np.zeros(5)])
+
+    def test_uneven_segments(self):
+        """Payload not divisible by worker count still reduces exactly."""
+        rng = np.random.default_rng(6)
+        tensors = [rng.normal(size=17) for _ in range(3)]
+        result = ring_allreduce(tensors)
+        expected = np.mean(tensors, axis=0)
+        for reduced in result.reduced:
+            assert np.allclose(reduced, expected, atol=1e-12)

@@ -1,0 +1,80 @@
+"""Tests for the tensor-statistics diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    channel_structure_score,
+    outlier_ratio,
+    rate_distortion_sweep,
+    tensor_entropy_bits,
+)
+from repro.analysis.statistics import profile_tensor
+from repro.models.synthetic_weights import activation_like, weight_like
+
+
+class TestEntropy:
+    def test_uniform_is_8_bits(self):
+        values = np.linspace(-1, 1, 256 * 40)
+        assert tensor_entropy_bits(values) == pytest.approx(8.0, abs=0.05)
+
+    def test_gaussian_below_8_bits(self):
+        rng = np.random.default_rng(0)
+        assert tensor_entropy_bits(rng.normal(0, 1, 50_000)) < 7.6
+
+    def test_constant_is_zero(self):
+        assert tensor_entropy_bits(np.full(100, 3.0)) == 0.0
+
+    def test_outliers_concentrate_codes(self):
+        """Min-max with huge outliers squeezes the centre into few codes."""
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 0.01, 10_000)
+        spiked = values.copy()
+        spiked[0] = 5.0
+        assert tensor_entropy_bits(spiked) < tensor_entropy_bits(values)
+
+
+class TestOutliers:
+    def test_pure_gaussian_near_expected(self):
+        rng = np.random.default_rng(2)
+        ratio = outlier_ratio(rng.normal(0, 1, 200_000), sigma=4.0)
+        assert ratio == pytest.approx(6.3e-5, abs=8e-5)
+
+    def test_weight_like_has_more(self):
+        w = weight_like(256, 256, outlier_scale=30.0, outlier_fraction=1e-3, seed=0)
+        rng = np.random.default_rng(3)
+        gaussian = rng.normal(0, np.std(w), w.size)
+        assert outlier_ratio(w) > outlier_ratio(gaussian)
+
+
+class TestChannelStructure:
+    def test_structured_beats_iid(self):
+        rng = np.random.default_rng(4)
+        iid = rng.normal(0, 1, (128, 128))
+        structured = weight_like(128, 128, seed=5).astype(np.float64)
+        assert channel_structure_score(structured) > channel_structure_score(iid)
+
+    def test_pure_stripes_score_high(self):
+        stripes = np.tile(np.arange(64, dtype=np.float64), (64, 1))
+        assert channel_structure_score(stripes) > 0.9
+
+    def test_constant_scores_zero(self):
+        assert channel_structure_score(np.ones((8, 8))) == 0.0
+
+    def test_3d_input_handled(self):
+        acts = activation_like(32, 64, seed=6).reshape(2, 16, 64)
+        assert 0.0 <= channel_structure_score(acts) <= 1.0
+
+
+class TestRateDistortion:
+    def test_sweep_is_monotone(self):
+        w = weight_like(96, 96, seed=7)
+        points = rate_distortion_sweep(w, qps=(8, 20, 32))
+        bits = [p[1] for p in points]
+        mses = [p[2] for p in points]
+        assert bits[0] > bits[1] > bits[2]
+        assert mses[0] < mses[1] < mses[2]
+
+    def test_profile_tensor_keys(self):
+        summary = profile_tensor(weight_like(32, 32, seed=8))
+        assert set(summary) == {"entropy_bits", "outlier_ratio", "channel_structure"}

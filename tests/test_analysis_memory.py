@@ -1,0 +1,71 @@
+"""Unit tests for the deployment-memory arithmetic."""
+
+import pytest
+
+from repro.analysis.memory import (
+    DEEPSEEK_V3,
+    LLAMA2_7B,
+    LLAMA3_70B,
+    LLMShape,
+    kv_cache_bytes,
+    paper_deployment_table,
+    per_device_memory,
+    weight_bytes,
+)
+
+
+class TestShapes:
+    def test_head_dims(self):
+        assert LLAMA3_70B.head_dim == 128
+        assert LLAMA3_70B.kv_dim == 1024  # 8 KV heads (GQA)
+        assert LLAMA2_7B.kv_dim == LLAMA2_7B.hidden  # full MHA
+
+    def test_deepseek_intro_claim(self):
+        """Intro: DeepSeek-V3-671B needs at least 671 GB at 8 bits."""
+        assert weight_bytes(DEEPSEEK_V3, 8.0) == pytest.approx(671e9, rel=0.01)
+
+
+class TestWeightBytes:
+    def test_linear_in_bits(self):
+        assert weight_bytes(LLAMA2_7B, 8.0) == weight_bytes(LLAMA2_7B, 16.0) / 2
+
+    def test_fractional_bits(self):
+        assert weight_bytes(LLAMA2_7B, 2.9) == pytest.approx(
+            LLAMA2_7B.params * 2.9 / 8
+        )
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            weight_bytes(LLAMA2_7B, -1)
+
+
+class TestKVCache:
+    def test_linear_in_context(self):
+        short = kv_cache_bytes(LLAMA3_70B, 1000)
+        long = kv_cache_bytes(LLAMA3_70B, 2000)
+        assert long == pytest.approx(2 * short)
+
+    def test_gqa_shrinks_cache(self):
+        """Grouped-query attention: 70B has a *smaller* cache per token
+        than a full-MHA model of the same width would."""
+        full_mha = LLMShape("x", 70e9, 80, 8192, 64, 64)
+        assert kv_cache_bytes(LLAMA3_70B, 1024) < kv_cache_bytes(full_mha, 1024)
+
+    def test_paper_40gb_claim(self):
+        gb = kv_cache_bytes(LLAMA3_70B, 128 * 1024, 16.0) / 1e9
+        assert gb == pytest.approx(42.9, abs=0.5)  # paper rounds to 40
+
+
+class TestPerDevice:
+    def test_splits_evenly(self):
+        one = per_device_memory(LLAMA3_70B, 1, 1024, 2.9, 2.9)
+        four = per_device_memory(LLAMA3_70B, 4, 1024, 2.9, 2.9)
+        assert four["total_bytes"] == pytest.approx(one["total_bytes"] / 4)
+
+    def test_paper_8gb_per_device(self):
+        table = paper_deployment_table()
+        assert table["per_device_gb"] < 8.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            per_device_memory(LLAMA3_70B, 0, 1024, 2.9, 2.9)

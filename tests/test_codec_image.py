@@ -1,0 +1,80 @@
+"""Tests for the still-image path (AVC Image Format equivalent)."""
+
+import numpy as np
+import pytest
+
+from repro.codec.image import decode_image, encode_image, image_psnr
+from repro.codec.profiles import H265_PROFILE
+
+
+def synthetic_photo(size=64, seed=0):
+    """Smooth gradients + edges + texture: photograph-like content."""
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:size, 0:size]
+    image = 120 + 60 * np.sin(x / 9.0) + 40 * np.cos(y / 13.0)
+    image[size // 3 :, size // 2 :] += 50  # an object edge
+    image += rng.normal(0, 3, (size, size))
+    return np.clip(image, 0, 255).astype(np.uint8)
+
+
+class TestImageCodec:
+    def test_roundtrip_shape(self):
+        image = synthetic_photo()
+        decoded = decode_image(encode_image(image, qp=20))
+        assert decoded.shape == image.shape
+        assert decoded.dtype == np.uint8
+
+    def test_quality_scales_with_qp(self):
+        image = synthetic_photo()
+        psnrs = [
+            image_psnr(image, decode_image(encode_image(image, qp=qp)))
+            for qp in (8, 24, 40)
+        ]
+        assert psnrs[0] > psnrs[1] > psnrs[2]
+
+    def test_bitrate_target(self):
+        image = synthetic_photo()
+        data = encode_image(image, bits_per_pixel=1.0)
+        assert 8.0 * len(data) / image.size <= 1.0 + 0.01
+
+    def test_mse_target(self):
+        image = synthetic_photo()
+        decoded = decode_image(encode_image(image, max_mse=9.0))
+        mse = np.mean((decoded.astype(float) - image.astype(float)) ** 2)
+        assert mse <= 9.5  # decode rounding slack
+
+    def test_compresses_photographic_content(self):
+        image = synthetic_photo(128)
+        data = encode_image(image, qp=28)
+        assert len(data) < image.size / 8  # > 8x over raw 8-bit
+
+    def test_reasonable_psnr_at_moderate_rate(self):
+        image = synthetic_photo()
+        data = encode_image(image, qp=24)
+        decoded = decode_image(data)
+        assert image_psnr(image, decoded) > 30.0  # visually fine territory
+
+    def test_h265_profile_supported(self):
+        image = synthetic_photo()
+        decoded = decode_image(encode_image(image, qp=20, profile=H265_PROFILE))
+        assert image_psnr(image, decoded) > 30.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            encode_image(np.zeros((4, 4, 3), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            encode_image(np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            encode_image(synthetic_photo(), qp=20, bits_per_pixel=1.0)
+
+    def test_psnr_identity_is_infinite(self):
+        image = synthetic_photo()
+        assert image_psnr(image, image) == float("inf")
+
+    def test_multi_frame_stream_rejected(self):
+        from repro.codec.encoder import EncoderConfig, encode_frames
+
+        image = synthetic_photo(32)
+        stream = encode_frames([image, image], EncoderConfig(qp=20))
+        with pytest.raises(ValueError):
+            decode_image(stream.data)

@@ -1,0 +1,143 @@
+"""Tests for intra-frame prediction."""
+
+import numpy as np
+import pytest
+
+from repro.codec import intra
+
+
+def _refs_from_frame(frame, y0, x0, n):
+    mask = np.ones_like(frame, dtype=bool)
+    return intra.gather_references(frame.astype(np.float64), mask, y0, x0, n)
+
+
+class TestReferences:
+    def test_all_unavailable_falls_back_to_midgrey(self):
+        recon = np.zeros((16, 16))
+        mask = np.zeros((16, 16), dtype=bool)
+        top, left = intra.gather_references(recon, mask, 0, 0, 4)
+        assert np.all(top == 128) and np.all(left == 128)
+
+    def test_reference_lengths(self):
+        frame = np.arange(256, dtype=np.float64).reshape(16, 16)
+        top, left = _refs_from_frame(frame, 8, 8, 4)
+        assert top.shape == (9,) and left.shape == (9,)
+
+    def test_corner_and_rows_match_frame(self):
+        frame = np.arange(256, dtype=np.float64).reshape(16, 16)
+        top, left = _refs_from_frame(frame, 8, 8, 4)
+        assert top[0] == frame[7, 7]  # corner
+        assert np.array_equal(top[1:5], frame[7, 8:12])  # top row
+        assert np.array_equal(left[1:5], frame[8:12, 7])  # left column
+
+    def test_substitution_propagates_nearest(self):
+        frame = np.full((16, 16), 200.0)
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[:, :8] = True  # only the left half is reconstructed
+        top, left = intra.gather_references(frame, mask, 8, 8, 4)
+        # Top row is unavailable; it inherits from the corner/left walk.
+        assert np.all(top == 200.0)
+
+    def test_partial_top_row_extends_rightward(self):
+        frame = np.zeros((16, 16))
+        frame[7, :] = np.arange(16)
+        mask = np.zeros((16, 16), dtype=bool)
+        mask[7, :6] = True
+        top, _ = intra.gather_references(frame, mask, 8, 0, 4)
+        # Columns 0..5 available; beyond that the last value propagates.
+        assert top[6] == 5.0
+        assert top[7] == 5.0
+        assert top[-1] == 5.0
+
+
+class TestModes:
+    def test_dc_is_mean_of_borders(self):
+        frame = np.zeros((16, 16))
+        frame[7, 8:12] = 100.0  # top row of the target block
+        frame[8:12, 7] = 50.0  # left column
+        top, left = _refs_from_frame(frame, 8, 8, 4)
+        pred = intra.predict_dc(top, left, 4)
+        assert np.allclose(pred, 75.0)
+
+    def test_planar_is_smooth_interpolation(self):
+        frame = np.tile(np.arange(16, dtype=np.float64) * 10, (16, 1))
+        top, left = _refs_from_frame(frame, 8, 8, 4)
+        pred = intra.predict_planar(top, left, 4)
+        # Rows near the top follow the gradient; the blend toward the
+        # bottom-left corner flattens lower rows but never reverses them.
+        assert np.all(np.diff(pred[0]) > 0)
+        assert np.all(np.diff(pred, axis=1) >= 0)
+
+    def test_pure_vertical_copies_top_row(self):
+        frame = np.zeros((16, 16))
+        frame[7, :] = np.arange(16) * 3.0
+        top, left = _refs_from_frame(frame, 8, 0, 8)
+        pred = intra.predict_angular(top, left, 26, 8)  # mode 26 = vertical
+        assert np.allclose(pred, np.tile(frame[7, 0:8], (8, 1)))
+
+    def test_pure_horizontal_copies_left_column(self):
+        frame = np.zeros((16, 16))
+        frame[:, 7] = np.arange(16) * 2.0
+        top, left = _refs_from_frame(frame, 0, 8, 8)
+        pred = intra.predict_angular(top, left, 10, 8)  # mode 10 = horizontal
+        assert np.allclose(pred, np.tile(frame[0:8, 7][:, None], (1, 8)))
+
+    def test_diagonal_mode_follows_direction(self):
+        # Mode 34 (angle +32) projects the top reference one step right per row.
+        frame = np.zeros((16, 16))
+        frame[7, :] = np.arange(16, dtype=np.float64)
+        top, left = _refs_from_frame(frame, 8, 0, 4)
+        pred = intra.predict_angular(top, left, 34, 4)
+        assert pred[1, 0] == pytest.approx(pred[0, 1])
+
+    @pytest.mark.parametrize("mode", range(2, 35))
+    @pytest.mark.parametrize("n", [4, 8, 16])
+    def test_all_angular_modes_produce_finite_output(self, mode, n):
+        rng = np.random.default_rng(mode * 100 + n)
+        frame = rng.uniform(0, 255, (48, 48))
+        top, left = _refs_from_frame(frame, 16, 16, n)
+        pred = intra.predict(top, left, mode, n)
+        assert pred.shape == (n, n)
+        assert np.all(np.isfinite(pred))
+        assert pred.min() >= -1 and pred.max() <= 256
+
+    def test_mode_angle_bounds(self):
+        assert intra.mode_angle(2) == 32
+        assert intra.mode_angle(18) == -32
+        assert intra.mode_angle(34) == 32
+        with pytest.raises(ValueError):
+            intra.mode_angle(0)
+
+    def test_angular_predicts_stripes_exactly(self):
+        """Channel-wise structure (vertical stripes) is captured by mode 26."""
+        frame = np.tile(np.arange(32, dtype=np.float64) * 7 % 255, (32, 1))
+        mask = np.ones((32, 32), dtype=bool)
+        mask[8:, :] = False  # block itself not yet reconstructed
+        top, left = intra.gather_references(frame, mask, 8, 8, 8)
+        pred = intra.predict_angular(top, left, 26, 8)
+        assert np.allclose(pred, frame[8:16, 8:16])
+
+
+class TestMPM:
+    def test_equal_angular_neighbors(self):
+        mpm = intra.most_probable_modes(20, 20)
+        assert mpm[0] == 20 and len(set(mpm)) == 3
+
+    def test_equal_non_angular_neighbors(self):
+        assert intra.most_probable_modes(intra.DC, intra.DC) == [
+            intra.PLANAR,
+            intra.DC,
+            26,
+        ]
+
+    def test_missing_neighbors_default_to_dc(self):
+        mpm = intra.most_probable_modes(None, None)
+        assert len(mpm) == 3
+
+    def test_distinct_neighbors_both_present(self):
+        mpm = intra.most_probable_modes(5, 30)
+        assert 5 in mpm and 30 in mpm and len(set(mpm)) == 3
+
+    def test_wraparound_neighbour_modes(self):
+        mpm = intra.most_probable_modes(2, 2)
+        assert all(intra.ANGULAR_FIRST <= m <= intra.ANGULAR_LAST for m in mpm)

@@ -1,0 +1,71 @@
+"""Tests for codec profiles and the encoder's profile plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.codec import intra
+from repro.codec.profiles import (
+    AV1_PROFILE,
+    H264_PROFILE,
+    H265_PROFILE,
+    PROFILES_BY_ID,
+    PROFILES_BY_NAME,
+    CodecProfile,
+    profile_by_name,
+)
+
+
+class TestProfiles:
+    def test_lookup_by_name(self):
+        assert profile_by_name("H265") is H265_PROFILE
+        assert profile_by_name("av1") is AV1_PROFILE
+        with pytest.raises(ValueError):
+            profile_by_name("vp9")
+
+    def test_ids_unique_and_resolvable(self):
+        assert len(PROFILES_BY_ID) == 3
+        for pid, profile in PROFILES_BY_ID.items():
+            assert profile.profile_id == pid
+
+    def test_h264_is_macroblock_sized(self):
+        assert H264_PROFILE.ctu_size == 16
+        assert H264_PROFILE.min_cu_size == 4
+
+    def test_h265_has_full_angular_set(self):
+        assert len(H265_PROFILE.angular_modes) == 33
+        assert len(H265_PROFILE.all_modes) == 35
+
+    def test_h264_has_reduced_mode_set(self):
+        assert len(H264_PROFILE.all_modes) < len(H265_PROFILE.all_modes)
+
+    def test_all_modes_include_planar_and_dc(self):
+        for profile in PROFILES_BY_NAME.values():
+            assert intra.PLANAR in profile.all_modes
+            assert intra.DC in profile.all_modes
+
+    def test_coarse_modes_subset_of_all(self):
+        for profile in PROFILES_BY_NAME.values():
+            assert set(profile.coarse_modes()) <= set(profile.all_modes)
+
+    def test_refine_modes_window(self):
+        refine = H265_PROFILE.refine_modes(20)
+        assert 20 not in refine
+        assert all(18 <= m <= 22 for m in refine)
+        assert H265_PROFILE.refine_modes(intra.DC) == ()
+
+    def test_refine_clamped_at_range_ends(self):
+        low = H265_PROFILE.refine_modes(intra.ANGULAR_FIRST)
+        high = H265_PROFILE.refine_modes(intra.ANGULAR_LAST)
+        assert all(m >= intra.ANGULAR_FIRST for m in low)
+        assert all(m <= intra.ANGULAR_LAST for m in high)
+
+    def test_h264_no_refinement(self):
+        assert H264_PROFILE.refine_modes(10) == ()
+
+    def test_max_resolution_matches_table2(self):
+        assert H264_PROFILE.max_resolution == 3840
+        assert H265_PROFILE.max_resolution == 7680
+
+    def test_profiles_frozen(self):
+        with pytest.raises(Exception):
+            H265_PROFILE.ctu_size = 64

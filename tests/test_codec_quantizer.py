@@ -1,0 +1,68 @@
+"""Tests for QP-driven quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.quantizer import dequantize, qstep, quantize, rd_lambda
+
+
+class TestQStep:
+    def test_doubles_every_six_qp(self):
+        for qp in range(0, 46):
+            assert qstep(qp + 6) == pytest.approx(2.0 * qstep(qp))
+
+    def test_reference_point(self):
+        assert qstep(4) == pytest.approx(1.0)
+
+    def test_monotone(self):
+        steps = [qstep(qp) for qp in range(52)]
+        assert all(a < b for a, b in zip(steps, steps[1:]))
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.normal(0, 20, (8, 8))
+        for qp in (4, 16, 28):
+            levels = quantize(coeffs, qp)
+            rec = dequantize(levels, qp)
+            assert np.max(np.abs(rec - coeffs)) <= qstep(qp) / 2 + 1e-9
+
+    def test_higher_qp_means_fewer_levels(self):
+        rng = np.random.default_rng(1)
+        coeffs = rng.normal(0, 10, (16, 16))
+        nnz = [np.count_nonzero(quantize(coeffs, qp)) for qp in (4, 20, 36)]
+        assert nnz[0] >= nnz[1] >= nnz[2]
+
+    def test_deadzone_zeroes_more(self):
+        rng = np.random.default_rng(2)
+        coeffs = rng.normal(0, 2, (8, 8))
+        plain = np.count_nonzero(quantize(coeffs, 16, deadzone=0.0))
+        dead = np.count_nonzero(quantize(coeffs, 16, deadzone=0.4))
+        assert dead <= plain
+
+    def test_deadzone_preserves_sign(self):
+        coeffs = np.array([[-5.0, 5.0], [-0.1, 0.1]])
+        levels = quantize(coeffs, 4, deadzone=0.2)
+        assert levels[0, 0] < 0 < levels[0, 1]
+
+    def test_levels_are_integers(self):
+        levels = quantize(np.array([[1.7, -2.3]]), 10)
+        assert levels.dtype == np.int64
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0, max_value=51),
+        st.floats(min_value=-1000, max_value=1000, allow_nan=False),
+    )
+    def test_property_error_bound(self, qp, value):
+        coeffs = np.array([[value]])
+        rec = dequantize(quantize(coeffs, qp), qp)
+        assert abs(rec[0, 0] - value) <= qstep(qp) / 2 + 1e-6
+
+
+class TestLambda:
+    def test_lambda_grows_with_qp(self):
+        values = [rd_lambda(qp) for qp in range(0, 52, 4)]
+        assert all(a < b for a, b in zip(values, values[1:]))

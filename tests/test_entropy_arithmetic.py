@@ -1,0 +1,137 @@
+"""Unit + property tests for the adaptive binary arithmetic coder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.entropy.arithmetic import BinaryDecoder, BinaryEncoder, ContextSet
+
+
+def _roundtrip_bits(bits, n_ctx=4, ctx_of=None):
+    ctx_of = ctx_of or (lambda i: i % n_ctx)
+    enc = BinaryEncoder()
+    ctx = ContextSet(n_ctx)
+    for i, bit in enumerate(bits):
+        enc.encode_bit(ctx, ctx_of(i), bit)
+    blob = enc.finish()
+    dec = BinaryDecoder(blob)
+    ctx2 = ContextSet(n_ctx)
+    return [dec.decode_bit(ctx2, ctx_of(i)) for i in range(len(bits))], blob
+
+
+class TestBinaryCoder:
+    def test_empty_stream(self):
+        enc = BinaryEncoder()
+        blob = enc.finish()
+        BinaryDecoder(blob)  # constructing on an empty stream must not fail
+
+    def test_roundtrip_alternating(self):
+        bits = [i & 1 for i in range(500)]
+        decoded, _ = _roundtrip_bits(bits)
+        assert decoded == bits
+
+    def test_roundtrip_random(self):
+        rng = random.Random(7)
+        bits = [rng.randint(0, 1) for _ in range(2000)]
+        decoded, _ = _roundtrip_bits(bits)
+        assert decoded == bits
+
+    def test_skewed_source_compresses(self):
+        rng = random.Random(3)
+        bits = [1 if rng.random() < 0.02 else 0 for _ in range(8000)]
+        decoded, blob = _roundtrip_bits(bits, n_ctx=1)
+        assert decoded == bits
+        # H(0.02) ~= 0.14 bits/bin; allow generous slack for adaptation.
+        assert len(blob) * 8 < 0.35 * len(bits)
+
+    def test_bypass_roundtrip(self):
+        rng = random.Random(11)
+        bits = [rng.randint(0, 1) for _ in range(1000)]
+        enc = BinaryEncoder()
+        for bit in bits:
+            enc.encode_bypass(bit)
+        dec = BinaryDecoder(enc.finish())
+        assert [dec.decode_bypass() for _ in bits] == bits
+
+    def test_bypass_bits_roundtrip(self):
+        values = [(0, 1), (5, 3), (255, 8), (1023, 10), (0, 4)]
+        enc = BinaryEncoder()
+        for value, width in values:
+            enc.encode_bypass_bits(value, width)
+        dec = BinaryDecoder(enc.finish())
+        assert [dec.decode_bypass_bits(w) for _, w in values] == [v for v, _ in values]
+
+    def test_bypass_is_one_bit_per_bin(self):
+        enc = BinaryEncoder()
+        for _ in range(8000):
+            enc.encode_bypass(1)
+        blob = enc.finish()
+        assert abs(len(blob) * 8 - 8000) < 64
+
+    def test_mixed_context_and_bypass(self):
+        rng = random.Random(5)
+        ops = [(rng.randint(0, 1), rng.randint(0, 1)) for _ in range(3000)]
+        enc = BinaryEncoder()
+        ctx = ContextSet(2)
+        for kind, bit in ops:
+            if kind:
+                enc.encode_bypass(bit)
+            else:
+                enc.encode_bit(ctx, 0, bit)
+        dec = BinaryDecoder(enc.finish())
+        ctx2 = ContextSet(2)
+        for kind, bit in ops:
+            got = dec.decode_bypass() if kind else dec.decode_bit(ctx2, 0)
+            assert got == bit
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=400))
+    def test_property_roundtrip(self, bits):
+        decoded, _ = _roundtrip_bits(bits, n_ctx=2)
+        assert decoded == bits
+
+
+class TestUEG:
+    @pytest.mark.parametrize("max_prefix", [1, 3, 8])
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_roundtrip(self, max_prefix, k):
+        values = [0, 1, 2, 3, 7, 8, 15, 100, 4095]
+        enc = BinaryEncoder()
+        ctx = ContextSet(max_prefix)
+        for value in values:
+            enc.encode_ueg(ctx, 0, value, max_prefix, k)
+        dec = BinaryDecoder(enc.finish())
+        ctx2 = ContextSet(max_prefix)
+        assert [dec.decode_ueg(ctx2, 0, max_prefix, k) for _ in values] == values
+
+    def test_small_values_get_short(self):
+        # A stream of zeros under an adaptive context approaches 0 bits.
+        enc = BinaryEncoder()
+        ctx = ContextSet(4)
+        for _ in range(4000):
+            enc.encode_ueg(ctx, 0, 0, 4)
+        assert enc.bytes_written * 8 < 0.2 * 4000
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=60),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_property_roundtrip(self, values, max_prefix, k):
+        enc = BinaryEncoder()
+        ctx = ContextSet(max_prefix)
+        for value in values:
+            enc.encode_ueg(ctx, 0, value, max_prefix, k)
+        dec = BinaryDecoder(enc.finish())
+        ctx2 = ContextSet(max_prefix)
+        assert [dec.decode_ueg(ctx2, 0, max_prefix, k) for _ in values] == values
+
+    def test_context_reset(self):
+        ctx = ContextSet(3)
+        enc = BinaryEncoder()
+        for _ in range(100):
+            enc.encode_bit(ctx, 1, 1)
+        ctx.reset()
+        assert ctx.probs == ContextSet(3).probs

@@ -1,0 +1,116 @@
+"""Unit tests for bit I/O and Exp-Golomb codes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codec.entropy.bitio import BitReader, BitWriter
+from repro.codec.entropy.golomb import (
+    read_sexp_golomb,
+    read_uexp_golomb,
+    write_sexp_golomb,
+    write_uexp_golomb,
+)
+
+
+class TestBitIO:
+    def test_single_bits_roundtrip(self):
+        writer = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+    def test_write_bits_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b0001, 4)
+        assert writer.getvalue() == bytes([0b10110001])
+
+    def test_bit_length_tracks_written_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0, 13)
+        assert writer.bit_length == 13
+
+    def test_unary_roundtrip(self):
+        writer = BitWriter()
+        for value in [0, 1, 5, 9]:
+            writer.write_unary(value)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_unary() for _ in range(4)] == [0, 1, 5, 9]
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_zero_width_write(self):
+        writer = BitWriter()
+        writer.write_bits(0, 0)
+        assert writer.getvalue() == b""
+
+    def test_negative_width_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_bits(1, -1)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_property_bit_roundtrip(self, bits):
+        writer = BitWriter()
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+
+class TestExpGolomb:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_unsigned_roundtrip_small_values(self, k):
+        values = list(range(0, 40)) + [100, 1000, 65535]
+        writer = BitWriter()
+        for value in values:
+            write_uexp_golomb(writer, value, k)
+        reader = BitReader(writer.getvalue())
+        assert [read_uexp_golomb(reader, k) for _ in values] == values
+
+    def test_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            write_uexp_golomb(BitWriter(), -1)
+
+    def test_order0_code_lengths_match_standard(self):
+        # ue(v): v=0 -> 1 bit, v=1,2 -> 3 bits, v=3..6 -> 5 bits.
+        for value, expected in [(0, 1), (1, 3), (2, 3), (3, 5), (6, 5), (7, 7)]:
+            writer = BitWriter()
+            write_uexp_golomb(writer, value)
+            assert writer.bit_length == expected
+
+    @pytest.mark.parametrize("k", [0, 1, 2])
+    def test_signed_roundtrip(self, k):
+        values = [0, 1, -1, 2, -2, 17, -17, 300, -300]
+        writer = BitWriter()
+        for value in values:
+            write_sexp_golomb(writer, value, k)
+        reader = BitReader(writer.getvalue())
+        assert [read_sexp_golomb(reader, k) for _ in values] == values
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=50),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_property_unsigned_roundtrip(self, values, k):
+        writer = BitWriter()
+        for value in values:
+            write_uexp_golomb(writer, value, k)
+        reader = BitReader(writer.getvalue())
+        assert [read_uexp_golomb(reader, k) for _ in values] == values
+
+    @given(
+        st.lists(st.integers(min_value=-(1 << 18), max_value=1 << 18), max_size=50),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_property_signed_roundtrip(self, values, k):
+        writer = BitWriter()
+        for value in values:
+            write_sexp_golomb(writer, value, k)
+        reader = BitReader(writer.getvalue())
+        assert [read_sexp_golomb(reader, k) for _ in values] == values

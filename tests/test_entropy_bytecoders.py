@@ -1,0 +1,134 @@
+"""Tests for the byte-oriented coders (Huffman, LZ4, Deflate, byte-CABAC)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.entropy.bytecoder import (
+    byte_arith_decode,
+    byte_arith_encode,
+    estimate_entropy_bits,
+)
+from repro.codec.entropy.deflate import deflate_compress, deflate_decompress
+from repro.codec.entropy.huffman import huffman_compress, huffman_decompress
+from repro.codec.entropy.lz4 import lz4_compress, lz4_decompress
+
+CODECS = {
+    "huffman": (huffman_compress, huffman_decompress),
+    "lz4": (lz4_compress, lz4_decompress),
+    "deflate": (deflate_compress, deflate_decompress),
+    "cabac": (byte_arith_encode, byte_arith_decode),
+}
+
+
+def _sample_payloads():
+    rng = random.Random(42)
+    gaussian = bytes(
+        max(0, min(255, int(rng.gauss(128, 12)))) for _ in range(4096)
+    )
+    return {
+        "empty": b"",
+        "single": b"x",
+        "constant": b"\x00" * 1000,
+        "ascii": b"the quick brown fox jumps over the lazy dog " * 40,
+        "random": bytes(rng.randrange(256) for _ in range(2048)),
+        "gaussian": gaussian,
+        "repeating": b"abcd" * 500,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CODECS))
+@pytest.mark.parametrize("payload_name", sorted(_sample_payloads()))
+def test_roundtrip(name, payload_name):
+    compress, decompress = CODECS[name]
+    payload = _sample_payloads()[payload_name]
+    assert decompress(compress(payload)) == payload
+
+
+@pytest.mark.parametrize("name", sorted(CODECS))
+def test_compresses_redundant_data(name):
+    compress, _ = CODECS[name]
+    payload = b"\x07" * 4000
+    assert len(compress(payload)) < len(payload) // 4
+
+
+def test_huffman_beats_raw_on_skewed_bytes():
+    rng = random.Random(1)
+    payload = bytes(rng.choices(range(8), weights=[100, 30, 10, 5, 2, 1, 1, 1], k=4000))
+    assert len(huffman_compress(payload)) < 0.6 * len(payload)
+
+
+def test_cabac_beats_huffman_on_gaussian_bytes():
+    rng = np.random.default_rng(0)
+    payload = np.clip(rng.normal(128, 6, 8192), 0, 255).astype(np.uint8).tobytes()
+    assert len(byte_arith_encode(payload)) < len(huffman_compress(payload))
+
+
+def test_lz4_finds_long_matches():
+    payload = bytes(range(64)) * 100
+    blob = lz4_compress(payload)
+    assert len(blob) < 0.1 * len(payload)
+    assert lz4_decompress(blob) == payload
+
+
+def test_lz4_overlapping_match():
+    # RLE-like data relies on overlapping copies (offset < match length).
+    payload = b"A" * 300 + b"B" + b"A" * 300
+    assert lz4_decompress(lz4_compress(payload)) == payload
+
+
+def test_byte_arith_multi_tree():
+    rng = random.Random(9)
+    # Interleaved stream: even positions skewed low, odd positions high.
+    payload = bytes(
+        rng.randrange(0, 16) if i % 2 == 0 else rng.randrange(240, 256)
+        for i in range(4096)
+    )
+    one_tree = byte_arith_encode(payload, num_trees=1)
+    two_trees = byte_arith_encode(payload, num_trees=2)
+    assert byte_arith_decode(two_trees) == payload
+    assert len(two_trees) <= len(one_tree)
+
+
+def test_byte_arith_rejects_bad_tree_count():
+    with pytest.raises(ValueError):
+        byte_arith_encode(b"abc", num_trees=0)
+
+
+def test_entropy_estimate_uniform():
+    bits = estimate_entropy_bits(list(range(256)) * 4)
+    assert bits == pytest.approx(8 * 1024, rel=1e-6)
+
+
+def test_entropy_estimate_constant_is_zero():
+    assert estimate_entropy_bits([5] * 100) == 0.0
+
+
+def test_entropy_estimate_empty():
+    assert estimate_entropy_bits([]) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=2000))
+def test_property_lz4_roundtrip(payload):
+    assert lz4_decompress(lz4_compress(payload)) == payload
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=1500))
+def test_property_huffman_roundtrip(payload):
+    assert huffman_decompress(huffman_compress(payload)) == payload
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(max_size=1000))
+def test_property_byte_arith_roundtrip(payload):
+    assert byte_arith_decode(byte_arith_encode(payload)) == payload
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(max_size=1200))
+def test_property_deflate_roundtrip(payload):
+    assert deflate_decompress(deflate_compress(payload)) == payload

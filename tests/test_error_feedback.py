@@ -1,0 +1,66 @@
+"""Tests for the error-feedback compressor wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    Channel,
+    DataParallelTrainer,
+    ErrorFeedbackCompressor,
+    RTNCompressor,
+)
+from repro.models.zoo import SPECS
+from repro.nn.data import SyntheticCorpus
+from repro.nn.transformer import GPT
+
+
+class TestErrorFeedback:
+    def test_error_carries_between_steps(self):
+        inner = RTNCompressor(2, group_size=64)
+        ef = ErrorFeedbackCompressor(inner)
+        rng = np.random.default_rng(0)
+        tensor = rng.normal(0, 1, (32, 64))
+        first, _ = ef.compress(tensor, 0)
+        assert tuple(tensor.shape) in ef._error
+        # Second call on the same tensor includes the carried error.
+        plain, _ = inner.compress(tensor, 1)
+        second, _ = ef.compress(tensor, 1)
+        assert not np.allclose(second, plain)
+
+    def test_running_mean_converges_to_truth(self):
+        """EF makes the *average* transmitted tensor unbiased."""
+        inner = RTNCompressor(1, group_size=64)
+        ef = ErrorFeedbackCompressor(inner)
+        rng = np.random.default_rng(1)
+        tensor = rng.normal(0, 1, (16, 64))
+        total = np.zeros_like(tensor)
+        steps = 60
+        for step in range(steps):
+            restored, _ = ef.compress(tensor, step)
+            total += restored
+        mean_error = np.mean((total / steps - tensor) ** 2)
+        plain = inner.compress(tensor, 0)[0]
+        plain_error = np.mean((plain - tensor) ** 2)
+        assert mean_error < plain_error / 5
+
+    def test_distinct_shapes_tracked_separately(self):
+        ef = ErrorFeedbackCompressor(RTNCompressor(2))
+        ef.compress(np.ones((4, 4)), 0)
+        ef.compress(np.ones((8, 8)), 0)
+        assert len(ef._error) == 2
+
+    def test_improves_low_bit_training(self):
+        spec = SPECS["tiny-sim"]
+        corpus = SyntheticCorpus(spec.corpus)
+
+        def run(compressor):
+            model = GPT(spec.config, seed=0)
+            trainer = DataParallelTrainer(
+                model, num_workers=2, gradient_channel=Channel(compressor), lr=3e-3
+            )
+            history = trainer.train(corpus.batches(8, 30, seed=4), steps=30)
+            return np.mean([h.loss for h in history[-5:]])
+
+        plain = run(RTNCompressor(2, group_size=128))
+        with_ef = run(ErrorFeedbackCompressor(RTNCompressor(2, group_size=128)))
+        assert with_ef <= plain + 0.05

@@ -1,0 +1,163 @@
+"""Tests for the eval harness, task suites, model zoo, and Fig-7 proxies."""
+
+import numpy as np
+import pytest
+
+from repro.evals import (
+    COMMONSENSE_SUITE,
+    average_normalized_accuracy,
+    build_suite,
+    evaluate_model,
+    evaluate_suite,
+)
+from repro.evals.harness import average_accuracy, compression_sweep
+from repro.evals.tasks import TaskSpec, build_task
+from repro.models.zoo import SPECS, load_model, parameter_bytes
+from repro.quant.rtn import rtn_roundtrip
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return load_model("tiny-sim")
+
+
+@pytest.fixture(scope="module")
+def tasks(tiny):
+    _, corpus = tiny
+    return build_suite(corpus, COMMONSENSE_SUITE[:4], num_items=25)
+
+
+class TestTasks:
+    def test_item_counts(self, tiny):
+        _, corpus = tiny
+        task = build_task(corpus, TaskSpec("t", num_items=17, seed=3))
+        assert len(task) == 17
+
+    def test_answer_hidden_among_choices(self, tiny):
+        _, corpus = tiny
+        task = build_task(corpus, TaskSpec("t", num_items=10, num_choices=4, seed=4))
+        for cands, answer in zip(task.candidates, task.answers):
+            assert len(cands) == 4
+            assert 0 <= answer < 4
+
+    def test_distractors_differ_from_answer(self, tiny):
+        _, corpus = tiny
+        task = build_task(corpus, TaskSpec("t", num_items=10, corruption=0.3, seed=5))
+        for cands, answer in zip(task.candidates, task.answers):
+            real = cands[answer]
+            for i, cand in enumerate(cands):
+                if i != answer:
+                    assert not np.array_equal(cand, real)
+
+    def test_chance_accuracy(self, tiny):
+        _, corpus = tiny
+        task = build_task(corpus, TaskSpec("t", num_choices=5))
+        assert task.chance_accuracy == pytest.approx(0.2)
+
+    def test_generation_deterministic(self, tiny):
+        _, corpus = tiny
+        a = build_task(corpus, TaskSpec("t", num_items=5, seed=6))
+        b = build_task(corpus, TaskSpec("t", num_items=5, seed=6))
+        for x, y in zip(a.contexts, b.contexts):
+            assert np.array_equal(x, y)
+
+
+class TestHarness:
+    def test_trained_model_beats_chance(self, tiny, tasks):
+        model, _ = tiny
+        results = evaluate_suite(model, tasks)
+        for name, accuracy in results.items():
+            assert accuracy > tasks[name].chance_accuracy + 0.1, name
+
+    def test_evaluate_model_includes_perplexity(self, tiny, tasks):
+        model, corpus = tiny
+        results = evaluate_model(model, corpus, tasks, ppl_sequences=8)
+        assert "perplexity" in results
+        assert results["perplexity"] < corpus.config.vocab_size
+
+    def test_average_accuracy(self):
+        assert average_accuracy({"a": 0.5, "b": 1.0}) == pytest.approx(0.75)
+        assert average_accuracy({}) == 0.0
+
+    def test_normalized_accuracy(self):
+        base = {"a": 0.8, "b": 0.9}
+        degraded = {"a": 0.4, "b": 0.9}
+        value = average_normalized_accuracy(degraded, base)
+        assert value == pytest.approx((0.5 + 1.0) / 2)
+
+    def test_heavy_compression_hurts_accuracy(self, tiny, tasks):
+        model, corpus = tiny
+        base = evaluate_suite(model, tasks)
+
+        def factory():
+            fresh, _ = load_model("tiny-sim")
+            return fresh
+
+        sweep = compression_sweep(
+            factory,
+            {
+                "fp16": None,
+                "rtn2": lambda n, w: rtn_roundtrip(w, 2, symmetric=True),
+            },
+            tasks,
+        )
+        assert average_accuracy(sweep["rtn2"]) < average_accuracy(sweep["fp16"])
+
+
+class TestZoo:
+    def test_all_specs_well_formed(self):
+        for name, spec in SPECS.items():
+            assert spec.config.dim % spec.config.num_heads == 0, name
+            assert spec.corpus.vocab_size == spec.config.vocab_size, name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            load_model("gpt5")
+
+    def test_cache_roundtrip(self, tiny):
+        model, _ = tiny
+        again, _ = load_model("tiny-sim")  # second call hits the cache
+        for (n1, p1), (n2, p2) in zip(
+            model.named_parameters(), again.named_parameters()
+        ):
+            assert np.array_equal(p1.data, p2.data), n1
+
+    def test_parameter_bytes(self):
+        assert parameter_bytes("tiny-sim") > 0
+        assert parameter_bytes("tiny-sim", 8) == parameter_bytes("tiny-sim", 16) // 2
+
+
+class TestExtraTasks:
+    def test_sentiment_above_chance(self):
+        from repro.evals.extra_tasks import sentiment_task
+
+        bundle = sentiment_task(num_eval=60, train_steps=80)
+        assert bundle.evaluate() > bundle.chance + 0.2
+
+    def test_vqa_above_chance(self):
+        from repro.evals.extra_tasks import vqa_task
+
+        bundle = vqa_task(num_eval=60, train_steps=120)
+        assert bundle.evaluate() > bundle.chance + 0.2
+
+    def test_image_classification_above_chance(self):
+        from repro.evals.extra_tasks import image_classification_task
+
+        bundle = image_classification_task(num_eval=60, train_steps=100)
+        assert bundle.evaluate() > bundle.chance + 0.2
+
+    def test_retrieval_above_chance(self):
+        from repro.evals.extra_tasks import retrieval_task
+
+        bundle = retrieval_task(num_pairs=30, train_steps=100)
+        assert bundle.evaluate() > 5 * bundle.chance
+
+    def test_compression_degrades_task(self):
+        from repro.evals.extra_tasks import vqa_task
+
+        bundle = vqa_task(num_eval=60, train_steps=120)
+        base = bundle.evaluate()
+        bundle.model.apply_weight_transform(
+            lambda n, w: rtn_roundtrip(w, 1, symmetric=True)
+        )
+        assert bundle.evaluate() <= base

@@ -1,0 +1,276 @@
+"""Tests for GPU engine models and hardware cost models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.capabilities import GPU_CODEC_SUPPORT, best_codec_for, supports
+from repro.gpu.engines import (
+    NVDEC,
+    NVENC,
+    HardwareEngine,
+    communication_speedup,
+    effective_link_bandwidth,
+)
+from repro.hardware.components import (
+    BASELINE_HW_CODECS,
+    CODEC_COMPONENTS,
+    DEVICES,
+    ENCODER_AREA_BREAKDOWN,
+    INSTANCE_GBPS,
+    aggregate_to_bandwidth,
+    area_ratio,
+    intra_only_area_fraction,
+)
+from repro.hardware.cluster import (
+    NVENC_OPTION,
+    THREE_IN_ONE_OPTION,
+    UNCOMPRESSED,
+    ClusterConfig,
+    Workload,
+    energy_efficiency_vs_model_size,
+    evaluate,
+    gpus_required,
+    pareto_frontier,
+    performance_at_budget,
+    per_step_comm_bytes,
+    sweep,
+)
+from repro.hardware.energy import (
+    NCCL_PJ_PER_BIT,
+    compression_energy_ratio,
+    compression_vs_transfer_ratio,
+    transfer_energy_joules,
+)
+from repro.hardware.nic import communication_system_area, communication_system_energy
+from repro.hardware.threeinone import (
+    SHARED_PIPELINE_FRACTION,
+    THREE_IN_ONE_ENC,
+    InputKind,
+    overhead_versus_tensor_only,
+)
+
+
+class TestCapabilities:
+    def test_table2_vp9_never_encodes(self):
+        for generation in GPU_CODEC_SUPPORT:
+            assert not supports(generation, "vp9").encode
+
+    def test_h265_universal_8k(self):
+        for generation in GPU_CODEC_SUPPORT:
+            entry = supports(generation, "h265")
+            assert entry.usable_for_tensors
+            assert entry.max_resolution == 7680
+
+    def test_av1_only_on_ada(self):
+        assert supports("ada-lovelace", "av1").usable_for_tensors
+        assert not supports("ampere", "av1").usable_for_tensors
+
+    def test_paper_picks_h265(self):
+        for generation in GPU_CODEC_SUPPORT:
+            assert best_codec_for(generation) in ("h265", "av1")
+        assert best_codec_for("ampere") == "h265"
+
+    def test_describe_strings(self):
+        assert supports("ampere", "h264").describe() == "4K Enc/Dec."
+        assert supports("ampere", "vp9").describe() == "8K Dec"
+        assert supports("ampere", "av1").describe() == "-"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            supports("pascal", "h264")
+
+
+class TestEngines:
+    def test_measured_throughputs(self):
+        assert NVENC.throughput_mb_s == 1100.0
+        assert NVDEC.throughput_mb_s == 1300.0
+
+    def test_seconds_for(self):
+        assert NVENC.seconds_for(1100e6) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            NVENC.seconds_for(-1)
+
+    def test_nvenc_is_the_bottleneck(self):
+        # Paper: end-to-end limited to 1100 MB/s on any fast link.
+        assert effective_link_bandwidth(12.5, 4.57) == pytest.approx(1100.0)
+
+    def test_slow_link_limited_by_wire(self):
+        bandwidth = effective_link_bandwidth(0.1, 4.0)
+        assert bandwidth == pytest.approx(100.0 * 4.0)
+
+    def test_speedup_crossover(self):
+        assert communication_speedup(0.1, 4.0) > 1.0  # slow link: codec wins
+        assert communication_speedup(12.5, 4.0) < 1.0  # fast link: codec loses
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            effective_link_bandwidth(1.0, 0.0)
+
+
+class TestComponents:
+    def test_table3_values_verbatim(self):
+        assert CODEC_COMPONENTS["h264-enc"].power_w == 1.1
+        assert CODEC_COMPONENTS["h265-enc"].area_mm2 == 11.7
+        assert CODEC_COMPONENTS["three-in-one-enc"].energy_pj_per_bit == 97.8
+        assert CODEC_COMPONENTS["three-in-one-dec"].energy_pj_per_bit == 63.5
+
+    def test_gpu_7nm_scaling(self):
+        assert DEVICES["rtx3090-7nm"].area_mm2 == pytest.approx(398.0, abs=0.5)
+
+    def test_nic_area_from_measurement(self):
+        assert DEVICES["cx5-nic"].area_mm2 == pytest.approx(169.7, abs=0.1)
+
+    def test_area_ratio_reproduces_199x(self):
+        # Paper: "199x smaller than the GPU" for the H.264 pair.
+        assert 150 < area_ratio("rtx3090-7nm", "h264") < 250
+
+    def test_instance_aggregation(self):
+        count, total = aggregate_to_bandwidth(0.05, 100.0)
+        assert count == int(np.ceil(100.0 / INSTANCE_GBPS))
+        assert total == pytest.approx(count * 0.05)
+        with pytest.raises(ValueError):
+            aggregate_to_bandwidth(1.0, 0)
+
+    def test_breakdown_sums_to_one(self):
+        assert sum(ENCODER_AREA_BREAKDOWN.values()) == pytest.approx(1.0)
+
+    def test_inter_and_buffer_dominate(self):
+        dropped = 1.0 - intra_only_area_fraction()
+        assert dropped > 0.5
+
+    def test_baseline_codecs_present(self):
+        for name in ("huffman", "deflate", "lz4", "cabac"):
+            assert f"{name}-enc" in BASELINE_HW_CODECS
+            assert f"{name}-dec" in BASELINE_HW_CODECS
+
+
+class TestEnergy:
+    def test_31x_claim(self):
+        assert compression_vs_transfer_ratio("three-in-one") == pytest.approx(
+            31.7, abs=0.1
+        )
+
+    def test_4_32x_claim(self):
+        assert compression_energy_ratio(5.0) == pytest.approx(4.32, abs=0.01)
+
+    def test_raw_transfer_energy(self):
+        joules = transfer_energy_joules(1e9)
+        assert joules == pytest.approx(8e9 * NCCL_PJ_PER_BIT * 1e-12)
+
+    def test_compressed_transfer_cheaper(self):
+        raw = transfer_energy_joules(1e9)
+        compressed = transfer_energy_joules(1e9, 5.0, "three-in-one")
+        assert compressed < raw / 3
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            compression_energy_ratio(0.0)
+
+
+class TestThreeInOne:
+    def test_shared_fraction(self):
+        assert SHARED_PIPELINE_FRACTION == 0.80
+        assert overhead_versus_tensor_only() == pytest.approx(0.20)
+
+    def test_video_activates_everything(self):
+        assert "video-pipeline" in THREE_IN_ONE_ENC.active_blocks(InputKind.VIDEO)
+        assert "video-pipeline" not in THREE_IN_ONE_ENC.active_blocks(InputKind.TENSOR)
+
+    def test_tensor_area_is_shared_only(self):
+        tensor_area = THREE_IN_ONE_ENC.active_area_mm2(InputKind.TENSOR)
+        video_area = THREE_IN_ONE_ENC.active_area_mm2(InputKind.VIDEO)
+        assert tensor_area < video_area
+        assert tensor_area == pytest.approx(0.70 * 0.80)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            THREE_IN_ONE_ENC.partition(1.5)
+        split = THREE_IN_ONE_ENC.partition(0.5)
+        assert split["tensor_gbps"] == pytest.approx(50.0)
+
+
+class TestNICSystem:
+    def test_compression_shrinks_nic(self):
+        raw = communication_system_area(None, 1.0)
+        compressed = communication_system_area("three-in-one", 4.57)
+        assert compressed["nic_mm2"] < raw["nic_mm2"] / 4
+        assert compressed["total_mm2"] < raw["total_mm2"]
+
+    def test_baseline_codec_lookup(self):
+        result = communication_system_area("huffman", 1.3)
+        assert result["codec_mm2"] > 0
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            communication_system_area("h266", 2.0)
+
+    def test_energy_ordering_follows_ratio(self):
+        low = communication_system_energy("three-in-one", 5.0, 1e9)
+        high = communication_system_energy("three-in-one", 1.5, 1e9)
+        assert low < high < communication_system_energy(None, 1.0, 1e9)
+
+
+class TestClusterModel:
+    def test_comm_bytes_zero_for_single_device_axes(self):
+        w = Workload()
+        dp_b, pp_b, tp_b = per_step_comm_bytes(w, dp=1, pp=1)
+        assert dp_b == pp_b == tp_b == 0.0
+
+    def test_dp_bytes_grow_with_ranks(self):
+        w = Workload()
+        small = per_step_comm_bytes(w, dp=2, pp=1)[0]
+        large = per_step_comm_bytes(w, dp=16, pp=1)[0]
+        assert large > small
+
+    def test_nvenc_bypasses_on_fast_links(self):
+        config = ClusterConfig(dp=2, pp=1, nic_gbps=100.0, codec=NVENC_OPTION)
+        assert not config.uses_codec
+        assert config.payload_capacity_gbps == pytest.approx(100.0)
+
+    def test_nvenc_engages_on_slow_links(self):
+        config = ClusterConfig(dp=2, pp=1, nic_gbps=4.0, codec=NVENC_OPTION)
+        assert config.uses_codec
+        assert config.payload_capacity_gbps == pytest.approx(8.8)
+
+    def test_three_in_one_multiplies_bandwidth(self):
+        config = ClusterConfig(dp=2, pp=1, nic_gbps=100.0, codec=THREE_IN_ONE_OPTION)
+        assert config.payload_capacity_gbps == pytest.approx(100.0 * 16.0 / 3.5)
+
+    def test_compression_beats_uncompressed_on_frontier(self):
+        w = Workload()
+        base = pareto_frontier(sweep(w, UNCOMPRESSED))
+        comp = pareto_frontier(sweep(w, THREE_IN_ONE_OPTION))
+        for budget in (50_000, 100_000, 200_000):
+            b = performance_at_budget(base, budget)
+            c = performance_at_budget(comp, budget)
+            assert c.tokens_per_s >= b.tokens_per_s
+
+    def test_speedup_grows_with_budget(self):
+        w = Workload()
+        base = pareto_frontier(sweep(w, UNCOMPRESSED))
+        comp = pareto_frontier(sweep(w, THREE_IN_ONE_OPTION))
+
+        def ratio(budget):
+            return (
+                performance_at_budget(comp, budget).tokens_per_s
+                / performance_at_budget(base, budget).tokens_per_s
+            )
+
+        assert ratio(200_000) > ratio(20_000)
+
+    def test_energy_gain_grows_with_model_size(self):
+        gains = energy_efficiency_vs_model_size(
+            [1e9, 70e9, 700e9], THREE_IN_ONE_OPTION
+        )
+        values = [v["gain"] for v in gains.values()]
+        assert values[-1] > values[0] > 1.0
+
+    def test_gpus_required_scales(self):
+        assert gpus_required(7e9) < gpus_required(70e9) < gpus_required(700e9)
+
+    def test_evaluate_returns_finite(self):
+        point = evaluate(Workload(), ClusterConfig(4, 2, 100.0, UNCOMPRESSED))
+        assert np.isfinite(point.step_time_s)
+        assert point.tokens_per_s > 0
+        assert 0 <= point.comm_fraction < 1
+        assert point.tokens_per_joule > 0

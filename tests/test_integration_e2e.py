@@ -1,0 +1,78 @@
+"""End-to-end integration: the full LLM.265 story in one test module.
+
+Train -> compress weights -> evaluate -> ship checkpoint -> reload ->
+generate with a compressed KV cache.  Exercises the seams between the
+codec, the NN substrate, the eval harness, and the storage layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evals import COMMONSENSE_SUITE, build_suite
+from repro.evals.harness import average_accuracy, evaluate_suite
+from repro.models.zoo import load_model
+from repro.nn.generate import generate
+from repro.quant.kvcache import rtn_kv_hook
+from repro.tensor.checkpoint import load_checkpoint, save_checkpoint
+from repro.tensor.codec import TensorCodec
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    """Model + corpus + tasks + a compressed checkpoint on disk."""
+    model, corpus = load_model("tiny-sim")
+    tasks = build_suite(corpus, COMMONSENSE_SUITE[:3], num_items=20)
+    path = str(tmp_path_factory.mktemp("ckpt") / "tiny.lv265")
+    stats = save_checkpoint(model.state_dict(), path, bits_per_value=3.5)
+    return model, corpus, tasks, path, stats
+
+
+class TestEndToEnd:
+    def test_compressed_weights_keep_task_accuracy(self, stack):
+        model, corpus, tasks, _, _ = stack
+        baseline = average_accuracy(evaluate_suite(model, tasks))
+
+        lossy, _ = load_model("tiny-sim")
+        codec = TensorCodec(tile=64)
+        names = sorted(lossy.weight_matrices())
+        restored = {
+            n: codec.decode(codec.encode(lossy.weight_matrices()[n], bits_per_value=3.5))
+            for n in names
+        }
+        lossy.apply_weight_transform(lambda n, w: restored[n])
+        compressed_acc = average_accuracy(evaluate_suite(lossy, tasks))
+        assert compressed_acc >= baseline - 0.15
+
+    def test_checkpoint_reload_matches_live_compression(self, stack):
+        model, corpus, tasks, path, stats = stack
+        assert stats.compression_ratio > 1.0
+
+        revived, _ = load_model("tiny-sim")
+        revived.load_state_dict(load_checkpoint(path))
+        ppl_live = model.perplexity(corpus.sample(8, seed=55))
+        ppl_revived = revived.perplexity(corpus.sample(8, seed=55))
+        assert ppl_revived < ppl_live * 1.8  # lossy but functional
+
+    def test_reloaded_model_generates_with_compressed_cache(self, stack):
+        _, corpus, _, path, _ = stack
+        revived, _ = load_model("tiny-sim")
+        revived.load_state_dict(load_checkpoint(path))
+        prompt = corpus.sample(1, seq_len=6, seed=77)[0]
+        tokens, cache = generate(
+            revived, prompt, max_new_tokens=8,
+            kv_hook=rtn_kv_hook(6), compress_every=4,
+        )
+        assert len(tokens) == 14
+        assert tokens.max() < revived.config.vocab_size
+        assert cache.seq_len == 14
+
+    def test_whole_pipeline_is_deterministic(self, stack):
+        _, corpus, _, path, _ = stack
+        a, _ = load_model("tiny-sim")
+        b, _ = load_model("tiny-sim")
+        a.load_state_dict(load_checkpoint(path))
+        b.load_state_dict(load_checkpoint(path))
+        prompt = corpus.sample(1, seq_len=6, seed=88)[0]
+        out_a, _ = generate(a, prompt, 6)
+        out_b, _ = generate(b, prompt, 6)
+        assert np.array_equal(out_a, out_b)

@@ -1,0 +1,251 @@
+"""Autograd engine tests: every backward checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import autograd
+from repro.nn.autograd import Parameter, Tensor, no_grad
+
+
+def numeric_grad(fn, values, eps=1e-6):
+    """Central finite differences of a scalar-valued fn over ``values``."""
+    grad = np.zeros_like(values, dtype=np.float64)
+    flat = values.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(values)
+        flat[i] = original - eps
+        down = fn(values)
+        flat[i] = original
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_op(op, shape=(3, 4), seed=0, atol=1e-5):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0, 1, shape)
+    param = Parameter(values.copy())
+    out = op(param)
+    loss = (out * out).sum() if out.size > 1 else out
+    loss.backward()
+
+    def scalar_fn(vals):
+        result = op(Tensor(vals)).data
+        return float((result * result).sum()) if result.size > 1 else float(result)
+
+    expected = numeric_grad(scalar_fn, values.copy())
+    assert np.allclose(param.grad, expected, atol=atol), (
+        f"max diff {np.max(np.abs(param.grad - expected))}"
+    )
+
+
+class TestElementwiseOps:
+    def test_add(self):
+        check_op(lambda x: x + 2.0)
+
+    def test_add_broadcast(self):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(1, 4))
+        check_op(lambda x: x + Tensor(other))
+
+    def test_mul(self):
+        check_op(lambda x: x * 3.0)
+
+    def test_mul_tensor(self):
+        rng = np.random.default_rng(2)
+        other = rng.normal(size=(3, 4))
+        check_op(lambda x: x * Tensor(other))
+
+    def test_sub_and_neg(self):
+        check_op(lambda x: 1.0 - x)
+
+    def test_div(self):
+        check_op(lambda x: x / 2.5)
+
+    def test_div_by_tensor(self):
+        other = np.abs(np.random.default_rng(3).normal(size=(3, 4))) + 1.0
+        check_op(lambda x: x / Tensor(other))
+
+    def test_pow(self):
+        check_op(lambda x: x**3)
+
+    def test_relu(self):
+        check_op(lambda x: x.relu(), seed=5)
+
+    def test_tanh(self):
+        check_op(lambda x: x.tanh())
+
+    def test_gelu(self):
+        check_op(lambda x: x.gelu())
+
+    def test_exp(self):
+        check_op(lambda x: x.exp())
+
+    def test_log(self):
+        check_op(lambda x: (x * x + 1.0).log())
+
+
+class TestMatmulAndShape:
+    def test_matmul(self):
+        rng = np.random.default_rng(4)
+        other = rng.normal(size=(4, 5))
+        check_op(lambda x: x @ Tensor(other))
+
+    def test_matmul_left_grad(self):
+        rng = np.random.default_rng(5)
+        left = rng.normal(size=(2, 3))
+        check_op(lambda x: Tensor(left) @ x, shape=(3, 4))
+
+    def test_batched_matmul(self):
+        rng = np.random.default_rng(6)
+        other = rng.normal(size=(2, 4, 5))
+        check_op(lambda x: x @ Tensor(other), shape=(2, 3, 4))
+
+    def test_reshape(self):
+        check_op(lambda x: x.reshape(4, 3))
+
+    def test_transpose(self):
+        check_op(lambda x: x.transpose(1, 0))
+
+    def test_transpose_3d(self):
+        check_op(lambda x: x.transpose(2, 0, 1), shape=(2, 3, 4))
+
+    def test_getitem(self):
+        check_op(lambda x: x[1:, :2])
+
+    def test_sum_all(self):
+        check_op(lambda x: x.sum())
+
+    def test_sum_axis(self):
+        check_op(lambda x: x.sum(axis=1))
+
+    def test_mean(self):
+        check_op(lambda x: x.mean(axis=0))
+
+    def test_softmax(self):
+        check_op(lambda x: x.softmax(axis=-1))
+
+    def test_concat(self):
+        rng = np.random.default_rng(7)
+        other = rng.normal(size=(3, 4))
+        check_op(lambda x: autograd.concat([x, Tensor(other)], axis=0))
+
+
+class TestFusedOps:
+    def test_layer_norm_grad(self):
+        rng = np.random.default_rng(8)
+        x_vals = rng.normal(size=(2, 5))
+        gamma_vals = rng.normal(1.0, 0.1, 5)
+        beta_vals = rng.normal(0.0, 0.1, 5)
+
+        x = Parameter(x_vals.copy())
+        gamma = Parameter(gamma_vals.copy())
+        beta = Parameter(beta_vals.copy())
+        out = autograd.layer_norm(x, gamma, beta)
+        (out * out).sum().backward()
+
+        def fn_x(vals):
+            o = autograd.layer_norm(Tensor(vals), Tensor(gamma_vals), Tensor(beta_vals))
+            return float((o.data**2).sum())
+
+        assert np.allclose(x.grad, numeric_grad(fn_x, x_vals.copy()), atol=1e-4)
+
+        def fn_g(vals):
+            o = autograd.layer_norm(Tensor(x_vals), Tensor(vals), Tensor(beta_vals))
+            return float((o.data**2).sum())
+
+        assert np.allclose(gamma.grad, numeric_grad(fn_g, gamma_vals.copy()), atol=1e-4)
+
+    def test_embedding_grad_scatter(self):
+        weight = Parameter(np.random.default_rng(9).normal(size=(10, 4)))
+        indices = np.array([[1, 1, 3]])
+        out = autograd.embedding(weight, indices)
+        out.sum().backward()
+        assert weight.grad[1].sum() == pytest.approx(8.0)  # row 1 used twice
+        assert weight.grad[3].sum() == pytest.approx(4.0)
+        assert np.all(weight.grad[0] == 0)
+
+    def test_cross_entropy_matches_manual(self):
+        rng = np.random.default_rng(10)
+        logits_vals = rng.normal(size=(2, 3, 5))
+        targets = np.array([[1, 2, 0], [4, 4, 3]])
+        logits = Parameter(logits_vals.copy())
+        loss = autograd.cross_entropy(logits, targets)
+
+        probs = np.exp(logits_vals - logits_vals.max(-1, keepdims=True))
+        probs /= probs.sum(-1, keepdims=True)
+        rows = probs.reshape(-1, 5)[np.arange(6), targets.reshape(-1)]
+        assert float(loss.data) == pytest.approx(-np.mean(np.log(rows)))
+
+    def test_cross_entropy_grad(self):
+        rng = np.random.default_rng(11)
+        logits_vals = rng.normal(size=(2, 4))
+        targets = np.array([1, 3])
+        logits = Parameter(logits_vals.copy())
+        autograd.cross_entropy(logits, targets).backward()
+
+        def fn(vals):
+            return float(autograd.cross_entropy(Tensor(vals), targets).data)
+
+        assert np.allclose(
+            logits.grad, numeric_grad(fn, logits_vals.copy()), atol=1e-5
+        )
+
+    def test_cross_entropy_ignores_padding(self):
+        logits = Parameter(np.random.default_rng(12).normal(size=(1, 3, 4)))
+        targets = np.array([[1, -100, 2]])
+        loss = autograd.cross_entropy(logits, targets)
+        loss.backward()
+        assert np.all(logits.grad[0, 1] == 0)
+
+
+class TestEngine:
+    def test_grad_accumulates_over_reuse(self):
+        x = Parameter(np.array([2.0]))
+        y = x * 3.0 + x * 4.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(7.0)
+
+    def test_diamond_graph(self):
+        x = Parameter(np.array([1.5]))
+        a = x * 2.0
+        b = x * 3.0
+        (a * b).backward()  # d/dx (6 x^2) = 12 x
+        assert x.grad[0] == pytest.approx(18.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Parameter(np.ones(3))
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self):
+        x = Parameter(np.ones((2, 2)))
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_detached_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_detach_cuts_graph(self):
+        x = Parameter(np.array([3.0]))
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_zero_grad(self):
+        x = Parameter(np.array([1.0]))
+        (x * 2.0).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Parameter(np.array([1.0]))
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.0)

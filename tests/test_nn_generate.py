@@ -1,0 +1,109 @@
+"""Tests for incremental decoding with (compressed) KV caches."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import load_model
+from repro.nn.generate import IncrementalDecoder, generate
+from repro.quant.kvcache import rtn_kv_hook
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return load_model("tiny-sim")
+
+
+class TestIncrementalDecoder:
+    def test_matches_full_forward(self, tiny):
+        """Token-by-token logits must equal the batch forward pass."""
+        model, corpus = tiny
+        tokens = corpus.sample(1, seq_len=12, seed=1)[0]
+        full = model.forward(tokens[None, :]).data[0]
+
+        decoder = IncrementalDecoder(model)
+        incremental = []
+        for t in range(len(tokens)):
+            incremental.append(decoder.feed(tokens[t : t + 1]))
+        incremental = np.stack(incremental)
+        assert np.allclose(incremental, full, atol=1e-8)
+
+    def test_prefill_then_steps_match(self, tiny):
+        model, corpus = tiny
+        tokens = corpus.sample(1, seq_len=10, seed=2)[0]
+        full = model.forward(tokens[None, :]).data[0]
+
+        decoder = IncrementalDecoder(model)
+        logits_prefill = decoder.feed(tokens[:6])
+        assert np.allclose(logits_prefill, full[5], atol=1e-8)
+        for t in range(6, 10):
+            logits = decoder.feed(tokens[t : t + 1])
+            assert np.allclose(logits, full[t], atol=1e-8)
+
+    def test_cache_grows(self, tiny):
+        model, corpus = tiny
+        decoder = IncrementalDecoder(model)
+        decoder.feed(corpus.sample(1, seq_len=5, seed=3)[0])
+        assert decoder.cache.seq_len == 5
+        assert len(decoder.cache.keys) == len(model.blocks)
+
+    def test_max_length_enforced(self, tiny):
+        model, _ = tiny
+        decoder = IncrementalDecoder(model)
+        too_long = np.zeros(model.config.max_seq_len + 1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            decoder.feed(too_long)
+
+
+class TestGenerate:
+    def test_greedy_is_deterministic(self, tiny):
+        model, corpus = tiny
+        prompt = corpus.sample(1, seq_len=6, seed=4)[0]
+        a, _ = generate(model, prompt, max_new_tokens=8)
+        b, _ = generate(model, prompt, max_new_tokens=8)
+        assert np.array_equal(a, b)
+        assert len(a) == 14
+
+    def test_sampled_generation_varies_with_seed(self, tiny):
+        model, corpus = tiny
+        prompt = corpus.sample(1, seq_len=6, seed=5)[0]
+        a, _ = generate(model, prompt, 12, temperature=1.5, seed=1)
+        b, _ = generate(model, prompt, 12, temperature=1.5, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_tokens_in_vocab(self, tiny):
+        model, corpus = tiny
+        prompt = corpus.sample(1, seq_len=4, seed=6)[0]
+        out, _ = generate(model, prompt, 10, temperature=1.0, seed=3)
+        assert out.min() >= 0 and out.max() < model.config.vocab_size
+
+    def test_compressed_cache_generation_stays_close(self, tiny):
+        """8-bit KV compression should barely change greedy output."""
+        model, corpus = tiny
+        prompt = corpus.sample(1, seq_len=8, seed=7)[0]
+        clean, _ = generate(model, prompt, 10)
+        lossy, cache = generate(
+            model, prompt, 10, kv_hook=rtn_kv_hook(8), compress_every=4
+        )
+        agreement = np.mean(clean == lossy)
+        assert agreement > 0.7
+        assert cache.seq_len == len(prompt) + 10
+
+    def test_aggressive_cache_compression_changes_output_gracefully(self, tiny):
+        model, corpus = tiny
+        prompt = corpus.sample(1, seq_len=8, seed=8)[0]
+        lossy, _ = generate(
+            model, prompt, 10, kv_hook=rtn_kv_hook(2), compress_every=2
+        )
+        assert len(lossy) == 18  # still generates; quality degrades, not crashes
+
+    def test_cache_bytes_accounting(self, tiny):
+        model, corpus = tiny
+        _, cache = generate(model, corpus.sample(1, seq_len=4, seed=9)[0], 4)
+        expected = (
+            len(model.blocks)
+            * 2  # K and V
+            * model.config.dim
+            * cache.seq_len
+            * 2  # FP16 bytes
+        )
+        assert cache.nbytes_fp16() == expected

@@ -1,0 +1,278 @@
+"""Tests for layers, the GPT model, optimizers, and the synthetic corpus."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Parameter, Tensor
+from repro.nn.data import CorpusConfig, SyntheticCorpus
+from repro.nn.layers import (
+    CausalSelfAttention,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    TransformerBlock,
+)
+from repro.nn.optim import LAMB, SGD, Adam, OneBitAdam, OneBitLAMB
+from repro.nn.transformer import GPT, GPTConfig
+
+TINY = GPTConfig(vocab_size=32, max_seq_len=32, dim=16, num_heads=2, num_layers=2)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(CorpusConfig(vocab_size=32, seq_len=24, seed=7))
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(8, 12, rng)
+        out = layer(Tensor(rng.normal(size=(2, 5, 8))))
+        assert out.shape == (2, 5, 12)
+
+    def test_layernorm_normalises(self):
+        rng = np.random.default_rng(1)
+        out = LayerNorm(16)(Tensor(rng.normal(3.0, 5.0, (4, 16))))
+        assert np.allclose(out.data.mean(axis=-1), 0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1, atol=1e-2)
+
+    def test_embedding_lookup(self):
+        rng = np.random.default_rng(2)
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out.data[0, 0], emb.weight.data[1])
+
+    def test_attention_is_causal(self):
+        rng = np.random.default_rng(3)
+        attn = CausalSelfAttention(16, 2, rng)
+        x = rng.normal(size=(1, 6, 16))
+        base = attn(Tensor(x)).data
+        perturbed = x.copy()
+        perturbed[0, 4] += 10.0  # changing a later token...
+        out = attn(Tensor(perturbed)).data
+        assert np.allclose(out[0, :4], base[0, :4])  # ...leaves earlier alone
+        assert not np.allclose(out[0, 4:], base[0, 4:])
+
+    def test_attention_kv_hook_applied(self):
+        rng = np.random.default_rng(4)
+        attn = CausalSelfAttention(16, 2, rng, layer_index=5)
+        seen = []
+
+        def hook(k, v, layer_index):
+            seen.append(layer_index)
+            return np.zeros_like(k), np.zeros_like(v)
+
+        attn.kv_hook = hook
+        out = attn(Tensor(rng.normal(size=(1, 4, 16))))
+        assert seen == [5]
+        # With zeroed values, attention output is the projection bias only.
+        assert np.allclose(out.data, out.data[0, 0])
+
+    def test_dim_heads_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(10, 3, np.random.default_rng(0))
+
+    def test_block_changes_input(self):
+        rng = np.random.default_rng(5)
+        block = TransformerBlock(16, 2, rng)
+        x = rng.normal(size=(1, 4, 16))
+        assert not np.allclose(block(Tensor(x)).data, x)
+
+
+class TestModule:
+    def test_named_parameters_deterministic(self):
+        model = GPT(TINY, seed=0)
+        names = [n for n, _ in model.named_parameters()]
+        assert names == sorted(names) or len(names) == len(set(names))
+        assert len(names) == len(set(names))
+
+    def test_state_dict_roundtrip(self):
+        a = GPT(TINY, seed=0)
+        b = GPT(TINY, seed=1)
+        b.load_state_dict(a.state_dict())
+        tokens = np.arange(8)[None, :]
+        assert np.allclose(a.forward(tokens).data, b.forward(tokens).data)
+
+    def test_state_dict_mismatch_rejected(self):
+        model = GPT(TINY, seed=0)
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_num_parameters_positive(self):
+        assert GPT(TINY).num_parameters() > 1000
+
+
+class TestGPT:
+    def test_forward_shape(self):
+        model = GPT(TINY)
+        logits = model.forward(np.zeros((2, 10), dtype=np.int64))
+        assert logits.shape == (2, 10, TINY.vocab_size)
+
+    def test_too_long_sequence_rejected(self):
+        model = GPT(TINY)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((1, 100), dtype=np.int64))
+
+    def test_loss_decreases_with_training(self, corpus):
+        model = GPT(TINY, seed=0)
+        opt = Adam(model.parameters(), lr=3e-3)
+        losses = []
+        for x, y in corpus.batches(8, 30, seq_len=24, seed=1):
+            loss = model.loss(x, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        assert np.mean(losses[-5:]) < losses[0] - 0.3
+
+    def test_perplexity_better_than_uniform_after_training(self, corpus):
+        model = GPT(TINY, seed=0)
+        opt = Adam(model.parameters(), lr=3e-3)
+        for x, y in corpus.batches(8, 40, seq_len=24, seed=2):
+            loss = model.loss(x, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        ppl = model.perplexity(corpus.sample(16, seq_len=24, seed=99))
+        assert ppl < TINY.vocab_size * 0.8
+
+    def test_sequence_logprob_is_negative(self):
+        model = GPT(TINY)
+        assert model.sequence_logprob(np.arange(10) % 32) < 0
+
+    def test_weight_matrices_excludes_embeddings(self):
+        model = GPT(TINY)
+        for name in model.weight_matrices():
+            assert "emb" not in name
+
+    def test_apply_weight_transform(self):
+        model = GPT(TINY, seed=0)
+        model.apply_weight_transform(lambda name, w: np.zeros_like(w))
+        assert all(np.all(w == 0) for w in model.weight_matrices().values())
+
+    def test_kv_hook_changes_logits(self):
+        model = GPT(TINY, seed=0)
+        tokens = np.arange(12)[None, :] % 32
+        base = model.forward(tokens).data
+        model.set_kv_hook(lambda k, v, i: (k * 0.5, v * 0.5))
+        hooked = model.forward(tokens).data
+        model.set_kv_hook(None)
+        assert not np.allclose(base, hooked)
+        assert np.allclose(model.forward(tokens).data, base)
+
+
+class TestOptimizers:
+    def _quadratic_losses(self, optimizer_factory, steps=60):
+        param = Parameter(np.array([5.0, -3.0]))
+        opt = optimizer_factory([param])
+        losses = []
+        for _ in range(steps):
+            loss = (param * param).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        return losses
+
+    def test_sgd_converges(self):
+        losses = self._quadratic_losses(lambda p: SGD(p, lr=0.1))
+        assert losses[-1] < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        losses = self._quadratic_losses(
+            lambda p: SGD(p, lr=0.05, momentum=0.9), steps=150
+        )
+        assert losses[-1] < 1e-2
+
+    def test_adam_converges(self):
+        losses = self._quadratic_losses(lambda p: Adam(p, lr=0.3), steps=150)
+        assert losses[-1] < 1e-2
+
+    def test_lamb_converges(self):
+        losses = self._quadratic_losses(lambda p: LAMB(p, lr=0.1, weight_decay=0.0), steps=120)
+        assert losses[-1] < losses[0] / 100
+
+    def test_adam_skips_missing_grads(self):
+        param = Parameter(np.ones(2))
+        Adam([param]).step()  # no grad accumulated: must be a no-op
+        assert np.allclose(param.data, 1.0)
+
+
+class TestOneBitOptimizers:
+    def _train(self, optimizer, params, steps):
+        for _ in range(steps):
+            grads = []
+            for _ in range(optimizer.num_workers):
+                noise = np.random.default_rng(0).normal(0, 0.01, params[0].data.shape)
+                grads.append([2 * params[0].data + noise])
+            optimizer.step(grads)
+
+    def test_onebit_adam_warmup_then_compress(self):
+        param = Parameter(np.array([4.0, -4.0]))
+        opt = OneBitAdam([param], num_workers=2, lr=0.2, warmup_steps=5)
+        self._train(opt, [param], 30)
+        assert np.abs(param.data).max() < 1.0
+        assert opt.bits_log[:5] == [16.0] * 5
+        assert all(b == 1.0 for b in opt.bits_log[5:])
+
+    def test_onebit_adam_average_bits_matches_paper_formula(self):
+        param = Parameter(np.zeros(4))
+        opt = OneBitAdam([param], num_workers=1, warmup_steps=15)
+        for _ in range(100):
+            opt.step([[np.zeros(4)]])
+        assert opt.average_bits == pytest.approx(0.15 * 16 + 0.85 * 1)
+
+    def test_onebit_lamb_converges(self):
+        param = Parameter(np.array([3.0, -2.0]))
+        opt = OneBitLAMB([param], num_workers=2, lr=0.1, warmup_steps=5, weight_decay=0.0)
+        self._train(opt, [param], 60)
+        assert np.abs(param.data).max() < 1.5
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            OneBitAdam([Parameter(np.zeros(2))], num_workers=0)
+        opt = OneBitAdam([Parameter(np.zeros(2))], num_workers=2)
+        with pytest.raises(ValueError):
+            opt.step([[np.zeros(2)]])
+
+
+class TestCorpus:
+    def test_sampling_deterministic(self, corpus):
+        a = corpus.sample(4, seed=1)
+        b = corpus.sample(4, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_tokens_in_vocab(self, corpus):
+        tokens = corpus.sample(8, seed=2)
+        assert tokens.min() >= 0 and tokens.max() < 32
+
+    def test_batches_are_shifted(self, corpus):
+        x, y = next(corpus.batches(2, 1, seed=3))
+        assert x.shape == y.shape
+        full = corpus.sample(2, seed=4)
+        assert np.array_equal(full[:, :-1].shape, x.shape)
+
+    def test_oracle_logprob_negative_and_finite(self, corpus):
+        tokens = corpus.sample(1, seed=5)[0]
+        lp = corpus.oracle_logprob(tokens)
+        assert np.isfinite(lp) and lp < 0
+
+    def test_oracle_prefers_real_continuations(self, corpus):
+        rng = np.random.default_rng(6)
+        wins = 0
+        for i in range(20):
+            seq = corpus.sample(1, seq_len=32, seed=100 + i)[0]
+            context, real = seq[:24], seq[24:]
+            fake = rng.integers(0, 32, size=8)
+            if corpus.oracle_continuation_logprob(
+                context, real
+            ) > corpus.oracle_continuation_logprob(context, fake):
+                wins += 1
+        assert wins >= 15
+
+    def test_entropy_bound_below_uniform(self, corpus):
+        assert corpus.token_entropy_bound < np.log(32)

@@ -1,0 +1,188 @@
+"""Tests for GPTQ, AWQ, rotation, NF4 and MXFP baselines."""
+
+import numpy as np
+import pytest
+
+from repro.models.synthetic_weights import activation_like, weight_like
+from repro.quant.awq import awq_quantize
+from repro.quant.gptq import calibration_hessian, gptq_layer_error, gptq_quantize
+from repro.quant.mxfp import (
+    FP4_E2M1,
+    FP8_E4M3,
+    MXFP_FORMATS,
+    mx_bits_per_value,
+    mx_pack_bytes,
+    mx_quantize,
+    mx_roundtrip,
+)
+from repro.quant.nf4 import nf_quantize, normalfloat_codebook
+from repro.quant.rotation import hadamard_matrix, incoherence, rotate_quantize
+from repro.quant.rtn import rtn_roundtrip
+
+
+@pytest.fixture(scope="module")
+def layer():
+    rng = np.random.default_rng(0)
+    weight = weight_like(64, 48, seed=1).astype(np.float64)
+    inputs = activation_like(256, 64, seed=2).astype(np.float64)
+    return weight, inputs
+
+
+class TestGPTQ:
+    def test_hessian_is_spd(self, layer):
+        _, inputs = layer
+        hessian = calibration_hessian(inputs)
+        eigenvalues = np.linalg.eigvalsh(hessian)
+        assert eigenvalues.min() > 0
+
+    def test_beats_rtn_in_output_space(self, layer):
+        weight, inputs = layer
+        gptq_w = gptq_quantize(weight, inputs, bits=3)
+        rtn_w = rtn_roundtrip(weight, 3, symmetric=True)
+        assert gptq_layer_error(weight, gptq_w, inputs) < gptq_layer_error(
+            weight, rtn_w, inputs
+        )
+
+    def test_groupwise_beats_per_tensor(self, layer):
+        weight, inputs = layer
+        grouped = gptq_quantize(weight, inputs, bits=3, group_size=16)
+        plain = gptq_quantize(weight, inputs, bits=3)
+        assert gptq_layer_error(weight, grouped, inputs) <= gptq_layer_error(
+            weight, plain, inputs
+        )
+
+    def test_more_bits_less_error(self, layer):
+        weight, inputs = layer
+        errors = [
+            gptq_layer_error(weight, gptq_quantize(weight, inputs, bits=b), inputs)
+            for b in (2, 4, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_shape_mismatch_rejected(self, layer):
+        weight, inputs = layer
+        with pytest.raises(ValueError):
+            gptq_quantize(weight, inputs[:, :10], bits=4)
+
+    def test_bits_validation(self, layer):
+        weight, inputs = layer
+        with pytest.raises(ValueError):
+            gptq_quantize(weight, inputs, bits=1)
+
+
+class TestAWQ:
+    def test_beats_rtn_with_activation_outliers(self, layer):
+        weight, inputs = layer
+        result = awq_quantize(weight, inputs, bits=3)
+        reference = inputs @ weight
+        awq_err = np.mean((inputs @ result.weight - reference) ** 2)
+        rtn_err = np.mean(
+            (inputs @ rtn_roundtrip(weight, 3, symmetric=True) - reference) ** 2
+        )
+        assert awq_err <= rtn_err
+
+    def test_alpha_selected_from_grid(self, layer):
+        weight, inputs = layer
+        result = awq_quantize(weight, inputs, bits=4, alpha_grid=(0.0, 0.5))
+        assert result.alpha in (0.0, 0.5)
+
+    def test_output_shape(self, layer):
+        weight, inputs = layer
+        result = awq_quantize(weight, inputs, bits=4)
+        assert result.weight.shape == weight.shape
+
+    def test_shape_mismatch_rejected(self, layer):
+        weight, inputs = layer
+        with pytest.raises(ValueError):
+            awq_quantize(weight, inputs[:, :3], bits=4)
+
+
+class TestRotation:
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_hadamard_orthonormal(self, n):
+        h = hadamard_matrix(n)
+        assert np.allclose(h @ h.T, np.eye(n), atol=1e-10)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            hadamard_matrix(12)
+
+    def test_rotation_reduces_incoherence(self):
+        acts = activation_like(64, 128, seed=3).astype(np.float64)
+        from repro.quant.rotation import randomized_hadamard
+
+        rotated = acts @ randomized_hadamard(128, seed=0).T
+        assert incoherence(rotated) < incoherence(acts)
+
+    def test_rotation_beats_plain_rtn_on_outliers(self):
+        acts = activation_like(128, 64, seed=4).astype(np.float64)
+        plain = rtn_roundtrip(acts, 4, symmetric=False)
+        rotated = rotate_quantize(acts, 4)
+        assert np.mean((rotated - acts) ** 2) < np.mean((plain - acts) ** 2)
+
+    def test_non_power_of_two_channels_handled(self):
+        acts = activation_like(32, 48, seed=5).astype(np.float64)
+        restored = rotate_quantize(acts, 6)
+        assert restored.shape == acts.shape
+        assert np.mean((restored - acts) ** 2) < np.var(acts)
+
+
+class TestNF4:
+    def test_codebook_properties(self):
+        cb = normalfloat_codebook(4)
+        assert len(cb) == 16
+        assert cb[0] == pytest.approx(-1.0)
+        assert cb[-1] == pytest.approx(1.0)
+        assert np.any(cb == 0.0)
+        assert np.all(np.diff(cb) > 0)
+
+    def test_beats_rtn_on_gaussian(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(0, 1, 8192)
+        nf_err = np.mean((nf_quantize(values, 4) - values) ** 2)
+        rtn_err = np.mean((rtn_roundtrip(values, 4, group_size=64) - values) ** 2)
+        assert nf_err < rtn_err
+
+    def test_shape_preserved(self):
+        values = np.random.default_rng(7).normal(size=(13, 17))
+        assert nf_quantize(values).shape == (13, 17)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            normalfloat_codebook(1)
+
+
+class TestMXFP:
+    def test_grid_contains_zero_and_max(self):
+        grid = FP4_E2M1.grid()
+        assert grid[0] == 0.0
+        assert grid[-1] == pytest.approx(FP4_E2M1.max_value)
+
+    def test_roundtrip_error_scales_with_format(self):
+        rng = np.random.default_rng(8)
+        values = rng.normal(0, 1, 4096)
+        errors = [
+            np.mean((mx_roundtrip(values, name) - values) ** 2)
+            for name in ("mxfp4", "mxfp6", "mxfp8")
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_bits_per_value(self):
+        assert mx_bits_per_value(FP4_E2M1) == pytest.approx(4.25)
+        assert mx_bits_per_value(FP8_E4M3) == pytest.approx(8.25)
+
+    def test_zero_block(self):
+        restored, _ = mx_quantize(np.zeros(64), FP4_E2M1)
+        assert np.all(restored == 0)
+
+    def test_pack_bytes_length(self):
+        values = np.random.default_rng(9).normal(size=128)
+        packed = mx_pack_bytes(values, FP4_E2M1)
+        assert len(packed) == (128 // 32) * 33  # 1 scale byte + 32 codes
+
+    def test_all_named_formats_roundtrip(self):
+        values = np.random.default_rng(10).normal(size=256)
+        for name in MXFP_FORMATS:
+            restored = mx_roundtrip(values, name)
+            assert restored.shape == values.shape
+            assert np.all(np.isfinite(restored))

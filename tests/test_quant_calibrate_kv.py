@@ -1,0 +1,99 @@
+"""Tests for calibration capture and KV-cache hooks."""
+
+import numpy as np
+import pytest
+
+from repro.models.zoo import load_model
+from repro.quant.calibrate import collect_linear_inputs
+from repro.quant.kvcache import codec_kv_hook, quantize_kv, rotation_kv_hook, rtn_kv_hook
+from repro.models.synthetic_weights import kv_cache_like
+from repro.tensor.codec import TensorCodec
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return load_model("tiny-sim")
+
+
+class TestCalibration:
+    def test_captures_every_linear(self, tiny):
+        model, corpus = tiny
+        calib = collect_linear_inputs(model, [corpus.sample(2, seed=1)])
+        linear_weights = {
+            name
+            for name, p in model.named_parameters()
+            if name.endswith(".weight") and p.data.ndim == 2 and "emb" not in name
+        }
+        assert linear_weights <= set(calib)
+
+    def test_input_shapes_match_in_features(self, tiny):
+        model, corpus = tiny
+        calib = collect_linear_inputs(model, [corpus.sample(2, seed=2)])
+        params = dict(model.named_parameters())
+        for name, inputs in calib.items():
+            assert inputs.shape[1] == params[name].data.shape[0], name
+
+    def test_row_cap_respected(self, tiny):
+        model, corpus = tiny
+        calib = collect_linear_inputs(
+            model, [corpus.sample(8, seed=3)], max_rows=50
+        )
+        assert all(x.shape[0] <= 50 for x in calib.values())
+
+    def test_forward_restored_after_capture(self, tiny):
+        model, corpus = tiny
+        tokens = corpus.sample(1, seed=4)
+        before = model.forward(tokens).data
+        collect_linear_inputs(model, [tokens])
+        after = model.forward(tokens).data
+        assert np.array_equal(before, after)
+
+    def test_capture_exception_safe(self, tiny):
+        from repro.nn.layers import Linear
+
+        model, _ = tiny
+        original = Linear.__call__
+        with pytest.raises(Exception):
+            collect_linear_inputs(model, [np.full((1, 5), 10**9)])  # bad tokens
+        assert Linear.__call__ is original
+
+
+class TestKVHooks:
+    def test_quantize_kv_shape_and_error(self):
+        cache = kv_cache_like(2, 32, 8, seed=0).astype(np.float64)
+        restored = quantize_kv(cache, 4)
+        assert restored.shape == cache.shape
+        assert np.mean((restored - cache) ** 2) < np.var(cache)
+
+    def test_rtn_hook_applies_to_both(self):
+        hook = rtn_kv_hook(4)
+        k = kv_cache_like(1, 16, 8, seed=1).astype(np.float64)
+        v = kv_cache_like(1, 16, 8, seed=2).astype(np.float64)
+        k2, v2 = hook(k, v, 0)
+        assert not np.array_equal(k, k2) and not np.array_equal(v, v2)
+
+    def test_rotation_hook_beats_rtn_on_outliers(self):
+        cache = kv_cache_like(2, 32, 16, seed=3).astype(np.float64)
+        cache[:, :, 0] *= 30  # outlier channel
+        rtn = rtn_kv_hook(3, group_size=64)(cache, cache, 0)[0]
+        rot = rotation_kv_hook(3, group_size=64)(cache, cache, 0)[0]
+        assert np.mean((rot - cache) ** 2) < np.mean((rtn - cache) ** 2)
+
+    def test_codec_hook_caches_qp(self):
+        codec = TensorCodec(tile=64)
+        qp_cache = {}
+        hook = codec_kv_hook(codec, bits_per_value=3.0, qp_cache=qp_cache)
+        k = kv_cache_like(1, 32, 16, seed=4).astype(np.float64)
+        hook(k, k, 0)
+        assert len(qp_cache) == 2  # one entry each for K and V
+        hook(k, k, 0)  # second call reuses
+        assert len(qp_cache) == 2
+
+    def test_codec_hook_per_layer_keys(self):
+        codec = TensorCodec(tile=64)
+        qp_cache = {}
+        hook = codec_kv_hook(codec, bits_per_value=3.0, qp_cache=qp_cache)
+        k = kv_cache_like(1, 16, 8, seed=5).astype(np.float64)
+        hook(k, k, 0)
+        hook(k, k, 1)
+        assert len(qp_cache) == 4

@@ -1,0 +1,129 @@
+"""Tests for RTN quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant.rtn import rtn_dequantize, rtn_quantize, rtn_roundtrip
+
+
+class TestSymmetric:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, (64, 64))
+        for bits in (3, 4, 8):
+            restored = rtn_roundtrip(values, bits)
+            qmax = 2 ** (bits - 1) - 1
+            step = np.max(np.abs(values)) / qmax
+            assert np.max(np.abs(restored - values)) <= step / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(0, 1, 4096)
+        errors = [
+            np.mean((rtn_roundtrip(values, bits) - values) ** 2) for bits in (2, 4, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_groupwise_beats_per_tensor_with_outliers(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(0, 0.01, 4096)
+        values[7] = 3.0  # one massive outlier ruins the global scale
+        global_mse = np.mean((rtn_roundtrip(values, 4) - values) ** 2)
+        group_mse = np.mean((rtn_roundtrip(values, 4, group_size=128) - values) ** 2)
+        assert group_mse < global_mse / 5
+
+    def test_zero_tensor(self):
+        restored = rtn_roundtrip(np.zeros(100), 4)
+        assert np.all(restored == 0)
+
+    def test_one_bit_is_sign_times_absmax(self):
+        values = np.array([-2.0, -0.5, 0.5, 2.0])
+        q = rtn_quantize(values, 1)
+        assert set(np.unique(q.codes)).issubset({-1, 0, 1})
+
+
+class TestAsymmetric:
+    def test_handles_shifted_range(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(10, 11, 1024)
+        sym = np.mean((rtn_roundtrip(values, 4, symmetric=True) - values) ** 2)
+        asym = np.mean((rtn_roundtrip(values, 4, symmetric=False) - values) ** 2)
+        assert asym < sym / 10
+
+    def test_codes_within_range(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(5, 2, 512)
+        q = rtn_quantize(values, 4, symmetric=False)
+        assert q.codes.min() >= 0 and q.codes.max() <= 15
+
+
+class TestAccounting:
+    def test_bits_per_value_includes_overhead(self):
+        q = rtn_quantize(np.random.default_rng(5).normal(size=1024), 4, group_size=128)
+        assert q.bits_per_value > 4.0
+        assert q.bits_per_value < 4.5
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            rtn_quantize(np.ones(4), 0)
+        with pytest.raises(ValueError):
+            rtn_quantize(np.ones(4), 17)
+
+    def test_nondivisible_group_padding(self):
+        values = np.random.default_rng(6).normal(size=100)
+        restored = rtn_roundtrip(values, 4, group_size=32)
+        assert restored.shape == values.shape
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.booleans(),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_shape_preserved(self, bits, symmetric, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(7, 13))
+        restored = rtn_roundtrip(values, bits, symmetric=symmetric)
+        assert restored.shape == values.shape
+        assert np.all(np.isfinite(restored))
+
+
+class TestSyntheticGenerators:
+    def test_weight_like_has_outliers(self):
+        from repro.models.synthetic_weights import weight_like
+
+        w = weight_like(256, 256, seed=0)
+        std = np.std(w)
+        assert np.max(np.abs(w)) > 4 * std
+
+    def test_weight_like_channel_structure(self):
+        from repro.models.synthetic_weights import weight_like
+
+        w = weight_like(256, 256, seed=1)
+        col_energy = np.std(w, axis=0)
+        # Channel scales vary much more than sampling noise alone would.
+        assert col_energy.max() / col_energy.min() > 1.5
+
+    def test_activation_like_outlier_channels(self):
+        from repro.models.synthetic_weights import activation_like
+
+        a = activation_like(128, 256, seed=0)
+        scales = np.std(a, axis=0)
+        assert scales.max() / np.median(scales) > 5
+
+    def test_gradient_like_range_spread_grows(self):
+        from repro.models.synthetic_weights import gradient_like
+
+        early = gradient_like(64, 256, range_spread=0.5, seed=0)
+        late = gradient_like(64, 256, range_spread=2.0, seed=0)
+        def spread(g):
+            s = np.std(g, axis=0)
+            return np.log10(s.max() / s.min())
+        assert spread(late) > spread(early)
+
+    def test_layer_stack_shape(self):
+        from repro.models.synthetic_weights import layer_stack
+
+        stack = layer_stack(4, 32, 32, seed=0)
+        assert stack.shape == (4, 32, 32)

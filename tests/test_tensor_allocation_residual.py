@@ -1,0 +1,218 @@
+"""Tests for variable bit allocation, residual gradient compression,
+rate control, and the pipeline ablation."""
+
+import numpy as np
+import pytest
+
+from repro.codec.encoder import EncoderConfig, encode_frames
+from repro.codec.pipeline import PipelineStage, run_pipeline_ablation, stage_config
+from repro.codec.ratecontrol import encode_at_qp, search_qp_for_bitrate, search_qp_for_mse
+from repro.models.synthetic_weights import gradient_like, weight_like
+from repro.tensor.allocation import (
+    AllocationResult,
+    compress_with_schedule,
+    linear_schedule,
+    relative_error_loss,
+    search_allocation,
+)
+from repro.tensor.codec import TensorCodec
+from repro.tensor.precision import quantize_to_uint8
+from repro.tensor.residual import (
+    ResidualGradientCompressor,
+    paper_average_bits,
+)
+
+
+def _frames(count=2, size=64):
+    return [
+        quantize_to_uint8(weight_like(size, size, seed=s))[0] for s in range(count)
+    ]
+
+
+class TestRateControl:
+    def test_mse_search_meets_target(self):
+        frames = _frames()
+        qp, result = search_qp_for_mse(frames, max_mse=10.0)
+        assert result.mse <= 10.0
+        tighter_qp, _ = search_qp_for_mse(frames, max_mse=1.0)
+        assert tighter_qp < qp
+
+    def test_bitrate_search_meets_budget(self):
+        frames = _frames()
+        for budget in (1.5, 3.0, 5.0):
+            _, result = search_qp_for_bitrate(frames, budget)
+            assert result.bits_per_value <= budget + 1e-9
+
+    def test_unreachable_budget_returns_coarsest(self):
+        frames = _frames(count=1, size=32)
+        _, result = search_qp_for_bitrate(frames, 0.0001)
+        assert result.bits_per_value > 0.0001  # best effort, flagged by caller
+
+    def test_encode_at_qp_matches_direct(self):
+        frames = _frames(count=1)
+        direct = encode_frames(frames, EncoderConfig(qp=20.0)).data
+        assert encode_at_qp(frames, 20.0).data == direct
+
+
+class TestPipelineAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_pipeline_ablation(_frames(count=2, size=64), pixel_mse_target=5.0)
+
+    def test_all_stages_present(self, results):
+        stages = [r.stage for r in results]
+        assert stages == list(PipelineStage)
+
+    def test_raw_stage_is_8_bits(self, results):
+        assert results[0].bits_per_value == 8.0
+
+    def test_entropy_stage_is_lossless_and_smaller(self, results):
+        entropy = results[1]
+        assert entropy.pixel_mse == 0.0
+        assert entropy.bits_per_value < 8.0
+
+    def test_each_tool_reduces_or_holds_bits(self, results):
+        bits = [r.bits_per_value for r in results]
+        # Stages 1-5 are monotone non-increasing; inter may not help.
+        assert bits[1] < bits[0]
+        assert bits[2] < bits[1]
+        assert bits[3] <= bits[2] + 0.1
+        assert bits[4] <= bits[3] + 0.1
+
+    def test_inter_does_not_help_tensors(self, results):
+        """The paper's Figure 2(b) step 5 -> 6 finding.
+
+        Our RD-optimised encoder only picks inter when it wins a coin
+        flip of noise, so "does not help" shows as a <=0.1-bit wiggle
+        rather than the paper's visible increase (their encoder pays
+        fixed P-frame overhead).
+        """
+        intra = next(r for r in results if r.stage == PipelineStage.INTRA)
+        inter = next(r for r in results if r.stage == PipelineStage.INTER)
+        assert inter.bits_per_value >= intra.bits_per_value - 0.1
+
+    def test_lossy_stages_respect_mse(self, results):
+        for r in results[2:]:
+            assert r.pixel_mse <= 5.0
+
+    def test_inter_skipped_for_single_frame(self):
+        results = run_pipeline_ablation(_frames(count=1), pixel_mse_target=5.0)
+        assert PipelineStage.INTER not in [r.stage for r in results]
+
+    def test_stage_config_flags(self):
+        from repro.codec.profiles import H265_PROFILE
+
+        transform = stage_config(PipelineStage.TRANSFORM, H265_PROFILE)
+        assert not transform.use_intra and not transform.use_partition
+        intra = stage_config(PipelineStage.INTRA, H265_PROFILE)
+        assert intra.use_intra and intra.use_partition and not intra.use_inter
+        inter = stage_config(PipelineStage.INTER, H265_PROFILE)
+        assert inter.use_inter
+        with pytest.raises(ValueError):
+            stage_config(PipelineStage.ENTROPY, H265_PROFILE)
+
+
+class TestAllocation:
+    def test_linear_schedule_hits_average(self):
+        budgets = linear_schedule(8, 3.0, k=0.1)
+        assert np.mean(budgets) == pytest.approx(3.0, abs=0.01)
+
+    def test_zero_slope_is_uniform(self):
+        budgets = linear_schedule(5, 2.5, k=0.0)
+        assert np.allclose(budgets, 2.5)
+
+    def test_negative_slope_gives_early_layers_more(self):
+        budgets = linear_schedule(6, 3.0, k=-0.2)
+        assert budgets[0] > budgets[-1]
+
+    def test_floor_respected(self):
+        budgets = linear_schedule(10, 1.0, k=-0.5)
+        assert min(budgets) >= 0.4 - 1e-9
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            linear_schedule(0, 3.0, 0.0)
+
+    def test_compress_with_schedule_validates_lengths(self):
+        codec = TensorCodec(tile=64)
+        with pytest.raises(ValueError):
+            compress_with_schedule(codec, [np.ones((8, 8))], [2.0, 3.0])
+
+    def test_search_allocation_returns_best_k(self):
+        codec = TensorCodec(tile=64)
+        # Layers with very different difficulty: slope should matter.
+        layers = [
+            weight_like(48, 48, std=0.02 * (1 + i), seed=i) for i in range(3)
+        ]
+        result = search_allocation(codec, layers, avg_bits=2.5, k_grid=(-0.3, 0.0, 0.3))
+        assert isinstance(result, AllocationResult)
+        assert result.k in (-0.3, 0.0, 0.3)
+        assert result.average_bits < 3.2
+        assert len(result.compressed) == 3
+
+    def test_relative_error_loss(self):
+        a = [np.ones((4, 4))]
+        assert relative_error_loss(a, [np.ones((4, 4))]) == 0.0
+
+
+class TestSensitivitySchedule:
+    def test_budgets_average_to_target(self):
+        from repro.tensor.allocation import sensitivity_schedule
+
+        codec = TensorCodec(tile=64)
+        layers = [weight_like(48, 48, std=0.02 * (1 + i), seed=i) for i in range(3)]
+        budgets = sensitivity_schedule(codec, layers, avg_bits=2.5)
+        assert np.mean(budgets) == pytest.approx(2.5, abs=0.05)
+        assert min(budgets) >= 0.4 - 1e-9
+
+    def test_sensitive_layers_get_more_bits(self):
+        from repro.tensor.allocation import sensitivity_schedule
+
+        codec = TensorCodec(tile=64)
+        rng = np.random.default_rng(0)
+        easy = np.full((48, 48), 0.5) + rng.normal(0, 1e-4, (48, 48))
+        hard = rng.normal(0, 1.0, (48, 48))
+        budgets = sensitivity_schedule(codec, [easy, hard], avg_bits=3.0)
+        assert budgets[1] > budgets[0]
+
+    def test_probe_validation(self):
+        from repro.tensor.allocation import sensitivity_schedule
+
+        codec = TensorCodec(tile=64)
+        with pytest.raises(ValueError):
+            sensitivity_schedule(codec, [np.ones((8, 8))], 3.0, probe_bits=(3.0, 1.5))
+
+
+class TestResidualCompression:
+    def test_paper_average_formula(self):
+        assert paper_average_bits() == pytest.approx(
+            ((3.5 + 3.5) * 2500 + (3.5 + 8) * 5500) / 8000
+        )
+
+    def test_stage_switch_changes_bits(self):
+        codec = TensorCodec(tile=64)
+        compressor = ResidualGradientCompressor(codec, switch_step=2)
+        grad = gradient_like(48, 48, seed=1).astype(np.float64)
+        compressor.compress(grad, step=0)
+        compressor.compress(grad, step=5)
+        early, late = compressor.history
+        assert early.residual_bits < late.residual_bits  # 3.5 -> ~8 bits
+
+    def test_residual_improves_reconstruction(self):
+        codec = TensorCodec(tile=64)
+        compressor = ResidualGradientCompressor(codec)
+        grad = gradient_like(48, 48, seed=2).astype(np.float64)
+        restored = compressor.compress(grad, step=0)
+        base = codec.decode(codec.encode(grad, bits_per_value=3.5))
+        assert np.mean((restored - grad) ** 2) < np.mean((base - grad) ** 2)
+
+    def test_average_bits_tracks_history(self):
+        codec = TensorCodec(tile=64)
+        compressor = ResidualGradientCompressor(codec, switch_step=1)
+        grad = gradient_like(32, 32, seed=3).astype(np.float64)
+        assert compressor.average_bits == 0.0
+        compressor.compress(grad, step=0)
+        compressor.compress(grad, step=2)
+        assert compressor.average_bits == pytest.approx(
+            np.mean([s.total_bits for s in compressor.history])
+        )

@@ -1,0 +1,135 @@
+"""Integration tests for the public TensorCodec API."""
+
+import numpy as np
+import pytest
+
+from repro.codec.profiles import AV1_PROFILE, H264_PROFILE, H265_PROFILE
+from repro.models.synthetic_weights import weight_like
+from repro.quant.rtn import rtn_roundtrip
+from repro.tensor.codec import CompressedTensor, TensorCodec
+
+
+@pytest.fixture(scope="module")
+def weight():
+    return weight_like(128, 128, seed=7)
+
+
+@pytest.fixture(scope="module")
+def codec():
+    return TensorCodec(tile=128)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_preserves_shape_and_dtype(self, codec, weight):
+        restored, compressed = codec.roundtrip(weight, qp=20)
+        assert restored.shape == weight.shape
+        assert restored.dtype == weight.dtype
+
+    def test_qp_controls_quality(self, codec, weight):
+        mses = []
+        for qp in (4, 20, 36):
+            restored, _ = codec.roundtrip(weight, qp=qp)
+            mses.append(float(np.mean((restored - weight) ** 2)))
+        assert mses[0] < mses[1] < mses[2]
+
+    def test_bits_per_value_target_respected(self, codec, weight):
+        for budget in (2.0, 3.0, 4.5):
+            compressed = codec.encode(weight, bits_per_value=budget)
+            assert compressed.bits_per_value <= budget + 0.05
+
+    def test_fractional_bitrates_are_real(self, codec, weight):
+        c1 = codec.encode(weight, bits_per_value=2.3)
+        c2 = codec.encode(weight, bits_per_value=2.9)
+        assert c1.bits_per_value < c2.bits_per_value <= 2.9
+
+    def test_mse_target_respected(self, codec, weight):
+        target = 4e-5
+        compressed = codec.encode(weight, target_mse=target)
+        restored = codec.decode(compressed)
+        assert float(np.mean((restored - weight) ** 2)) <= target * 1.01
+
+    def test_unreachable_budget_returns_finest_not_garbage(self, codec):
+        """A (32, 2) head at a 3-bit budget: container overhead alone
+        exceeds the budget, so the codec must protect the data."""
+        tiny = np.random.default_rng(0).normal(0, 0.1, (32, 2)).astype(np.float32)
+        compressed = codec.encode(tiny, bits_per_value=3.0)
+        assert not compressed.budget_met
+        restored = codec.decode(compressed)
+        rel = np.mean((restored - tiny) ** 2) / np.var(tiny)
+        assert rel < 0.01  # near-lossless fallback
+
+    def test_budget_met_flag_on_normal_tensors(self, codec, weight):
+        compressed = codec.encode(weight, bits_per_value=3.0)
+        assert compressed.budget_met
+
+    def test_conflicting_targets_rejected(self, codec, weight):
+        with pytest.raises(ValueError):
+            codec.encode(weight, qp=20, bits_per_value=3.0)
+
+    def test_default_target_is_qp(self, codec, weight):
+        compressed = codec.encode(weight)
+        assert compressed.qp == pytest.approx(24.0)
+
+    def test_multi_tile_tensor(self, weight):
+        small_tile = TensorCodec(tile=64)
+        restored, compressed = small_tile.roundtrip(weight, qp=16)
+        assert compressed.layout.num_tiles == 4
+        assert np.mean((restored - weight) ** 2) < 1e-4
+
+    def test_3d_tensor(self, codec):
+        stack = np.stack([weight_like(32, 64, seed=s) for s in range(3)])
+        restored, compressed = codec.roundtrip(stack, qp=16)
+        assert restored.shape == stack.shape
+        assert np.mean((restored - stack) ** 2) < 1e-4
+
+    def test_vector_tensor(self, codec):
+        vec = np.linspace(-1, 1, 500).astype(np.float32)
+        restored, _ = codec.roundtrip(vec, qp=8)
+        assert restored.shape == vec.shape
+        assert np.mean((restored - vec) ** 2) < 1e-3
+
+    def test_constant_tensor_exact(self, codec):
+        t = np.full((32, 32), 0.75, dtype=np.float32)
+        restored, compressed = codec.roundtrip(t, qp=20)
+        assert np.allclose(restored, t)
+        assert compressed.compression_ratio > 30  # bounded by fixed header cost
+
+
+class TestCompressionQuality:
+    def test_beats_groupwise_rtn_at_equal_bits(self, codec):
+        """The paper's headline: codec > RTN at the same budget."""
+        weight = weight_like(256, 256, seed=3)
+        wide = TensorCodec(tile=256)
+        for bits in (2.0, 3.0):
+            compressed = wide.encode(weight, bits_per_value=bits)
+            restored = wide.decode(compressed)
+            codec_mse = float(np.mean((restored - weight) ** 2))
+            rtn = rtn_roundtrip(weight, int(bits), symmetric=True, group_size=128)
+            rtn_mse = float(np.mean((rtn - weight) ** 2))
+            assert codec_mse < rtn_mse
+
+    def test_compression_ratio_reported_vs_fp16(self, codec, weight):
+        compressed = codec.encode(weight, bits_per_value=3.0)
+        assert compressed.compression_ratio == pytest.approx(
+            16.0 / compressed.bits_per_value
+        )
+
+    @pytest.mark.parametrize(
+        "profile", [H264_PROFILE, H265_PROFILE, AV1_PROFILE], ids=lambda p: p.name
+    )
+    def test_all_profiles_work(self, profile, weight):
+        codec = TensorCodec(profile=profile, tile=128)
+        restored, compressed = codec.roundtrip(weight, qp=20)
+        assert np.mean((restored - weight) ** 2) < 1e-4
+
+
+class TestSerialization:
+    def test_to_from_bytes(self, codec, weight):
+        compressed = codec.encode(weight, qp=20)
+        blob = compressed.to_bytes()
+        revived = CompressedTensor.from_bytes(blob)
+        assert np.array_equal(codec.decode(revived), codec.decode(compressed))
+
+    def test_nbytes_accounts_metadata(self, codec, weight):
+        compressed = codec.encode(weight, qp=20)
+        assert compressed.nbytes > len(compressed.data)

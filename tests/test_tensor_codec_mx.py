@@ -1,0 +1,59 @@
+"""Tests for TensorCodec with the MX alignment front-end."""
+
+import numpy as np
+import pytest
+
+from repro.models.synthetic_weights import weight_like
+from repro.tensor.codec import CompressedTensor, TensorCodec
+
+
+class TestMXCodec:
+    def test_roundtrip(self):
+        codec = TensorCodec(tile=64, alignment="mx")
+        tensor = weight_like(48, 48, seed=0)
+        restored, compressed = codec.roundtrip(tensor, qp=16)
+        assert restored.shape == tensor.shape
+        assert np.mean((restored - tensor) ** 2) < np.var(tensor) / 10
+
+    def test_invalid_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            TensorCodec(alignment="fp8")
+
+    def test_mx_wins_on_extreme_outliers(self):
+        """The Section 7 alignment-unit argument: per-block exponents
+        keep sample resolution when one value is 1000x the rest."""
+        rng = np.random.default_rng(1)
+        tensor = rng.normal(0, 0.01, (64, 64)).astype(np.float64)
+        tensor[0, 0] = 20.0
+
+        minmax = TensorCodec(tile=64, alignment="minmax")
+        mx = TensorCodec(tile=64, alignment="mx")
+        rest_minmax, _ = minmax.roundtrip(tensor, qp=4)
+        rest_mx, _ = mx.roundtrip(tensor, qp=4)
+
+        clean = np.ones_like(tensor, dtype=bool)
+        clean[0, :1] = False
+        err_minmax = np.mean((rest_minmax[clean] - tensor[clean]) ** 2)
+        err_mx = np.mean((rest_mx[clean] - tensor[clean]) ** 2)
+        assert err_mx < err_minmax / 4
+
+    def test_side_info_counted_in_size(self):
+        tensor = weight_like(64, 64, seed=2)
+        minmax = TensorCodec(tile=64, alignment="minmax").encode(tensor, qp=20)
+        mx = TensorCodec(tile=64, alignment="mx").encode(tensor, qp=20)
+        # The exponent plane costs real bits and must be accounted.
+        assert mx.nbytes > len(mx.data)
+        assert mx.nbytes - len(mx.data) > minmax.nbytes - len(minmax.data)
+
+    def test_serialization_roundtrip(self):
+        codec = TensorCodec(tile=64, alignment="mx")
+        tensor = weight_like(32, 40, seed=3)
+        compressed = codec.encode(tensor, qp=16)
+        revived = CompressedTensor.from_bytes(compressed.to_bytes())
+        assert np.array_equal(codec.decode(compressed), codec.decode(revived))
+
+    def test_bitrate_target_with_mx(self):
+        codec = TensorCodec(tile=64, alignment="mx")
+        tensor = weight_like(64, 64, seed=4)
+        compressed = codec.encode(tensor, bits_per_value=3.5)
+        assert compressed.bits_per_value <= 3.55

@@ -1,0 +1,84 @@
+"""Tests for tensor <-> frame tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor.frames import TileLayout, as_2d, join_tiles, split_tiles
+
+
+class TestAs2D:
+    def test_scalar(self):
+        assert as_2d(np.array(3.0)).shape == (1, 1)
+
+    def test_vector(self):
+        assert as_2d(np.arange(10)).shape == (1, 10)
+
+    def test_matrix_unchanged(self):
+        m = np.zeros((3, 5))
+        assert as_2d(m).shape == (3, 5)
+
+    def test_3d_flattens_leading(self):
+        t = np.zeros((2, 3, 5))
+        assert as_2d(t).shape == (6, 5)
+
+
+class TestTiling:
+    def test_exact_grid(self):
+        t = np.arange(64 * 64).reshape(64, 64).astype(np.float32)
+        tiles, layout = split_tiles(t, 32)
+        assert len(tiles) == 4
+        assert all(tile.shape == (32, 32) for tile in tiles)
+        assert np.array_equal(join_tiles(tiles, layout), t)
+
+    def test_ragged_edges(self):
+        t = np.random.default_rng(0).normal(size=(70, 45)).astype(np.float32)
+        tiles, layout = split_tiles(t, 32)
+        assert layout.grid == (3, 2)
+        assert tiles[-1].shape == (6, 13)
+        assert np.array_equal(join_tiles(tiles, layout), t)
+
+    def test_small_tensor_single_tile(self):
+        t = np.ones((5, 7))
+        tiles, layout = split_tiles(t, 256)
+        assert len(tiles) == 1 and tiles[0].shape == (5, 7)
+        assert np.array_equal(join_tiles(tiles, layout), t)
+
+    def test_3d_roundtrip(self):
+        t = np.random.default_rng(1).normal(size=(4, 20, 30))
+        tiles, layout = split_tiles(t, 32)
+        assert np.allclose(join_tiles(tiles, layout), t)
+
+    def test_tile_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            split_tiles(np.zeros((8, 8)), 4)
+
+    def test_wrong_tile_count_rejected(self):
+        t = np.zeros((64, 64))
+        tiles, layout = split_tiles(t, 32)
+        with pytest.raises(ValueError):
+            join_tiles(tiles[:-1], layout)
+
+    def test_wrong_tile_shape_rejected(self):
+        t = np.zeros((64, 64))
+        tiles, layout = split_tiles(t, 32)
+        tiles[0] = tiles[0][:16, :16]
+        with pytest.raises(ValueError):
+            join_tiles(tiles, layout)
+
+    def test_tile_box_out_of_range(self):
+        _, layout = split_tiles(np.zeros((64, 64)), 32)
+        with pytest.raises(IndexError):
+            layout.tile_box(99)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=100),
+        st.sampled_from([8, 16, 32, 64]),
+    )
+    def test_property_roundtrip(self, rows, cols, tile):
+        rng = np.random.default_rng(rows * 1000 + cols)
+        t = rng.normal(size=(rows, cols))
+        tiles, layout = split_tiles(t, tile)
+        assert np.array_equal(join_tiles(tiles, layout), t)

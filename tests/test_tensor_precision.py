@@ -1,0 +1,69 @@
+"""Tests for FP <-> uint8 precision conversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor.precision import (
+    QuantizationGrid,
+    dequantize_from_uint8,
+    grid_for,
+    quantize_to_uint8,
+)
+
+
+class TestGrid:
+    def test_minmax_covers_range(self):
+        values = np.array([-3.0, 0.0, 5.0])
+        grid = grid_for(values)
+        codes = grid.to_codes(values)
+        assert codes[0] == 0 and codes[-1] == 255
+
+    def test_constant_tensor(self):
+        values = np.full((4, 4), 2.5)
+        codes, grid = quantize_to_uint8(values)
+        assert np.all(codes == 0)
+        assert np.allclose(dequantize_from_uint8(codes, grid), 2.5)
+
+    def test_empty_tensor(self):
+        codes, grid = quantize_to_uint8(np.array([]))
+        assert codes.size == 0
+        assert grid.scale == 0.0
+
+    def test_roundtrip_error_within_half_step(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, (64, 64))
+        codes, grid = quantize_to_uint8(values)
+        restored = dequantize_from_uint8(codes, grid)
+        assert np.max(np.abs(restored - values)) <= grid.scale / 2 + 1e-12
+
+    def test_step_mse_predicts_measured_mse(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-1, 1, 100_000)
+        codes, grid = quantize_to_uint8(values)
+        measured = np.mean((dequantize_from_uint8(codes, grid) - values) ** 2)
+        assert measured == pytest.approx(grid.step_mse, rel=0.1)
+
+    def test_codes_are_uint8(self):
+        codes, _ = quantize_to_uint8(np.array([1.0, 2.0]))
+        assert codes.dtype == np.uint8
+
+    def test_outliers_are_preserved_not_clipped(self):
+        values = np.concatenate([np.random.default_rng(2).normal(0, 0.01, 1000), [5.0]])
+        codes, grid = quantize_to_uint8(values)
+        restored = dequantize_from_uint8(codes, grid)
+        assert restored[-1] == pytest.approx(5.0, abs=grid.scale)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=64),
+            elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        )
+    )
+    def test_property_error_bound(self, values):
+        codes, grid = quantize_to_uint8(values)
+        restored = dequantize_from_uint8(codes, grid)
+        assert np.max(np.abs(restored - values)) <= grid.scale / 2 + 1e-9
