@@ -28,6 +28,7 @@ __all__ = [
     "H264_PROFILE",
     "H265_PROFILE",
     "AV1_PROFILE",
+    "telemetry",
     "__version__",
 ]
 
@@ -37,6 +38,7 @@ _LAZY_EXPORTS = {
     "H264_PROFILE": ("repro.codec.profiles", "H264_PROFILE"),
     "H265_PROFILE": ("repro.codec.profiles", "H265_PROFILE"),
     "AV1_PROFILE": ("repro.codec.profiles", "AV1_PROFILE"),
+    "telemetry": ("repro.telemetry", None),
 }
 
 
@@ -49,4 +51,4 @@ def __getattr__(name):
     import importlib
 
     module = importlib.import_module(module_name)
-    return getattr(module, attr)
+    return getattr(module, attr) if attr is not None else module

@@ -7,6 +7,13 @@ Subcommands:
 - ``info``       -- inspect a compressed blob
 - ``profile``    -- the Section 3.1 statistics of a tensor
 - ``sweep``      -- rate-distortion curve of a tensor
+- ``stats``      -- compress a tensor with telemetry on and print the
+  full per-stage dissection (wall time, bits per syntax element class,
+  rate-control convergence)
+
+A global ``--trace out.json`` flag (before the subcommand) records a
+Chrome trace-event file of the run for ``chrome://tracing`` /
+https://ui.perfetto.dev.
 
 Install with ``pip install -e .`` and run ``llm265 --help``.
 """
@@ -15,13 +22,24 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.analysis.statistics import profile_tensor, rate_distortion_sweep
 from repro.codec.profiles import profile_by_name
 from repro.tensor.codec import CompressedTensor, TensorCodec
+
+
+def _add_rate_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--bits", type=float, help="bits/value budget (fractional ok)")
+    group.add_argument("--qp", type=float, help="explicit quantization parameter")
+    group.add_argument("--mse", type=float, help="max mean squared error")
+    parser.add_argument("--codec", default="h265", choices=["h264", "h265", "av1"])
+    parser.add_argument("--tile", type=int, default=256)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -29,17 +47,18 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="llm265",
         description="LLM.265: video codecs repurposed as tensor codecs",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        help="write a Chrome trace-event file of this run (place before the "
+        "subcommand)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     compress = sub.add_parser("compress", help="compress a .npy tensor")
     compress.add_argument("input", help=".npy file to compress")
     compress.add_argument("output", help="destination .lv265 file")
-    group = compress.add_mutually_exclusive_group()
-    group.add_argument("--bits", type=float, help="bits/value budget (fractional ok)")
-    group.add_argument("--qp", type=float, help="explicit quantization parameter")
-    group.add_argument("--mse", type=float, help="max mean squared error")
-    compress.add_argument("--codec", default="h265", choices=["h264", "h265", "av1"])
-    compress.add_argument("--tile", type=int, default=256)
+    _add_rate_arguments(compress)
 
     decompress = sub.add_parser("decompress", help="restore a tensor")
     decompress.add_argument("input", help=".lv265 file")
@@ -54,12 +73,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="rate-distortion curve of a tensor")
     sweep.add_argument("input", help=".npy file")
     sweep.add_argument("--qps", default="8,16,24,32,40")
+
+    stats = sub.add_parser(
+        "stats",
+        help="compress a tensor and print the per-stage codec dissection",
+    )
+    stats.add_argument("input", help=".npy file")
+    _add_rate_arguments(stats)
     return parser
 
 
-def _cmd_compress(args: argparse.Namespace) -> int:
-    tensor = np.load(args.input)
-    codec = TensorCodec(profile=profile_by_name(args.codec), tile=args.tile)
+def _rate_kwargs(args: argparse.Namespace) -> dict:
     kwargs = {}
     if args.bits is not None:
         kwargs["bits_per_value"] = args.bits
@@ -67,7 +91,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         kwargs["qp"] = args.qp
     elif args.mse is not None:
         kwargs["target_mse"] = args.mse
-    compressed = codec.encode(tensor, **kwargs)
+    return kwargs
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    tensor = np.load(args.input)
+    codec = TensorCodec(profile=profile_by_name(args.codec), tile=args.tile)
+    compressed = codec.encode(tensor, **_rate_kwargs(args))
     with open(args.output, "wb") as handle:
         handle.write(compressed.to_bytes())
     print(
@@ -91,6 +121,7 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         compressed = CompressedTensor.from_bytes(handle.read())
+    print(compressed.summary())
     print(f"shape:          {compressed.layout.shape}")
     print(f"dtype:          {compressed.dtype}")
     print(f"codec:          {compressed.profile_name} (qp={compressed.qp:.2f})")
@@ -98,6 +129,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"size:           {compressed.nbytes} bytes")
     print(f"bits/value:     {compressed.bits_per_value:.3f}")
     print(f"ratio vs FP16:  {compressed.compression_ratio:.2f}x")
+    print(f"budget met:     {compressed.budget_met}")
     return 0
 
 
@@ -119,18 +151,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    tensor = np.load(args.input)
+    codec = TensorCodec(profile=profile_by_name(args.codec), tile=args.tile)
+    # Reuse the --trace session's registry when one is active so the
+    # trace file also covers this run; otherwise open a local session.
+    active = telemetry.current()
+    scope = nullcontext(active) if active is not None else telemetry.session()
+    with scope as registry:
+        compressed = codec.encode(tensor, **_rate_kwargs(args))
+        restored = codec.decode(compressed)
+        mse = float(np.mean((restored.astype(np.float64) - tensor) ** 2))
+        _print_stats(args.input, tensor, compressed, mse, registry)
+    return 0
+
+
+def _print_stats(
+    path: str,
+    tensor: np.ndarray,
+    compressed: CompressedTensor,
+    mse: float,
+    registry: telemetry.Registry,
+) -> None:
+    print(f"== llm265 stats: {path} ==")
+    print(f"tensor:     shape {tensor.shape}, dtype {tensor.dtype}, "
+          f"{tensor.size} values")
+    print(f"compressed: {compressed.summary()}")
+    print(f"distortion: mse {mse:.3e}")
+    print()
+
+    stats = compressed.encode_stats or {}
+    bits = stats.get("bits", {})
+    stream_bits = 8 * len(compressed.data)
+    meta_bytes = compressed.nbytes - len(compressed.data)
+    print("-- bitstream dissection (final encode) --")
+    print(f"{'element':<12s} {'bits':>10s} {'bytes':>10s} {'share':>8s}")
+    for element in telemetry.BIT_CLASSES:
+        if element not in bits:
+            continue
+        value = bits[element]
+        share = 100.0 * value / stream_bits if stream_bits else 0.0
+        print(f"{element:<12s} {value:>10d} {value / 8.0:>10.1f} {share:>7.1f}%")
+    total = sum(bits.values())
+    exact = "exact" if total == stream_bits else "MISMATCH"
+    print(f"{'total':<12s} {total:>10d} {total / 8.0:>10.1f}   "
+          f"(stream {stream_bits} bits: {exact})")
+    print(f"{'container':<12s} {8 * meta_bytes:>10d} {float(meta_bytes):>10.1f}   "
+          f"(metadata overhead)")
+    print(f"{'serialized':<12s} {8 * compressed.nbytes:>10d} "
+          f"{float(compressed.nbytes):>10.1f}   "
+          f"({compressed.bits_per_value:.3f} bits/value)")
+    print()
+
+    seconds = stats.get("seconds", {})
+    counts = stats.get("counts", {})
+    qp = stats.get("qp", {})
+    if seconds:
+        print("-- encoder stages (final encode) --")
+        for stage, value in sorted(seconds.items()):
+            print(f"{stage:<12s} {value * 1e3:>10.2f} ms")
+        print()
+    if counts:
+        print("-- encoder structure (final encode) --")
+        for name, value in sorted(counts.items()):
+            print(f"{name:<18s} {value:>10d}")
+        if qp.get("count"):
+            print(f"{'qp mean/min/max':<18s} "
+                  f"{qp['mean']:>10.2f} {qp['min']:>4d} {qp['max']:>4d}")
+        print()
+
+    print("-- session telemetry (all encodes incl. rate-control search) --")
+    print(telemetry.summary_table(registry))
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
     "info": _cmd_info,
     "profile": _cmd_profile,
     "sweep": _cmd_sweep,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (also the console script)."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.trace:
+        try:  # fail before doing the work, not after
+            open(args.trace, "wb").close()
+        except OSError as exc:
+            parser.error(f"cannot write trace file: {exc}")
+        with telemetry.session(trace=True) as registry:
+            code = _COMMANDS[args.command](args)
+            telemetry.write_chrome_trace(registry, args.trace)
+        return code
     return _COMMANDS[args.command](args)
 
 

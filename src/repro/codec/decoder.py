@@ -6,6 +6,7 @@ from typing import List, Optional
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.codec import intra
 from repro.codec.encoder import QpDither, unpack_header
 from repro.codec.entropy.arithmetic import BinaryDecoder
@@ -28,6 +29,7 @@ class FrameDecoder:
         self._profile = PROFILES_BY_ID[self._header["profile_id"]]
         self._dec = BinaryDecoder(data[self._header["header_size"] :])
         self._ctx = CodecContexts()
+        self._registry = None
 
     def decode(self) -> List[np.ndarray]:
         """Return the decoded frames (uint8, original dimensions)."""
@@ -38,14 +40,19 @@ class FrameDecoder:
         pad_h = height + ((-height) % ctu)
         dither = QpDither(h["qp_base"], h["qp_frac"])
         self._reference: Optional[np.ndarray] = None
+        self._registry = telemetry.current()
 
         frames: List[np.ndarray] = []
-        for frame_index in range(h["n_frames"]):
-            recon = self._decode_frame(pad_h, pad_w, frame_index, dither)
-            frames.append(
-                np.clip(np.rint(recon[:height, :width]), 0, 255).astype(np.uint8)
-            )
-            self._reference = recon
+        with telemetry.span("frames.decode"):
+            for frame_index in range(h["n_frames"]):
+                with telemetry.span("frame"):
+                    recon = self._decode_frame(pad_h, pad_w, frame_index, dither)
+                frames.append(
+                    np.clip(np.rint(recon[:height, :width]), 0, 255).astype(np.uint8)
+                )
+                self._reference = recon
+        if self._registry is not None:
+            self._registry.count("decode.frames", h["n_frames"])
         return frames
 
     def _decode_frame(
@@ -59,9 +66,13 @@ class FrameDecoder:
         self._inter_allowed = (
             h["use_inter"] and frame_index > 0 and self._reference is not None
         )
+        registry = self._registry
         for y0 in range(0, height, ctu):
             for x0 in range(0, width, ctu):
                 self._qp = dither.next()
+                if registry is not None:
+                    registry.count("decode.ctu")
+                    registry.observe("decode.qp", self._qp)
                 self._decode_cu(y0, x0, ctu, depth=0)
         return self._recon
 
@@ -69,6 +80,8 @@ class FrameDecoder:
         h = self._header
         if h["use_partition"] and size > h["min_cu"]:
             if self._dec.decode_bit(self._ctx.split, min(depth, 5)):
+                if self._registry is not None:
+                    self._registry.count("decode.cu.split")
                 half = size // 2
                 for qy in (0, 1):
                     for qx in (0, 1):
@@ -83,6 +96,11 @@ class FrameDecoder:
         is_inter = False
         if self._inter_allowed:
             is_inter = bool(self._dec.decode_bit(self._ctx.pred_flag, 0))
+        if self._registry is not None:
+            self._registry.count("decode.cu.leaf")
+            self._registry.count(
+                "decode.mode.inter" if is_inter else "decode.mode.intra"
+            )
 
         mode: Optional[int] = None
         if is_inter:

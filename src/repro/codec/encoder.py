@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.codec import intra
 from repro.codec.entropy.arithmetic import BinaryEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
@@ -82,6 +84,10 @@ class EncodeResult:
     data: bytes
     num_values: int
     mse: float
+    #: Per-stream instrumentation snapshot (bits per syntax element
+    #: class, stage timings, structural counters); populated only while
+    #: telemetry is enabled, see :mod:`repro.telemetry`.
+    stats: Optional[dict] = None
 
     @property
     def bits_per_value(self) -> float:
@@ -193,6 +199,7 @@ class FrameEncoder:
         self.config = config or EncoderConfig()
         if self.config.profile.min_cu_size < 4:
             raise ValueError("minimum CU size is 4")
+        self._stats: Optional[telemetry.EncodeStats] = None
 
     # -- public API ----------------------------------------------------
 
@@ -218,24 +225,41 @@ class FrameEncoder:
         qp_frac = header[_HEADER_SIZE - 3]
         dither = QpDither(qp_base, qp_frac)
 
+        registry = telemetry.current()
+        stats = self._stats = (
+            telemetry.EncodeStats() if registry is not None else None
+        )
         enc = BinaryEncoder()
         ctx = CodecContexts()
         self._reference: Optional[np.ndarray] = None
         sse_total = 0.0
-        for index, frame in enumerate(frames):
-            padded = pad_frame(frame, self._ctu)
-            recon = self._encode_frame(enc, ctx, padded, index, dither)
-            crop = recon[:height, :width]
-            sse_total += float(
-                np.sum((crop.astype(np.float64) - frame.astype(np.float64)) ** 2)
-            )
-            self._reference = recon
-        payload = enc.finish()
+        with telemetry.span("frames.encode"):
+            for index, frame in enumerate(frames):
+                padded = pad_frame(frame, self._ctu)
+                with telemetry.span("frame"):
+                    recon = self._encode_frame(enc, ctx, padded, index, dither)
+                crop = recon[:height, :width]
+                sse_total += float(
+                    np.sum((crop.astype(np.float64) - frame.astype(np.float64)) ** 2)
+                )
+                self._reference = recon
+            payload = enc.finish()
         num_values = height * width * len(frames)
+        stats_dict: Optional[dict] = None
+        if stats is not None:
+            # Exact closure: header + attributed element classes + flush
+            # telescope to the full stream size in bits.
+            stats.add_bits("header", 8 * len(header))
+            attributed = stats.total_bits - stats.bits["header"]
+            stats.add_bits("flush", 8 * len(payload) - attributed)
+            stats.add_count("frames", len(frames))
+            stats.publish(registry)
+            stats_dict = stats.as_dict()
         return EncodeResult(
             data=header + payload,
             num_values=num_values,
             mse=sse_total / num_values,
+            stats=stats_dict,
         )
 
     # -- per-frame -----------------------------------------------------
@@ -258,13 +282,24 @@ class FrameEncoder:
             cfg.use_inter and frame_index > 0 and self._reference is not None
         )
 
+        stats = self._stats
         for y0 in range(0, height, self._ctu):
             for x0 in range(0, width, self._ctu):
                 qp = dither.next()
                 self._qp = qp
                 self._lambda = rd_lambda(qp)
+                if stats is None:
+                    _, plan = self._plan_cu(y0, x0, self._ctu, depth=0)
+                    self._write_cu(enc, ctx, plan, y0, x0, self._ctu, depth=0)
+                    continue
+                stats.add_count("ctu")
+                stats.add_qp(qp)
+                t0 = perf_counter()
                 _, plan = self._plan_cu(y0, x0, self._ctu, depth=0)
+                t1 = perf_counter()
                 self._write_cu(enc, ctx, plan, y0, x0, self._ctu, depth=0)
+                stats.add_seconds("plan", t1 - t0)
+                stats.add_seconds("write", perf_counter() - t1)
         return self._recon
 
     # -- planning ------------------------------------------------------
@@ -418,6 +453,8 @@ class FrameEncoder:
         leading batch axis matching ``predictions``.
         """
         cfg = self.config
+        if self._stats is not None:
+            self._stats.add_count("residual_batches")
         size = orig.shape[0]
         residuals = orig[None] - predictions
         if cfg.use_transform:
@@ -499,10 +536,18 @@ class FrameEncoder:
         depth: int,
     ) -> None:
         cfg = self.config
+        stats = self._stats
         if cfg.use_partition and size > self._min_cu:
             is_split = plan[0] == "split"
-            enc.encode_bit(ctx.split, min(depth, 5), 1 if is_split else 0)
+            if stats is None:
+                enc.encode_bit(ctx.split, min(depth, 5), 1 if is_split else 0)
+            else:
+                mark = enc.tell_bits()
+                enc.encode_bit(ctx.split, min(depth, 5), 1 if is_split else 0)
+                stats.add_bits("split", enc.tell_bits() - mark)
             if is_split:
+                if stats is not None:
+                    stats.add_count("cu.split")
                 half = size // 2
                 index = 0
                 for qy in (0, 1):
@@ -519,17 +564,31 @@ class FrameEncoder:
                         index += 1
                 return
         _, mode, is_inter, mv, levels = plan
+        if stats is not None:
+            stats.add_count("cu.leaf")
+            stats.add_count("mode.inter" if is_inter else "mode.intra")
         if self._inter_allowed:
-            enc.encode_bit(ctx.pred_flag, 0, 1 if is_inter else 0)
+            if stats is None:
+                enc.encode_bit(ctx.pred_flag, 0, 1 if is_inter else 0)
+            else:
+                mark = enc.tell_bits()
+                enc.encode_bit(ctx.pred_flag, 0, 1 if is_inter else 0)
+                stats.add_bits("pred_flag", enc.tell_bits() - mark)
         if is_inter:
+            mark = enc.tell_bits() if stats is not None else 0
             encode_mv(enc, ctx, mv)
+            if stats is not None:
+                stats.add_bits("mv", enc.tell_bits() - mark)
         elif cfg.use_intra:
             left_mode = self._neighbor_mode_for_signal(y0, x0 - 1)
             top_mode = self._neighbor_mode_for_signal(y0 - 1, x0)
+            mark = enc.tell_bits() if stats is not None else 0
             encode_intra_mode(
                 enc, ctx, mode, left_mode, top_mode, cfg.profile.all_modes
             )
-        encode_coeff_block(enc, ctx, levels)
+            if stats is not None:
+                stats.add_bits("intra_mode", enc.tell_bits() - mark)
+        encode_coeff_block(enc, ctx, levels, stats)
 
     def _neighbor_mode_for_signal(self, y: int, x: int) -> Optional[int]:
         """Neighbour mode exactly as the decoder will know it.

@@ -130,6 +130,23 @@ class BinaryEncoder:
         """Bytes emitted so far (grows as the stream is flushed)."""
         return len(self._out)
 
+    def tell_bits(self) -> int:
+        """Monotone bit-position probe for per-syntax-element accounting.
+
+        Counts emitted bytes, bytes pending in the carry cache, and the
+        fractional bits already committed inside the 32-bit range
+        (``32 - bit_length(range)`` is in ``[0, 8]`` between renorms).
+        Deltas of this value telescope, so summing per-element deltas
+        over a whole stream equals ``tell_bits(end) - tell_bits(start)``
+        exactly; the remainder up to ``8 * len(finish())`` is the flush
+        residue.  Sub-byte attribution of a single element is
+        approximate (the range coder packs elements across byte
+        boundaries), but totals are exact by construction.
+        """
+        return 8 * (len(self._out) + self._cache_size) + (
+            32 - self._range.bit_length()
+        )
+
 
 class BinaryDecoder:
     """Arithmetic decoder; mirror image of :class:`BinaryEncoder`."""

@@ -13,6 +13,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.codec.encoder import EncodeResult, EncoderConfig, FrameEncoder
 
 MIN_QP = 0.0
@@ -24,6 +25,7 @@ def encode_at_qp(
 ) -> EncodeResult:
     """Encode at a specific (possibly fractional) QP."""
     base = config or EncoderConfig()
+    telemetry.count("ratecontrol.iterations")
     return FrameEncoder(replace(base, qp=qp)).encode(frames)
 
 
@@ -38,19 +40,21 @@ def search_qp_for_mse(
     Distortion grows monotonically with QP, so a simple bisection over
     the float QP range suffices.
     """
-    lo, hi = MIN_QP, MAX_QP
-    best_qp = lo
-    best = encode_at_qp(frames, lo, config)
-    if best.mse > max_mse:
-        return lo, best  # even the finest quantizer misses the target
-    while hi - lo > precision:
-        mid = (lo + hi) / 2.0
-        result = encode_at_qp(frames, mid, config)
-        if result.mse <= max_mse:
-            best_qp, best = mid, result
-            lo = mid
-        else:
-            hi = mid
+    with telemetry.span("ratecontrol.search_mse"):
+        lo, hi = MIN_QP, MAX_QP
+        best_qp = lo
+        best = encode_at_qp(frames, lo, config)
+        if best.mse > max_mse:
+            telemetry.count("ratecontrol.target_miss")
+            return lo, best  # even the finest quantizer misses the target
+        while hi - lo > precision:
+            mid = (lo + hi) / 2.0
+            result = encode_at_qp(frames, mid, config)
+            if result.mse <= max_mse:
+                best_qp, best = mid, result
+                lo = mid
+            else:
+                hi = mid
     return best_qp, best
 
 
@@ -65,20 +69,22 @@ def search_qp_for_bitrate(
     Rate decreases monotonically with QP (up to entropy-coder noise);
     bisection finds the quality-maximising QP within ``precision``.
     """
-    lo, hi = MIN_QP, MAX_QP
-    best = encode_at_qp(frames, hi, config)
-    best_qp = hi
-    if best.bits_per_value > bits_per_value:
-        return hi, best  # budget unreachable; return the coarsest encode
-    low_result = encode_at_qp(frames, lo, config)
-    if low_result.bits_per_value <= bits_per_value:
-        return lo, low_result
-    while hi - lo > precision:
-        mid = (lo + hi) / 2.0
-        result = encode_at_qp(frames, mid, config)
-        if result.bits_per_value <= bits_per_value:
-            best_qp, best = mid, result
-            hi = mid
-        else:
-            lo = mid
+    with telemetry.span("ratecontrol.search_bitrate"):
+        lo, hi = MIN_QP, MAX_QP
+        best = encode_at_qp(frames, hi, config)
+        best_qp = hi
+        if best.bits_per_value > bits_per_value:
+            telemetry.count("ratecontrol.target_miss")
+            return hi, best  # budget unreachable; return the coarsest encode
+        low_result = encode_at_qp(frames, lo, config)
+        if low_result.bits_per_value <= bits_per_value:
+            return lo, low_result
+        while hi - lo > precision:
+            mid = (lo + hi) / 2.0
+            result = encode_at_qp(frames, mid, config)
+            if result.bits_per_value <= bits_per_value:
+                best_qp, best = mid, result
+                hi = mid
+            else:
+                lo = mid
     return best_qp, best

@@ -58,29 +58,64 @@ def _sig_ctx(cls: int, index: int, n: int) -> int:
 
 
 def encode_coeff_block(
-    enc: BinaryEncoder, ctx: CodecContexts, levels: np.ndarray
+    enc: BinaryEncoder, ctx: CodecContexts, levels: np.ndarray, stats=None
 ) -> None:
-    """Entropy-code one quantized coefficient block (any square size)."""
+    """Entropy-code one quantized coefficient block (any square size).
+
+    ``stats`` (a :class:`repro.telemetry.EncodeStats`, or None) receives
+    the exact bit split of this block over the ``cbf`` / ``last`` /
+    ``sig`` / ``level`` element classes, measured with
+    :meth:`BinaryEncoder.tell_bits` deltas (sign bins are folded into
+    ``level``).
+    """
     n = levels.shape[0]
     cls = size_class(n)
     scanned = zigzag_scan(levels)
     nz = np.nonzero(scanned)[0]
+    track = stats is not None
+    if track:
+        mark = enc.tell_bits()
+        stats.add_count("coeff_blocks")
     if nz.size == 0:
         enc.encode_bit(ctx.cbf, 0, 0)
+        if track:
+            stats.add_bits("cbf", enc.tell_bits() - mark)
         return
     enc.encode_bit(ctx.cbf, 0, 1)
+    if track:
+        now = enc.tell_bits()
+        stats.add_bits("cbf", now - mark)
+        mark = now
     last = int(nz[-1])
     enc.encode_ueg(ctx.last, cls * _LAST_PREFIX, last, _LAST_PREFIX, k=1)
+    if track:
+        now = enc.tell_bits()
+        stats.add_bits("last", now - mark)
+        mark = now
+    sig_bits = 0
+    level_bits = 0
     for i in range(last, -1, -1):
         level = int(scanned[i])
         if i != last:  # significance of the last coefficient is implied
             enc.encode_bit(ctx.sig, _sig_ctx(cls, i, n), 1 if level else 0)
+            if track:
+                now = enc.tell_bits()
+                sig_bits += now - mark
+                mark = now
         if level:
             magnitude = abs(level)
             enc.encode_ueg(
                 ctx.level, cls * _LEVEL_PREFIX, magnitude - 1, _LEVEL_PREFIX, k=1
             )
             enc.encode_bypass(1 if level < 0 else 0)
+            if track:
+                now = enc.tell_bits()
+                level_bits += now - mark
+                mark = now
+    if track:
+        stats.add_bits("sig", sig_bits)
+        stats.add_bits("level", level_bits)
+        stats.add_count("coeff_nonzero", int(nz.size))
 
 
 def decode_coeff_block(

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.distributed.comm import Channel, Compressor
 
 
@@ -53,6 +54,17 @@ def ring_allreduce(
         if np.asarray(tensor).shape != shape:
             raise ValueError("all workers must contribute the same shape")
 
+    with telemetry.span("distributed.allreduce"):
+        return _ring_allreduce(tensors, compressor, average, workers, shape)
+
+
+def _ring_allreduce(
+    tensors: Sequence[np.ndarray],
+    compressor: Optional[Compressor],
+    average: bool,
+    workers: int,
+    shape,
+) -> AllReduceResult:
     flat = [np.asarray(t, dtype=np.float64).reshape(-1).copy() for t in tensors]
     segments = np.array_split(np.arange(flat[0].size), workers)
     links = [Channel(compressor) for _ in range(workers)]  # link w -> w+1
@@ -92,6 +104,11 @@ def ring_allreduce(
             flat[worker] /= workers
 
     bytes_per_worker = links[0].total_compressed_bytes
+    registry = telemetry.current()
+    if registry is not None:
+        registry.count("allreduce.collectives")
+        registry.count("allreduce.steps", steps)
+        registry.observe("allreduce.bytes_per_worker", bytes_per_worker)
     return AllReduceResult(
         reduced=[f.reshape(shape) for f in flat],
         bytes_per_worker=bytes_per_worker,

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.quant.rtn import rtn_roundtrip
 from repro.tensor.codec import TensorCodec
 from repro.tensor.residual import ResidualGradientCompressor
@@ -162,6 +163,12 @@ class Channel:
         self.records.append(
             TrafficRecord(tag=tag, step=step, num_values=tensor.size, bits_per_value=bits)
         )
+        registry = telemetry.current()
+        if registry is not None:
+            registry.count("comm.sends")
+            registry.count("comm.bytes_raw", tensor.size * 2.0)
+            registry.count("comm.bytes_compressed", tensor.size * bits / 8.0)
+            registry.observe("comm.bits_per_value", bits)
         return restored
 
     @property

@@ -2,18 +2,29 @@
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Mapping
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.evals.tasks import ZeroShotTask
 from repro.nn.data import SyntheticCorpus
 from repro.nn.transformer import GPT
 
 
 def evaluate_suite(model: GPT, tasks: Mapping[str, ZeroShotTask]) -> Dict[str, float]:
-    """Per-task accuracy."""
-    return {name: task.evaluate(model) for name, task in tasks.items()}
+    """Per-task accuracy (each task timed under an ``eval.task.<name>`` span)."""
+    results: Dict[str, float] = {}
+    for name, task in tasks.items():
+        start = perf_counter()
+        with telemetry.span(f"eval.task.{name}"):
+            results[name] = task.evaluate(model)
+        registry = telemetry.current()
+        if registry is not None:
+            registry.count("eval.tasks")
+            registry.observe("eval.task_seconds", perf_counter() - start)
+    return results
 
 
 def average_accuracy(results: Mapping[str, float]) -> float:
@@ -47,7 +58,8 @@ def evaluate_model(
     """Accuracy per suite plus held-out perplexity (key ``perplexity``)."""
     results = evaluate_suite(model, tasks)
     held_out = corpus.sample(ppl_sequences, seed=ppl_seed)
-    results["perplexity"] = model.perplexity(held_out)
+    with telemetry.span("eval.perplexity"):
+        results["perplexity"] = model.perplexity(held_out)
     return results
 
 

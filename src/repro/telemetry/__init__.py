@@ -1,0 +1,59 @@
+"""repro.telemetry: tracing, metrics, and codec instrumentation.
+
+Usage::
+
+    from repro import telemetry
+
+    with telemetry.session(trace=True) as registry:
+        codec.encode(tensor, qp=24)
+        print(telemetry.summary_table(registry))
+        telemetry.write_chrome_trace(registry, "trace.json")
+
+Everything is a no-op (one thread-local lookup) until a registry is
+installed with :func:`enable` or :func:`session`, so instrumented code
+can stay instrumented in production.  See ``docs/TELEMETRY.md`` for
+the stable metric-name contract.
+"""
+
+from repro.telemetry.codecstats import BIT_CLASSES, EncodeStats
+from repro.telemetry.core import (
+    MAX_TRACE_EVENTS,
+    Histogram,
+    Registry,
+    SpanStat,
+    count,
+    current,
+    disable,
+    enable,
+    enabled,
+    observe,
+    session,
+    span,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    summary_table,
+    to_json,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "BIT_CLASSES",
+    "EncodeStats",
+    "Histogram",
+    "MAX_TRACE_EVENTS",
+    "Registry",
+    "SpanStat",
+    "chrome_trace",
+    "count",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "observe",
+    "session",
+    "span",
+    "summary_table",
+    "to_json",
+    "write_chrome_trace",
+]

@@ -1,0 +1,99 @@
+"""Per-encode instrumentation ledger for the frame codec.
+
+One :class:`EncodeStats` is created per :meth:`FrameEncoder.encode`
+call *when telemetry is enabled* and travels with the resulting
+:class:`~repro.codec.encoder.EncodeResult`.  It holds the exact
+per-syntax-element bit split of that one bitstream -- measured with
+:meth:`BinaryEncoder.tell_bits` deltas, so the classes plus ``header``
+and ``flush`` always sum to ``8 * len(data)`` exactly -- alongside
+stage timings and structural counters.
+
+Keeping the ledger per-encode (rather than only in the global
+registry) matters because rate control runs the encoder many times;
+the ledger of the *returned* encode describes the bytes that actually
+ship, while the registry aggregates every attempt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.telemetry.core import Registry
+
+__all__ = ["BIT_CLASSES", "EncodeStats"]
+
+#: Stable syntax-element bit classes, in stream order.  ``header`` is
+#: the fixed stream header, ``flush`` the arithmetic-coder termination
+#: residue; the rest are CABAC-coded element families.
+BIT_CLASSES = (
+    "header",
+    "split",
+    "pred_flag",
+    "intra_mode",
+    "mv",
+    "cbf",
+    "last",
+    "sig",
+    "level",
+    "flush",
+)
+
+
+class EncodeStats:
+    """Mutable ledger the encoder fills in while writing one stream."""
+
+    __slots__ = ("bits", "counts", "seconds", "qp_values")
+
+    def __init__(self) -> None:
+        self.bits: Dict[str, int] = {}
+        self.counts: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+        self.qp_values: List[int] = []
+
+    # -- recording -----------------------------------------------------
+
+    def add_bits(self, element: str, bits: int) -> None:
+        self.bits[element] = self.bits.get(element, 0) + bits
+
+    def add_count(self, name: str, value: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + value
+
+    def add_seconds(self, stage: str, seconds: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+
+    def add_qp(self, qp: int) -> None:
+        self.qp_values.append(qp)
+
+    # -- consuming -----------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        return sum(self.bits.values())
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot (what rides on ``EncodeResult.stats``)."""
+        qp = self.qp_values
+        return {
+            "bits": dict(self.bits),
+            "counts": dict(self.counts),
+            "seconds": dict(self.seconds),
+            "qp": {
+                "count": len(qp),
+                "min": min(qp) if qp else 0,
+                "max": max(qp) if qp else 0,
+                "mean": (sum(qp) / len(qp)) if qp else 0.0,
+            },
+        }
+
+    def publish(self, registry: Optional[Registry], prefix: str = "encode") -> None:
+        """Merge this ledger into a registry's global aggregates."""
+        if registry is None:
+            return
+        for element, bits in self.bits.items():
+            registry.count(f"{prefix}.bits.{element}", bits)
+        for name, value in self.counts.items():
+            registry.count(f"{prefix}.{name}", value)
+        for stage, seconds in self.seconds.items():
+            registry.count(f"{prefix}.seconds.{stage}", seconds)
+        for qp in self.qp_values:
+            registry.observe(f"{prefix}.qp", qp)

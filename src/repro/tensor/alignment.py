@@ -65,6 +65,22 @@ def mx_align(values: np.ndarray, block: int = MX_BLOCK) -> Tuple[np.ndarray, MXA
     return codes.reshape(-1)[: flat.size].reshape(-1), alignment
 
 
+def mx_from_side_info(side_info: bytes, original_size: int) -> MXAlignment:
+    """Rebuild an :class:`MXAlignment` from its serialized fields.
+
+    The exponent plane is fully determined by ``side_info`` (it is the
+    entropy-coded exponents), so containers only need to persist the
+    side info and the pre-padding value count.
+    """
+    raw = byte_arith_decode(side_info)
+    exponents = (
+        np.frombuffer(raw, dtype=np.uint8).astype(np.int16) - 128
+    ).astype(np.int8)
+    return MXAlignment(
+        exponents=exponents, original_size=original_size, side_info=side_info
+    )
+
+
 def mx_unalign(
     codes: np.ndarray, alignment: MXAlignment, shape: Tuple[int, ...], block: int = MX_BLOCK
 ) -> np.ndarray:

@@ -15,22 +15,92 @@ a fractional ``bits_per_value`` budget, or a tensor-domain
 
 from __future__ import annotations
 
-import pickle
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.codec.decoder import decode_frames
 from repro.codec.encoder import EncoderConfig, FrameEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
-from repro.tensor.alignment import MXAlignment, mx_align, mx_unalign
+from repro.tensor.alignment import MXAlignment, mx_align, mx_from_side_info, mx_unalign
 from repro.tensor.frames import TileLayout, join_tiles, split_tiles
 from repro.tensor.precision import QuantizationGrid, grid_for
 
 _DEFAULT_TILE = 256
-_METADATA_BYTES_PER_FRAME = 8  # two float32 grid parameters
+
+# -- container format -----------------------------------------------------
+#
+# ``to_bytes`` writes a compact binary container (it used to pickle the
+# metadata, which made the *actual* serialized size several hundred
+# bytes larger than the ``nbytes`` accounting claimed).  The format is
+# deliberately minimal: everything derivable from the tensor shape and
+# tile edge (2-D view dimensions, frame shape, tile count) is derived,
+# not stored, and ``nbytes`` reports the exact serialized size.
+#
+#   magic "L5" | version u8 | flags u8 (bit0 = budget_met) | qp f32
+#   tile u16 | ndim u8 | dims u32[ndim]
+#   dtype  u8 code (255 = escape: u8 length + utf-8 name)
+#   profile u8 code (255 = escape: u8 length + utf-8 name)
+#   per tile, in raster order:
+#     tag u8 = 0 (minmax): scale f64 | offset f64
+#     tag u8 = 1 (mx):     original_size u32 | side_len u32 | side bytes
+#   payload bytes (the video bitstream)
+
+_MAGIC = b"L5"
+_CONTAINER_VERSION = 2
+_DTYPE_CODES = {
+    "float16": 1,
+    "float32": 2,
+    "float64": 3,
+    "int8": 4,
+    "uint8": 5,
+    "int16": 6,
+    "int32": 7,
+    "int64": 8,
+}
+_DTYPE_NAMES = {code: name for name, code in _DTYPE_CODES.items()}
+_PROFILE_CODES = {"h264": 1, "h265": 2, "av1": 3}
+_PROFILE_NAMES = {code: name for name, code in _PROFILE_CODES.items()}
+_ESCAPE = 0xFF
+_GRID_MINMAX = 0
+_GRID_MX = 1
+
+
+def _pack_name(name: str, codes: dict) -> bytes:
+    code = codes.get(name)
+    if code is not None:
+        return struct.pack("<B", code)
+    raw = name.encode("utf-8")
+    if len(raw) > 255:
+        raise ValueError(f"name too long to serialize: {name!r}")
+    return struct.pack("<BB", _ESCAPE, len(raw)) + raw
+
+
+def _unpack_name(raw: bytes, offset: int, names: dict) -> Tuple[str, int]:
+    code = raw[offset]
+    if code != _ESCAPE:
+        try:
+            return names[code], offset + 1
+        except KeyError:
+            raise ValueError(f"unknown name code {code}") from None
+    length = raw[offset + 1]
+    start = offset + 2
+    return raw[start : start + length].decode("utf-8"), start + length
+
+
+def _rows_cols(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """2-D view dimensions, mirroring :func:`repro.tensor.frames.as_2d`."""
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return 1, shape[0]
+    rows = 1
+    for dim in shape[:-1]:
+        rows *= dim
+    return rows, shape[-1]
 
 
 @dataclass
@@ -48,6 +118,10 @@ class CompressedTensor:
     #: container overhead exceeds it (tiny tensors); the codec then
     #: returns its *finest* encode rather than silently destroying data.
     budget_met: bool = True
+    #: Per-stream instrumentation of the final encode (bits per syntax
+    #: element class, stage timings); populated only while telemetry is
+    #: enabled.  Never serialized and excluded from equality.
+    encode_stats: Optional[dict] = field(default=None, repr=False, compare=False)
 
     @property
     def num_values(self) -> int:
@@ -55,14 +129,8 @@ class CompressedTensor:
 
     @property
     def nbytes(self) -> int:
-        """Compressed size including per-frame alignment metadata."""
-        overhead = 16
-        for grid in self.grids:
-            if isinstance(grid, MXAlignment):
-                overhead += len(grid.side_info) + 4
-            else:
-                overhead += _METADATA_BYTES_PER_FRAME
-        return len(self.data) + overhead
+        """Exact serialized size: ``len(to_bytes())`` without building it all."""
+        return len(self._pack_meta()) + len(self.data)
 
     @property
     def bits_per_value(self) -> float:
@@ -73,26 +141,111 @@ class CompressedTensor:
         """Ratio versus the FP16 representation the paper baselines on."""
         return 16.0 / self.bits_per_value
 
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"CompressedTensor(shape={self.layout.shape}, dtype={self.dtype}, "
+            f"codec={self.profile_name}, qp={self.qp:.2f}, "
+            f"{self.nbytes} bytes, {self.bits_per_value:.2f} bits/value, "
+            f"{self.compression_ratio:.1f}x vs FP16, "
+            f"budget_met={self.budget_met})"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()
+
+    # -- serialization -------------------------------------------------
+
+    def _pack_meta(self) -> bytes:
+        shape = self.layout.shape
+        if not 0 < self.layout.tile <= 0xFFFF:
+            raise ValueError(f"tile edge {self.layout.tile} out of range")
+        if len(shape) > 255 or any(dim > 0xFFFFFFFF for dim in shape):
+            raise ValueError(f"shape {shape} not serializable")
+        parts = [
+            _MAGIC,
+            struct.pack(
+                "<BBfHB",
+                _CONTAINER_VERSION,
+                1 if self.budget_met else 0,
+                float(self.qp),
+                self.layout.tile,
+                len(shape),
+            ),
+            struct.pack(f"<{len(shape)}I", *shape) if shape else b"",
+            _pack_name(self.dtype, _DTYPE_CODES),
+            _pack_name(self.profile_name, _PROFILE_CODES),
+        ]
+        for grid in self.grids:
+            if isinstance(grid, MXAlignment):
+                parts.append(
+                    struct.pack(
+                        "<BII", _GRID_MX, grid.original_size, len(grid.side_info)
+                    )
+                )
+                parts.append(grid.side_info)
+            else:
+                parts.append(
+                    struct.pack("<Bdd", _GRID_MINMAX, grid.scale, grid.offset)
+                )
+        return b"".join(parts)
+
     def to_bytes(self) -> bytes:
-        """Serialize to a portable byte string."""
-        meta = {
-            "layout": self.layout,
-            "grids": self.grids,
-            "frame_shape": self.frame_shape,
-            "dtype": self.dtype,
-            "profile_name": self.profile_name,
-            "qp": self.qp,
-            "budget_met": self.budget_met,
-        }
-        blob = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
-        return struct.pack("<I", len(blob)) + blob + self.data
+        """Serialize to a portable byte string (compact binary, no pickle)."""
+        return self._pack_meta() + self.data
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "CompressedTensor":
         """Inverse of :meth:`to_bytes`."""
-        (meta_len,) = struct.unpack_from("<I", raw, 0)
-        meta = pickle.loads(raw[4 : 4 + meta_len])
-        return cls(data=raw[4 + meta_len :], **meta)
+        if raw[: len(_MAGIC)] != _MAGIC:
+            raise ValueError("not an LLM.265 tensor container")
+        try:
+            return cls._parse(raw)
+        except (struct.error, IndexError):
+            raise ValueError("truncated LLM.265 tensor container") from None
+
+    @classmethod
+    def _parse(cls, raw: bytes) -> "CompressedTensor":
+        offset = len(_MAGIC)
+        version, flags, qp, tile, ndim = struct.unpack_from("<BBfHB", raw, offset)
+        if version != _CONTAINER_VERSION:
+            raise ValueError(f"unsupported container version {version}")
+        offset += struct.calcsize("<BBfHB")
+        shape = struct.unpack_from(f"<{ndim}I", raw, offset) if ndim else ()
+        offset += 4 * ndim
+        dtype, offset = _unpack_name(raw, offset, _DTYPE_NAMES)
+        profile_name, offset = _unpack_name(raw, offset, _PROFILE_NAMES)
+
+        rows, cols = _rows_cols(shape)
+        layout = TileLayout(shape=tuple(shape), rows=rows, cols=cols, tile=tile)
+        frame_shape = (min(tile, rows), min(tile, cols))
+
+        grids: List = []
+        for _ in range(layout.num_tiles):
+            tag = raw[offset]
+            offset += 1
+            if tag == _GRID_MINMAX:
+                scale, grid_offset = struct.unpack_from("<dd", raw, offset)
+                offset += 16
+                grids.append(QuantizationGrid(scale=scale, offset=grid_offset))
+            elif tag == _GRID_MX:
+                original_size, side_len = struct.unpack_from("<II", raw, offset)
+                offset += 8
+                side_info = raw[offset : offset + side_len]
+                offset += side_len
+                grids.append(mx_from_side_info(side_info, original_size))
+            else:
+                raise ValueError(f"unknown grid tag {tag}")
+        return cls(
+            data=raw[offset:],
+            layout=layout,
+            grids=tuple(grids),
+            frame_shape=frame_shape,
+            dtype=dtype,
+            profile_name=profile_name,
+            qp=qp,
+            budget_met=bool(flags & 1),
+        )
 
 
 class TensorCodec:
@@ -148,31 +301,43 @@ class TensorCodec:
             raise ValueError("pass only one of qp / bits_per_value / target_mse")
 
         tensor = np.asarray(tensor)
-        frames, grids, layout, frame_shape = self._to_frames(tensor)
+        with telemetry.span("tensor.encode"):
+            telemetry.count("tensor.encodes")
+            frames, grids, layout, frame_shape = self._to_frames(tensor)
 
-        if qp is not None:
-            return self._encode_at(frames, grids, layout, frame_shape, tensor, qp)
-        if bits_per_value is not None:
-            return self._search_bitrate(
-                frames, grids, layout, frame_shape, tensor, bits_per_value
-            )
-        return self._search_mse(
-            frames, grids, layout, frame_shape, tensor, target_mse
-        )
+            if qp is not None:
+                compressed = self._encode_at(
+                    frames, grids, layout, frame_shape, tensor, qp
+                )
+            elif bits_per_value is not None:
+                telemetry.observe("ratecontrol.bits_requested", bits_per_value)
+                compressed = self._search_bitrate(
+                    frames, grids, layout, frame_shape, tensor, bits_per_value
+                )
+            else:
+                compressed = self._search_mse(
+                    frames, grids, layout, frame_shape, tensor, target_mse
+                )
+        telemetry.observe("tensor.bits_per_value", compressed.bits_per_value)
+        if not compressed.budget_met:
+            telemetry.count("ratecontrol.budget_miss")
+        return compressed
 
     def decode(self, compressed: CompressedTensor) -> np.ndarray:
         """Reconstruct the tensor from its compressed form."""
-        decoded_frames = decode_frames(compressed.data)
-        tiles: List[np.ndarray] = []
-        for index, frame in enumerate(decoded_frames):
-            y0, x0, h, w = compressed.layout.tile_box(index)
-            grid = compressed.grids[index]
-            cropped = frame[:h, :w]
-            if isinstance(grid, MXAlignment):
-                tiles.append(mx_unalign(cropped.reshape(-1), grid, (h, w)))
-            else:
-                tiles.append(grid.to_values(cropped))
-        restored = join_tiles(tiles, compressed.layout)
+        with telemetry.span("tensor.decode"):
+            telemetry.count("tensor.decodes")
+            decoded_frames = decode_frames(compressed.data)
+            tiles: List[np.ndarray] = []
+            for index, frame in enumerate(decoded_frames):
+                y0, x0, h, w = compressed.layout.tile_box(index)
+                grid = compressed.grids[index]
+                cropped = frame[:h, :w]
+                if isinstance(grid, MXAlignment):
+                    tiles.append(mx_unalign(cropped.reshape(-1), grid, (h, w)))
+                else:
+                    tiles.append(grid.to_values(cropped))
+            restored = join_tiles(tiles, compressed.layout)
         return restored.astype(compressed.dtype, copy=False)
 
     def roundtrip(
@@ -188,30 +353,33 @@ class TensorCodec:
         return EncoderConfig(profile=self.profile, qp=qp, use_inter=self.use_inter)
 
     def _to_frames(self, tensor: np.ndarray):
-        tiles, layout = split_tiles(tensor, self.tile)
-        frame_h = min(self.tile, layout.rows)
-        frame_w = min(self.tile, layout.cols)
-        frames: List[np.ndarray] = []
-        grids: List = []
-        for piece in tiles:
-            values = piece.astype(np.float64)
-            if self.alignment == "mx":
-                flat_codes, grid = mx_align(values.reshape(-1))
-                codes = flat_codes.reshape(values.shape)
-            else:
-                grid = grid_for(values)
-                codes = grid.to_codes(values)
-            pad_h = frame_h - codes.shape[0]
-            pad_w = frame_w - codes.shape[1]
-            if pad_h or pad_w:
-                codes = np.pad(codes, ((0, pad_h), (0, pad_w)), mode="edge")
-            frames.append(codes)
-            grids.append(grid)
+        with telemetry.span("tensor.to_frames"):
+            tiles, layout = split_tiles(tensor, self.tile)
+            telemetry.count("tensor.tiles", len(tiles))
+            frame_h = min(self.tile, layout.rows)
+            frame_w = min(self.tile, layout.cols)
+            frames: List[np.ndarray] = []
+            grids: List = []
+            for piece in tiles:
+                values = piece.astype(np.float64)
+                if self.alignment == "mx":
+                    flat_codes, grid = mx_align(values.reshape(-1))
+                    codes = flat_codes.reshape(values.shape)
+                else:
+                    grid = grid_for(values)
+                    codes = grid.to_codes(values)
+                pad_h = frame_h - codes.shape[0]
+                pad_w = frame_w - codes.shape[1]
+                if pad_h or pad_w:
+                    codes = np.pad(codes, ((0, pad_h), (0, pad_w)), mode="edge")
+                frames.append(codes)
+                grids.append(grid)
         return frames, tuple(grids), layout, (frame_h, frame_w)
 
     def _encode_at(
         self, frames, grids, layout, frame_shape, tensor, qp: float
     ) -> CompressedTensor:
+        telemetry.count("tensor.encoder_runs")
         result = FrameEncoder(self._encoder_config(qp)).encode(frames)
         return CompressedTensor(
             data=result.data,
@@ -221,6 +389,7 @@ class TensorCodec:
             dtype=str(tensor.dtype),
             profile_name=self.profile.name,
             qp=qp,
+            encode_stats=result.stats,
         )
 
     def _tensor_mse(self, compressed: CompressedTensor, tensor: np.ndarray) -> float:
@@ -239,42 +408,53 @@ class TensorCodec:
         returns its *finest* encode with ``budget_met = False``.  The
         absolute overshoot is a few dozen bytes by construction.
         """
-        lo, hi = 0.0, 51.0
-        best = self._encode_at(frames, grids, layout, frame_shape, tensor, hi)
-        if best.bits_per_value > budget:
+        with telemetry.span("ratecontrol.search_bitrate"):
+            lo, hi = 0.0, 51.0
+            telemetry.count("ratecontrol.iterations")
+            best = self._encode_at(frames, grids, layout, frame_shape, tensor, hi)
+            if best.bits_per_value > budget:
+                telemetry.count("ratecontrol.iterations")
+                finest = self._encode_at(
+                    frames, grids, layout, frame_shape, tensor, lo
+                )
+                finest.budget_met = False
+                return finest
+            telemetry.count("ratecontrol.iterations")
             finest = self._encode_at(frames, grids, layout, frame_shape, tensor, lo)
-            finest.budget_met = False
-            return finest
-        finest = self._encode_at(frames, grids, layout, frame_shape, tensor, lo)
-        if finest.bits_per_value <= budget:
-            return finest
-        while hi - lo > self.qp_search_precision:
-            mid = (lo + hi) / 2.0
-            candidate = self._encode_at(
-                frames, grids, layout, frame_shape, tensor, mid
-            )
-            if candidate.bits_per_value <= budget:
-                best, hi = candidate, mid
-            else:
-                lo = mid
+            if finest.bits_per_value <= budget:
+                return finest
+            while hi - lo > self.qp_search_precision:
+                mid = (lo + hi) / 2.0
+                telemetry.count("ratecontrol.iterations")
+                candidate = self._encode_at(
+                    frames, grids, layout, frame_shape, tensor, mid
+                )
+                if candidate.bits_per_value <= budget:
+                    best, hi = candidate, mid
+                else:
+                    lo = mid
         return best
 
     def _search_mse(
         self, frames, grids, layout, frame_shape, tensor, max_mse: float
     ) -> CompressedTensor:
         """Largest QP whose tensor-domain MSE stays within the budget."""
-        lo, hi = 0.0, 51.0
-        finest = self._encode_at(frames, grids, layout, frame_shape, tensor, lo)
-        if self._tensor_mse(finest, tensor) > max_mse:
-            return finest  # cannot meet the target; return best effort
-        best = finest
-        while hi - lo > self.qp_search_precision:
-            mid = (lo + hi) / 2.0
-            candidate = self._encode_at(
-                frames, grids, layout, frame_shape, tensor, mid
-            )
-            if self._tensor_mse(candidate, tensor) <= max_mse:
-                best, lo = candidate, mid
-            else:
-                hi = mid
+        with telemetry.span("ratecontrol.search_mse"):
+            lo, hi = 0.0, 51.0
+            telemetry.count("ratecontrol.iterations")
+            finest = self._encode_at(frames, grids, layout, frame_shape, tensor, lo)
+            if self._tensor_mse(finest, tensor) > max_mse:
+                telemetry.count("ratecontrol.target_miss")
+                return finest  # cannot meet the target; return best effort
+            best = finest
+            while hi - lo > self.qp_search_precision:
+                mid = (lo + hi) / 2.0
+                telemetry.count("ratecontrol.iterations")
+                candidate = self._encode_at(
+                    frames, grids, layout, frame_shape, tensor, mid
+                )
+                if self._tensor_mse(candidate, tensor) <= max_mse:
+                    best, lo = candidate, mid
+                else:
+                    hi = mid
         return best

@@ -133,3 +133,52 @@ class TestSerialization:
     def test_nbytes_accounts_metadata(self, codec, weight):
         compressed = codec.encode(weight, qp=20)
         assert compressed.nbytes > len(compressed.data)
+
+    def test_nbytes_equals_serialized_size(self, codec, weight):
+        """Reported size must match the actual container byte-for-byte."""
+        for kwargs in ({"qp": 20}, {"bits_per_value": 3.0}):
+            compressed = codec.encode(weight, **kwargs)
+            assert compressed.nbytes == len(compressed.to_bytes())
+
+    def test_nbytes_exact_for_vector_and_3d(self, codec):
+        vec = np.linspace(-1, 1, 500).astype(np.float32)
+        stack = np.stack([weight_like(32, 64, seed=s) for s in range(3)])
+        for tensor in (vec, stack):
+            compressed = codec.encode(tensor, qp=16)
+            assert compressed.nbytes == len(compressed.to_bytes())
+
+    def test_mx_alignment_roundtrip_through_bytes(self, weight):
+        mx_codec = TensorCodec(tile=128, alignment="mx")
+        compressed = mx_codec.encode(weight, qp=20)
+        assert compressed.nbytes == len(compressed.to_bytes())
+        revived = CompressedTensor.from_bytes(compressed.to_bytes())
+        assert np.array_equal(mx_codec.decode(revived), mx_codec.decode(compressed))
+
+    def test_from_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            CompressedTensor.from_bytes(b"not a container")
+        with pytest.raises(ValueError):
+            CompressedTensor.from_bytes(b"L5\xff" + b"\x00" * 40)  # bad version
+
+    def test_from_bytes_rejects_truncation(self, codec, weight):
+        blob = codec.encode(weight, qp=20).to_bytes()
+        with pytest.raises(ValueError, match="truncated"):
+            CompressedTensor.from_bytes(blob[:20])
+
+    def test_encode_stats_excluded_from_serialization(self, codec, weight):
+        from repro import telemetry
+
+        with telemetry.session():
+            compressed = codec.encode(weight, qp=20)
+        assert compressed.encode_stats is not None
+        revived = CompressedTensor.from_bytes(compressed.to_bytes())
+        assert revived.encode_stats is None
+        assert revived.nbytes == compressed.nbytes
+
+    def test_summary_and_repr(self, codec, weight):
+        compressed = codec.encode(weight, qp=20)
+        text = compressed.summary()
+        assert repr(compressed) == text
+        assert "CompressedTensor(" in text
+        assert "h265" in text
+        assert f"{compressed.nbytes}" in text
