@@ -10,6 +10,9 @@ Subcommands:
 - ``stats``      -- compress a tensor with telemetry on and print the
   full per-stage dissection (wall time, bits per syntax element class,
   rate-control convergence)
+- ``verify``     -- integrity-check a container / stream / checkpoint
+  via its CRC32 framing (exit 0 clean, 2 damaged); ``--deep`` also
+  runs a strict decode
 
 A global ``--trace out.json`` flag (before the subcommand) records a
 Chrome trace-event file of the run for ``chrome://tracing`` /
@@ -80,6 +83,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("input", help=".npy file")
     _add_rate_arguments(stats)
+
+    verify = sub.add_parser(
+        "verify",
+        help="integrity-check a .lv265 container, raw stream, or checkpoint",
+    )
+    verify.add_argument("input", nargs="+", help="file(s) to verify")
+    verify.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run a strict decode (slower; catches damage CRCs cannot)",
+    )
     return parser
 
 
@@ -224,6 +238,19 @@ def _print_stats(
     print(telemetry.summary_table(registry))
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Exit 0 when every file verifies clean, 2 when any is damaged."""
+    from repro.resilience.verify import verify_path
+
+    damaged = 0
+    for path in args.input:
+        report = verify_path(path, deep=args.deep)
+        print(report.summary())
+        if not report.ok:
+            damaged += 1
+    return 2 if damaged else 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -231,6 +258,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "sweep": _cmd_sweep,
     "stats": _cmd_stats,
+    "verify": _cmd_verify,
 }
 
 

@@ -1,8 +1,22 @@
-"""Bit-exact decoder for the bitstreams produced by :mod:`repro.codec.encoder`."""
+"""Bit-exact decoder for the bitstreams produced by :mod:`repro.codec.encoder`.
+
+Version-2 streams are cut into one CRC32-framed slice per frame (see
+``docs/RESILIENCE.md``).  The decoder verifies every slice checksum on
+arrival and supports two failure policies:
+
+- **strict** (default): any damage raises
+  :class:`~repro.resilience.errors.CorruptStreamError` -- no other
+  exception type ever escapes a decode.
+- **concealment** (``conceal=True``): a damaged slice is skipped and
+  its frame synthesised by neighbour prediction (copy of the previous
+  decoded frame) or mid-gray zero-fill for the first frame; decoding
+  continues with the next slice and every patched region is listed in
+  the returned :class:`~repro.resilience.errors.ConcealmentReport`.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -19,17 +33,34 @@ from repro.codec.syntax import (
     decode_mv,
 )
 from repro.codec.transform import inverse_dct2_batch
+from repro.resilience.errors import ConcealmentReport, CorruptStreamError
+from repro.resilience.framing import deframe_slices
+
+#: Mid-gray sample used to zero-fill a concealed frame with no neighbour.
+_CONCEAL_FILL = 128.0
 
 
 class FrameDecoder:
-    """Parses a bitstream and reconstructs the frame sequence."""
+    """Parses a bitstream and reconstructs the frame sequence.
 
-    def __init__(self, data: bytes) -> None:
+    ``conceal=True`` switches from fail-loud to decode-past-damage;
+    :attr:`report` describes what (if anything) was concealed.
+    """
+
+    def __init__(self, data: bytes, conceal: bool = False) -> None:
         self._header = unpack_header(data)
-        self._profile = PROFILES_BY_ID[self._header["profile_id"]]
-        self._dec = BinaryDecoder(data[self._header["header_size"] :])
-        self._ctx = CodecContexts()
+        try:
+            self._profile = PROFILES_BY_ID[self._header["profile_id"]]
+        except KeyError:
+            raise CorruptStreamError(
+                f"unknown profile id {self._header['profile_id']}"
+            ) from None
+        self._payload = data[self._header["header_size"] :]
+        self._conceal = conceal
+        self._ctx: Optional[CodecContexts] = None
+        self._dec: Optional[BinaryDecoder] = None
         self._registry = None
+        self.report = ConcealmentReport()
 
     def decode(self) -> List[np.ndarray]:
         """Return the decoded frames (uint8, original dimensions)."""
@@ -39,14 +70,30 @@ class FrameDecoder:
         pad_w = width + ((-width) % ctu)
         pad_h = height + ((-height) % ctu)
         dither = QpDither(h["qp_base"], h["qp_frac"])
+        ctus_per_frame = (pad_h // ctu) * (pad_w // ctu)
         self._reference: Optional[np.ndarray] = None
         self._registry = telemetry.current()
+        self.report = ConcealmentReport(total_slices=h["n_frames"])
+
+        slices, damage = deframe_slices(
+            self._payload, expected=h["n_frames"], strict=not self._conceal
+        )
+        damage_reasons = dict(damage)
 
         frames: List[np.ndarray] = []
         with telemetry.span("frames.decode"):
             for frame_index in range(h["n_frames"]):
+                segment = slices[frame_index] if frame_index < len(slices) else None
                 with telemetry.span("frame"):
-                    recon = self._decode_frame(pad_h, pad_w, frame_index, dither)
+                    recon = self._decode_slice(
+                        segment,
+                        damage_reasons.get(frame_index, "slice missing"),
+                        pad_h,
+                        pad_w,
+                        frame_index,
+                        dither,
+                        ctus_per_frame,
+                    )
                 frames.append(
                     np.clip(np.rint(recon[:height, :width]), 0, 255).astype(np.uint8)
                 )
@@ -54,6 +101,77 @@ class FrameDecoder:
         if self._registry is not None:
             self._registry.count("decode.frames", h["n_frames"])
         return frames
+
+    # -- per-slice -----------------------------------------------------
+
+    def _decode_slice(
+        self,
+        segment: Optional[bytes],
+        damage_reason: str,
+        height: int,
+        width: int,
+        frame_index: int,
+        dither: QpDither,
+        ctus_per_frame: int,
+    ) -> np.ndarray:
+        if segment is None:
+            return self._conceal_frame(
+                damage_reason, height, width, frame_index, dither, ctus_per_frame
+            )
+        # Fresh entropy state per slice: this is what makes slices
+        # independently decodable (and bit-exact with the encoder).
+        self._dec = BinaryDecoder(segment)
+        self._ctx = CodecContexts()
+        try:
+            return self._decode_frame(height, width, frame_index, dither)
+        except CorruptStreamError:
+            if not self._conceal:
+                raise
+        except Exception as exc:
+            # A CRC-valid slice that still fails to parse (crafted or
+            # colliding damage) must not leak raw IndexError/EOFError.
+            if not self._conceal:
+                raise CorruptStreamError(
+                    f"slice {frame_index}: undecodable ({type(exc).__name__}: {exc})"
+                ) from exc
+        # The damaged slice may have consumed an arbitrary number of
+        # dither steps before failing; rebuilding the dither is not
+        # possible mid-stream, so re-derive it deterministically from
+        # the frame index (every frame has the same CTU count).
+        rebuilt = QpDither(self._header["qp_base"], self._header["qp_frac"])
+        for _ in range((frame_index + 1) * ctus_per_frame):
+            rebuilt.next()
+        dither.__dict__.update(rebuilt.__dict__)
+        return self._conceal_frame(
+            "undecodable slice", height, width, frame_index, dither, ctus_per_frame,
+            advance_dither=False,
+        )
+
+    def _conceal_frame(
+        self,
+        reason: str,
+        height: int,
+        width: int,
+        frame_index: int,
+        dither: QpDither,
+        ctus_per_frame: int,
+        advance_dither: bool = True,
+    ) -> np.ndarray:
+        """Synthesise a frame for a damaged slice and keep state aligned."""
+        if advance_dither:
+            # Later slices must see the same per-CTU QP sequence as the
+            # encoder, so the dither is advanced as if decoded.
+            for _ in range(ctus_per_frame):
+                dither.next()
+        self.report.concealed.append((frame_index, reason))
+        if self._registry is not None:
+            self._registry.count("decode.slices_concealed")
+        telemetry.count("resilience.slices_concealed")
+        if self._reference is not None:
+            return self._reference.copy()  # neighbour (temporal) prediction
+        return np.full((height, width), _CONCEAL_FILL, dtype=np.float64)
+
+    # -- per-frame (unchanged CABAC replay) ----------------------------
 
     def _decode_frame(
         self, height: int, width: int, frame_index: int, dither: QpDither
@@ -106,6 +224,11 @@ class FrameDecoder:
         if is_inter:
             mv = decode_mv(self._dec, self._ctx)
             ry, rx = y0 + mv[0], x0 + mv[1]
+            ref_h, ref_w = self._reference.shape
+            if not (0 <= ry <= ref_h - size and 0 <= rx <= ref_w - size):
+                raise CorruptStreamError(
+                    f"motion vector {mv} points outside the reference frame"
+                )
             prediction = self._reference[ry : ry + size, rx : rx + size].astype(
                 np.float64
             )
@@ -144,6 +267,21 @@ class FrameDecoder:
         return value if value >= 0 else None
 
 
-def decode_frames(data: bytes) -> List[np.ndarray]:
-    """Decode a complete bitstream into its frame sequence."""
-    return FrameDecoder(data).decode()
+def decode_frames(data: bytes, conceal: bool = False) -> List[np.ndarray]:
+    """Decode a complete bitstream into its frame sequence.
+
+    Strict by default (raises :class:`CorruptStreamError` on damage);
+    ``conceal=True`` decodes past damaged slices -- use
+    :func:`decode_frames_with_report` when the concealment details
+    matter.
+    """
+    return FrameDecoder(data, conceal=conceal).decode()
+
+
+def decode_frames_with_report(
+    data: bytes, conceal: bool = True
+) -> Tuple[List[np.ndarray], ConcealmentReport]:
+    """Decode and return ``(frames, concealment report)``."""
+    decoder = FrameDecoder(data, conceal=conceal)
+    frames = decoder.decode()
+    return frames, decoder.report

@@ -25,6 +25,12 @@ import repro.telemetry as telemetry
 from repro.codec import intra
 from repro.codec.entropy.arithmetic import BinaryEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
+from repro.resilience.errors import (
+    ChecksumError,
+    CorruptStreamError,
+    TruncatedStreamError,
+)
+from repro.resilience.framing import SLICE_OVERHEAD, crc32, frame_slice
 from repro.codec.quantizer import dequantize, quantize, rd_lambda
 from repro.codec.syntax import (
     CodecContexts,
@@ -40,7 +46,11 @@ from repro.codec.transform import (
 )
 
 MAGIC = b"LV65"
-VERSION = 1
+#: Version 2 introduced error-resilient slices: each frame is an
+#: independently decodable segment (own arithmetic coder + contexts)
+#: wrapped in CRC32 framing, so a damaged slice is detected on decode
+#: and -- in concealment mode -- skipped instead of killing the stream.
+VERSION = 2
 
 _FLAG_INTRA = 1
 _FLAG_TRANSFORM = 2
@@ -48,7 +58,11 @@ _FLAG_PARTITION = 4
 _FLAG_INTER = 8
 
 _HEADER_FMT = "<4sBBBHHHBBBB"
-_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_HEADER_BODY_SIZE = struct.calcsize(_HEADER_FMT)
+# The header carries its own trailing CRC32: a flipped bit in e.g.
+# ``n_frames`` or ``width`` cannot be concealed (it re-shapes the whole
+# stream), so it must fail loudly rather than silently mis-decode.
+_HEADER_SIZE = _HEADER_BODY_SIZE + 4
 
 
 @dataclass
@@ -103,7 +117,7 @@ def pack_header(
     if qp_frac == 256:
         qp_base += 1
         qp_frac = 0
-    return struct.pack(
+    body = struct.pack(
         _HEADER_FMT,
         MAGIC,
         VERSION,
@@ -117,12 +131,13 @@ def pack_header(
         config.profile.ctu_size if config.use_partition else config.fixed_cu_size,
         config.profile.min_cu_size if config.use_partition else config.fixed_cu_size,
     )
+    return body + struct.pack("<I", crc32(body))
 
 
 def unpack_header(data: bytes) -> Dict[str, int]:
     """Parse the stream header written by :func:`pack_header`."""
     if len(data) < _HEADER_SIZE:
-        raise ValueError("stream too short for header")
+        raise TruncatedStreamError("stream too short for header")
     (
         magic,
         version,
@@ -137,9 +152,17 @@ def unpack_header(data: bytes) -> Dict[str, int]:
         min_cu,
     ) = struct.unpack_from(_HEADER_FMT, data, 0)
     if magic != MAGIC:
-        raise ValueError("bad magic: not an LLM.265 stream")
+        raise CorruptStreamError("bad magic: not an LLM.265 stream")
     if version != VERSION:
-        raise ValueError(f"unsupported stream version {version}")
+        raise CorruptStreamError(f"unsupported stream version {version}")
+    (stored_crc,) = struct.unpack_from("<I", data, _HEADER_BODY_SIZE)
+    actual_crc = crc32(data[:_HEADER_BODY_SIZE])
+    if stored_crc != actual_crc:
+        raise ChecksumError(
+            "stream header checksum mismatch",
+            expected=stored_crc,
+            actual=actual_crc,
+        )
     return {
         "profile_id": profile_id,
         "use_intra": bool(flags & _FLAG_INTRA),
@@ -221,21 +244,26 @@ class FrameEncoder:
             cfg.profile.min_cu_size if cfg.use_partition else cfg.fixed_cu_size
         )
         header = pack_header(cfg, width, height, len(frames))
-        qp_base = header[_HEADER_SIZE - 4]
-        qp_frac = header[_HEADER_SIZE - 3]
+        qp_base = header[_HEADER_BODY_SIZE - 4]
+        qp_frac = header[_HEADER_BODY_SIZE - 3]
         dither = QpDither(qp_base, qp_frac)
 
         registry = telemetry.current()
         stats = self._stats = (
             telemetry.EncodeStats() if registry is not None else None
         )
-        enc = BinaryEncoder()
-        ctx = CodecContexts()
         self._reference: Optional[np.ndarray] = None
         sse_total = 0.0
+        slices: List[bytes] = []
         with telemetry.span("frames.encode"):
             for index, frame in enumerate(frames):
                 padded = pad_frame(frame, self._ctu)
+                # Each frame is one error-resilience slice: a fresh
+                # coder and fresh contexts make it independently
+                # decodable, so a damaged slice can be concealed
+                # without desynchronising the rest of the stream.
+                enc = BinaryEncoder()
+                ctx = CodecContexts()
                 with telemetry.span("frame"):
                     recon = self._encode_frame(enc, ctx, padded, index, dither)
                 crop = recon[:height, :width]
@@ -243,7 +271,10 @@ class FrameEncoder:
                     np.sum((crop.astype(np.float64) - frame.astype(np.float64)) ** 2)
                 )
                 self._reference = recon
-            payload = enc.finish()
+                slices.append(frame_slice(enc.finish()))
+                if stats is not None:
+                    stats.add_bits("slice_hdr", 8 * SLICE_OVERHEAD)
+            payload = b"".join(slices)
         num_values = height * width * len(frames)
         stats_dict: Optional[dict] = None
         if stats is not None:

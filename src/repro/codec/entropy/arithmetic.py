@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.resilience.errors import CorruptStreamError
+
 _PROB_BITS = 11
 _PROB_ONE = 1 << _PROB_BITS  # 2048
 _PROB_INIT = _PROB_ONE // 2
@@ -216,7 +218,7 @@ class BinaryDecoder:
         while self.decode_bypass() == 0:
             prefix_len += 1
             if prefix_len > 64:
-                raise ValueError("corrupt UEG suffix")
+                raise CorruptStreamError("corrupt UEG suffix")
         shifted = 1
         for _ in range(prefix_len):
             shifted = (shifted << 1) | self.decode_bypass()

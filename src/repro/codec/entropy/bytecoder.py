@@ -12,6 +12,7 @@ import struct
 from typing import Optional, Sequence
 
 from repro.codec.entropy.arithmetic import BinaryDecoder, BinaryEncoder, ContextSet
+from repro.resilience.errors import CorruptStreamError, TruncatedStreamError
 
 
 def byte_arith_encode(data: bytes, num_trees: int = 1) -> bytes:
@@ -38,8 +39,17 @@ def byte_arith_encode(data: bytes, num_trees: int = 1) -> bytes:
 
 
 def byte_arith_decode(blob: bytes) -> bytes:
-    """Inverse of :func:`byte_arith_encode`."""
-    length, num_trees = struct.unpack_from("<IB", blob, 0)
+    """Inverse of :func:`byte_arith_encode`.
+
+    Raises :class:`CorruptStreamError` on a truncated or inconsistent
+    header.
+    """
+    try:
+        length, num_trees = struct.unpack_from("<IB", blob, 0)
+    except struct.error:
+        raise TruncatedStreamError("byte-coder stream shorter than its header") from None
+    if num_trees < 1:
+        raise CorruptStreamError("corrupt byte-coder header: zero context trees")
     decoder = BinaryDecoder(blob[5:])
     trees = [ContextSet(256) for _ in range(num_trees)]
     out = bytearray(length)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.codec.entropy.bitio import BitReader, BitWriter
+from repro.resilience.errors import CorruptStreamError, TruncatedStreamError
 
 
 def write_uexp_golomb(writer: BitWriter, value: int, k: int = 0) -> None:
@@ -18,17 +19,24 @@ def write_uexp_golomb(writer: BitWriter, value: int, k: int = 0) -> None:
 
 
 def read_uexp_golomb(reader: BitReader, k: int = 0) -> int:
-    """Read an unsigned order-``k`` Exp-Golomb code."""
-    prefix_len = 0
-    while reader.read_bit() == 0:
-        prefix_len += 1
-        if prefix_len > 64:
-            raise ValueError("corrupt Exp-Golomb prefix")
-    shifted = (1 << prefix_len) | reader.read_bits(prefix_len)
-    value = (shifted - 1) << k
-    if k:
-        value |= reader.read_bits(k)
-    return value
+    """Read an unsigned order-``k`` Exp-Golomb code.
+
+    Raises :class:`CorruptStreamError` on an impossible prefix or a
+    truncated bitstream.
+    """
+    try:
+        prefix_len = 0
+        while reader.read_bit() == 0:
+            prefix_len += 1
+            if prefix_len > 64:
+                raise CorruptStreamError("corrupt Exp-Golomb prefix")
+        shifted = (1 << prefix_len) | reader.read_bits(prefix_len)
+        value = (shifted - 1) << k
+        if k:
+            value |= reader.read_bits(k)
+        return value
+    except EOFError:
+        raise TruncatedStreamError("truncated Exp-Golomb code") from None
 
 
 def write_sexp_golomb(writer: BitWriter, value: int, k: int = 0) -> None:

@@ -8,6 +8,7 @@ from collections import Counter
 from typing import Dict, List, Tuple
 
 from repro.codec.entropy.bitio import BitReader, BitWriter
+from repro.resilience.errors import CorruptStreamError, TruncatedStreamError
 
 _MAX_CODE_LEN = 32
 
@@ -75,10 +76,18 @@ def huffman_compress(data: bytes) -> bytes:
 
 
 def huffman_decompress(blob: bytes) -> bytes:
-    """Inverse of :func:`huffman_compress`."""
+    """Inverse of :func:`huffman_compress`.
+
+    Raises :class:`CorruptStreamError` on any damage -- a truncated
+    header, an exhausted bitstream, or an impossible code.
+    """
+    if len(blob) < 260:
+        raise TruncatedStreamError("Huffman stream shorter than its header")
     (length,) = struct.unpack_from("<I", blob, 0)
     length_table = blob[4:260]
     lengths = {sym: l for sym, l in enumerate(length_table) if l > 0}
+    if length and not lengths:
+        raise CorruptStreamError("corrupt Huffman stream: empty code table")
     codes = _canonical_codes(lengths)
     # Decoding table: (length, code) -> symbol.
     table = {(width, value): sym for sym, (value, width) in codes.items()}
@@ -86,14 +95,17 @@ def huffman_decompress(blob: bytes) -> bytes:
     out = bytearray()
     code = 0
     width = 0
-    while len(out) < length:
-        code = (code << 1) | reader.read_bit()
-        width += 1
-        sym = table.get((width, code))
-        if sym is not None:
-            out.append(sym)
-            code = 0
-            width = 0
-        elif width > _MAX_CODE_LEN:
-            raise ValueError("corrupt Huffman stream")
+    try:
+        while len(out) < length:
+            code = (code << 1) | reader.read_bit()
+            width += 1
+            sym = table.get((width, code))
+            if sym is not None:
+                out.append(sym)
+                code = 0
+                width = 0
+            elif width > _MAX_CODE_LEN:
+                raise CorruptStreamError("corrupt Huffman stream")
+    except EOFError:
+        raise TruncatedStreamError("truncated Huffman stream") from None
     return bytes(out)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import struct
 
+from repro.resilience.errors import CorruptStreamError, TruncatedStreamError
+
 _MIN_MATCH = 4
 _HASH_LOG = 14
 _MAX_DISTANCE = 65535
@@ -104,38 +106,51 @@ def lz4_compress(data: bytes) -> bytes:
 
 
 def lz4_decompress(blob: bytes) -> bytes:
-    """Inverse of :func:`lz4_compress`."""
-    (n,) = struct.unpack_from("<I", blob, 0)
+    """Inverse of :func:`lz4_compress`.
+
+    Raises :class:`CorruptStreamError` on truncation or an impossible
+    sequence -- never ``IndexError``/``struct.error``.
+    """
+    try:
+        (n,) = struct.unpack_from("<I", blob, 0)
+    except struct.error:
+        raise TruncatedStreamError("LZ4 stream shorter than its size header") from None
     pos = 4
     out = bytearray()
-    while len(out) < n:
-        token = blob[pos]
-        pos += 1
-        lit_len = token >> 4
-        if lit_len == 15:
-            while True:
-                extra = blob[pos]
-                pos += 1
-                lit_len += extra
-                if extra != 255:
-                    break
-        out.extend(blob[pos : pos + lit_len])
-        pos += lit_len
-        if len(out) >= n:
-            break
-        offset = struct.unpack_from("<H", blob, pos)[0]
-        pos += 2
-        match_len = (token & 0x0F) + _MIN_MATCH
-        if (token & 0x0F) == 15:
-            while True:
-                extra = blob[pos]
-                pos += 1
-                match_len += extra
-                if extra != 255:
-                    break
-        start = len(out) - offset
-        if start < 0:
-            raise ValueError("corrupt LZ4 stream: bad offset")
-        for i in range(match_len):  # byte-by-byte: matches may overlap
-            out.append(out[start + i])
+    try:
+        while len(out) < n:
+            token = blob[pos]
+            pos += 1
+            lit_len = token >> 4
+            if lit_len == 15:
+                while True:
+                    extra = blob[pos]
+                    pos += 1
+                    lit_len += extra
+                    if extra != 255:
+                        break
+            literals = blob[pos : pos + lit_len]
+            if len(literals) < lit_len:
+                raise TruncatedStreamError("truncated LZ4 literals")
+            out.extend(literals)
+            pos += lit_len
+            if len(out) >= n:
+                break
+            offset = struct.unpack_from("<H", blob, pos)[0]
+            pos += 2
+            match_len = (token & 0x0F) + _MIN_MATCH
+            if (token & 0x0F) == 15:
+                while True:
+                    extra = blob[pos]
+                    pos += 1
+                    match_len += extra
+                    if extra != 255:
+                        break
+            start = len(out) - offset
+            if start < 0:
+                raise CorruptStreamError("corrupt LZ4 stream: bad offset")
+            for i in range(match_len):  # byte-by-byte: matches may overlap
+                out.append(out[start + i])
+    except (IndexError, struct.error):
+        raise TruncatedStreamError("truncated LZ4 stream") from None
     return bytes(out[:n])

@@ -15,6 +15,7 @@ import numpy as np
 from repro.codec.entropy.arithmetic import BinaryDecoder, BinaryEncoder, ContextSet
 from repro.codec.intra import most_probable_modes
 from repro.codec.transform import zigzag_scan, zigzag_unscan
+from repro.resilience.errors import CorruptStreamError
 
 _NUM_SIZE_CLASSES = 5  # block sizes 4, 8, 16, 32, 64
 _LAST_PREFIX = 10
@@ -128,7 +129,7 @@ def decode_coeff_block(
         return zigzag_unscan(scanned, n)
     last = dec.decode_ueg(ctx.last, cls * _LAST_PREFIX, _LAST_PREFIX, k=1)
     if last >= n * n:
-        raise ValueError("corrupt stream: last coefficient out of range")
+        raise CorruptStreamError("corrupt stream: last coefficient out of range")
     for i in range(last, -1, -1):
         if i != last:
             significant = dec.decode_bit(ctx.sig, _sig_ctx(cls, i, n))
@@ -196,7 +197,7 @@ def decode_intra_mode(
     width = max(1, (len(remaining) - 1).bit_length())
     index = dec.decode_bypass_bits(width)
     if index >= len(remaining):
-        raise ValueError("corrupt stream: intra mode index out of range")
+        raise CorruptStreamError("corrupt stream: intra mode index out of range")
     return remaining[index]
 
 

@@ -17,6 +17,7 @@ import numpy as np
 
 import repro.telemetry as telemetry
 from repro.distributed.comm import Channel, Compressor
+from repro.resilience.faults import FaultInjector, RetryPolicy
 
 
 @dataclass
@@ -26,6 +27,9 @@ class AllReduceResult:
     reduced: List[np.ndarray]  # per-worker result (identical if lossless)
     bytes_per_worker: float
     steps: int
+    #: Retransmissions across *all* links (0 on a fault-free fabric).
+    retransmissions: int = 0
+    retransmitted_bytes: float = 0.0
 
     @property
     def textbook_bytes(self) -> float:
@@ -39,12 +43,20 @@ def ring_allreduce(
     tensors: Sequence[np.ndarray],
     compressor: Optional[Compressor] = None,
     average: bool = True,
+    fault_injector: Optional[FaultInjector] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> AllReduceResult:
     """Run ring all-reduce over per-worker tensors.
 
     ``tensors`` holds each worker's contribution (same shape).  Every
     hop crosses a :class:`Channel` with the given compressor, so lossy
     collectives (and their accumulated error) can be studied directly.
+
+    With a ``fault_injector``, every hop also crosses the faulty wire:
+    damaged segments are detected by the CRC framing and retransmitted
+    (bounded by ``retry``), so the collective's *result* is identical
+    to the fault-free run -- only the byte bill grows.  Exhausted
+    retries surface as :class:`~repro.resilience.errors.TransportError`.
     """
     workers = len(tensors)
     if workers < 2:
@@ -55,7 +67,9 @@ def ring_allreduce(
             raise ValueError("all workers must contribute the same shape")
 
     with telemetry.span("distributed.allreduce"):
-        return _ring_allreduce(tensors, compressor, average, workers, shape)
+        return _ring_allreduce(
+            tensors, compressor, average, workers, shape, fault_injector, retry
+        )
 
 
 def _ring_allreduce(
@@ -64,10 +78,19 @@ def _ring_allreduce(
     average: bool,
     workers: int,
     shape,
+    fault_injector: Optional[FaultInjector] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> AllReduceResult:
     flat = [np.asarray(t, dtype=np.float64).reshape(-1).copy() for t in tensors]
     segments = np.array_split(np.arange(flat[0].size), workers)
-    links = [Channel(compressor) for _ in range(workers)]  # link w -> w+1
+    links = [  # link w -> w+1; all links share one injector (one fabric)
+        Channel(
+            compressor,
+            fault_injector=fault_injector,
+            retry=retry or RetryPolicy(),
+        )
+        for _ in range(workers)
+    ]
     steps = 0
 
     # Phase 1: reduce-scatter.  After step s, worker w owns the partial
@@ -104,13 +127,19 @@ def _ring_allreduce(
             flat[worker] /= workers
 
     bytes_per_worker = links[0].total_compressed_bytes
+    retransmissions = sum(link.total_retries for link in links)
+    retransmitted_bytes = sum(link.total_retransmitted_bytes for link in links)
     registry = telemetry.current()
     if registry is not None:
         registry.count("allreduce.collectives")
         registry.count("allreduce.steps", steps)
         registry.observe("allreduce.bytes_per_worker", bytes_per_worker)
+        if retransmissions:
+            registry.count("allreduce.retransmissions", retransmissions)
     return AllReduceResult(
         reduced=[f.reshape(shape) for f in flat],
         bytes_per_worker=bytes_per_worker,
         steps=steps,
+        retransmissions=retransmissions,
+        retransmitted_bytes=retransmitted_bytes,
     )

@@ -13,10 +13,11 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
 from repro.nn.data import CorpusConfig, SyntheticCorpus
 from repro.nn.optim import Adam
 from repro.nn.transformer import GPT, GPTConfig
@@ -76,6 +77,39 @@ def cache_dir() -> Path:
     return Path(__file__).resolve().parents[3] / ".repro_cache"
 
 
+def load_cached_state(path: Path) -> Optional[Dict[str, np.ndarray]]:
+    """Read an ``.npz`` cache entry, quarantining damage.
+
+    A corrupt file (truncated write, bit rot) makes ``np.load`` or the
+    underlying zip layer raise; the damage is counted in telemetry,
+    the file deleted, and ``None`` returned so the caller retrains and
+    regenerates the entry instead of crashing every future run.
+    """
+    try:
+        with np.load(path) as blob:
+            return {key: blob[key] for key in blob.files}
+    except Exception:
+        telemetry.count("cache.corrupt")
+        drop_cached_state(path)
+        return None
+
+
+def drop_cached_state(path: Path) -> None:
+    """Delete a cache entry (damaged or stale); missing is fine."""
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def save_cached_state(path: Path, state: Dict[str, np.ndarray]) -> None:
+    """Atomic cache write: a crash mid-save never leaves a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.stem}.tmp.{os.getpid()}.npz")
+    np.savez_compressed(tmp, **state)
+    os.replace(tmp, path)
+
+
 def train_model(spec: ModelSpec, progress: bool = False) -> Tuple[GPT, SyntheticCorpus]:
     """Train a zoo model from scratch (no cache involvement)."""
     corpus = SyntheticCorpus(spec.corpus)
@@ -104,13 +138,20 @@ def load_model(
     path = cache_dir() / f"{name}.npz"
     corpus = SyntheticCorpus(spec.corpus)
     if path.exists() and not retrain:
-        model = GPT(spec.config, seed=spec.seed)
-        with np.load(path) as blob:
-            model.load_state_dict({key: blob[key] for key in blob.files})
-        return model, corpus
+        state = load_cached_state(path)
+        if state is not None:
+            model = GPT(spec.config, seed=spec.seed)
+            try:
+                model.load_state_dict(state)
+                return model, corpus
+            except Exception:
+                # Parsed but inconsistent (e.g. stale keys after a spec
+                # change): same treatment as byte-level damage.
+                telemetry.count("cache.corrupt")
+                drop_cached_state(path)
+        telemetry.count("cache.regenerated")
     model, corpus = train_model(spec, progress=progress)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **model.state_dict())
+    save_cached_state(path, model.state_dict())
     return model, corpus
 
 

@@ -1,0 +1,66 @@
+"""repro.resilience: error-resilient bitstreams and self-healing transport.
+
+What real video codecs ship and tensor codecs forget: independently
+decodable checksummed slices, a single loud error taxonomy, seeded
+fault injection, and verify-and-retransmit transport.  See
+``docs/RESILIENCE.md`` for the framing formats, concealment semantics,
+and retry policy.
+
+- :mod:`repro.resilience.errors` -- :class:`CorruptStreamError` and
+  friends; every deserialization path in the repo raises these.
+- :mod:`repro.resilience.framing` -- CRC32 slice framing shared by the
+  frame bitstream, the tensor container, and the transport layer.
+- :mod:`repro.resilience.faults` -- deterministic seeded fault
+  injection (bit flips, truncation, drops, stragglers, crashes).
+- :mod:`repro.resilience.verify` -- integrity checks behind
+  ``llm265 verify``.
+"""
+
+from repro.resilience.errors import (
+    ChecksumError,
+    ConcealmentReport,
+    CorruptStreamError,
+    TransportError,
+    TruncatedStreamError,
+)
+from repro.resilience.faults import FaultConfig, FaultInjector, RetryPolicy
+from repro.resilience.framing import (
+    SLICE_OVERHEAD,
+    crc32,
+    deframe_payload,
+    deframe_slices,
+    frame_payload,
+    frame_slice,
+    frame_slices,
+)
+
+__all__ = [
+    "ChecksumError",
+    "ConcealmentReport",
+    "CorruptStreamError",
+    "FaultConfig",
+    "FaultInjector",
+    "RetryPolicy",
+    "SLICE_OVERHEAD",
+    "TransportError",
+    "TruncatedStreamError",
+    "crc32",
+    "deframe_payload",
+    "deframe_slices",
+    "frame_payload",
+    "frame_slice",
+    "frame_slices",
+    "verify_path",
+]
+
+
+def verify_path(path, deep: bool = False):
+    """Integrity-check a container / stream / checkpoint file.
+
+    Thin lazy wrapper over :func:`repro.resilience.verify.verify_path`
+    (lazy because the verifier imports the codec stack, which itself
+    imports this package's error types).
+    """
+    from repro.resilience.verify import verify_path as _verify
+
+    return _verify(path, deep=deep)

@@ -1,0 +1,149 @@
+"""Deterministic, seeded fault injection for links, workers, and bytes.
+
+One :class:`FaultInjector` models everything that goes wrong on a real
+cluster fabric: flipped bits, truncated or dropped segments, straggler
+delay, and whole-worker crashes.  Every decision comes from a single
+seeded ``numpy`` generator, so a test that injects faults is exactly
+reproducible -- same seed, same carnage.
+
+The injector is pluggable: :class:`repro.distributed.comm.Channel`
+calls :meth:`corrupt` on each transmission attempt, the data-parallel
+trainer consults :meth:`worker_crashes`, and anything byte-shaped can
+be damaged directly (checkpoint files, containers, frame streams) for
+fuzzing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+import repro.telemetry as telemetry
+
+__all__ = ["FaultConfig", "FaultInjector", "RetryPolicy"]
+
+
+@dataclass
+class FaultConfig:
+    """Per-event-kind probabilities (independent, evaluated per send)."""
+
+    bit_flip_prob: float = 0.0  # flip 1..max_flips random bits
+    truncate_prob: float = 0.0  # cut the payload at a random offset
+    drop_prob: float = 0.0  # lose the whole segment
+    straggler_prob: float = 0.0  # delayed delivery (simulated seconds)
+    crash_prob: float = 0.0  # per-(worker, step) crash probability
+    max_flips: int = 8
+    straggler_delay_s: float = 0.25
+
+    def validate(self) -> None:
+        for name in (
+            "bit_flip_prob",
+            "truncate_prob",
+            "drop_prob",
+            "straggler_prob",
+            "crash_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retransmission with exponential backoff.
+
+    Backoff is *simulated*: the would-be sleep is recorded in the
+    traffic ledger and telemetry (``comm.backoff_seconds``) instead of
+    actually blocking the single-process simulation.
+    """
+
+    max_retries: int = 4
+    backoff_base_s: float = 0.005
+    backoff_factor: float = 2.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated backoff before retry number ``attempt`` (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** max(0, attempt - 1)
+
+
+class FaultInjector:
+    """Seeded source of injected faults.
+
+    Parameters mirror :class:`FaultConfig`; pass either a config object
+    or the individual probabilities as keyword arguments.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[FaultConfig] = None,
+        **probabilities,
+    ) -> None:
+        self.config = config or FaultConfig(**probabilities)
+        self.config.validate()
+        self.rng = np.random.default_rng(seed)
+        self.injected = 0  # total fault events produced
+
+    # -- byte-level faults (links, files) ------------------------------
+
+    def corrupt(self, payload: bytes) -> Optional[bytes]:
+        """One transmission attempt: damaged payload, or ``None`` if dropped.
+
+        Each call advances the generator, so a retransmission of the
+        same payload faces fresh (independent) faults -- exactly like a
+        real lossy link.
+        """
+        cfg = self.config
+        if cfg.drop_prob and self.rng.random() < cfg.drop_prob:
+            self._record("faults.drops")
+            return None
+        if cfg.truncate_prob and self.rng.random() < cfg.truncate_prob and payload:
+            cut = int(self.rng.integers(0, len(payload)))
+            self._record("faults.truncations")
+            payload = payload[:cut]
+        if cfg.bit_flip_prob and self.rng.random() < cfg.bit_flip_prob and payload:
+            payload = self.flip_bits(payload, int(self.rng.integers(1, cfg.max_flips + 1)))
+            self._record("faults.bit_flips")
+        return payload
+
+    def flip_bits(self, payload: bytes, flips: int = 1) -> bytes:
+        """Flip ``flips`` uniformly random bits (always applies, for fuzzing)."""
+        if not payload:
+            return payload
+        damaged = bytearray(payload)
+        for _ in range(flips):
+            position = int(self.rng.integers(0, len(damaged)))
+            damaged[position] ^= 1 << int(self.rng.integers(0, 8))
+        return bytes(damaged)
+
+    def truncate(self, payload: bytes) -> bytes:
+        """Cut the payload at a uniformly random offset (for fuzzing)."""
+        if not payload:
+            return payload
+        return payload[: int(self.rng.integers(0, len(payload)))]
+
+    # -- timing / liveness faults --------------------------------------
+
+    def straggler_delay(self) -> float:
+        """Simulated delivery delay in seconds for one send (0.0 = on time)."""
+        cfg = self.config
+        if cfg.straggler_prob and self.rng.random() < cfg.straggler_prob:
+            self._record("faults.stragglers")
+            return cfg.straggler_delay_s * float(self.rng.random() + 0.5)
+        return 0.0
+
+    def worker_crashes(self, step: int, worker: int) -> bool:
+        """Whether ``worker`` is down for ``step`` (transient crash)."""
+        if self.config.crash_prob and self.rng.random() < self.config.crash_prob:
+            self._record("faults.worker_crashes")
+            return True
+        return False
+
+    # -- internals -----------------------------------------------------
+
+    def _record(self, counter: str) -> None:
+        self.injected += 1
+        telemetry.count("faults.injected")
+        telemetry.count(counter)

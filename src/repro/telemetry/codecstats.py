@@ -23,10 +23,13 @@ from repro.telemetry.core import Registry
 __all__ = ["BIT_CLASSES", "EncodeStats"]
 
 #: Stable syntax-element bit classes, in stream order.  ``header`` is
-#: the fixed stream header, ``flush`` the arithmetic-coder termination
-#: residue; the rest are CABAC-coded element families.
+#: the fixed stream header, ``slice_hdr`` the per-slice CRC32 framing
+#: (length + checksum, 8 bytes per frame), ``flush`` the per-slice
+#: arithmetic-coder termination residue; the rest are CABAC-coded
+#: element families.
 BIT_CLASSES = (
     "header",
+    "slice_hdr",
     "split",
     "pred_flag",
     "intra_mode",

@@ -22,9 +22,16 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 import repro.telemetry as telemetry
-from repro.codec.decoder import decode_frames
+from repro.codec.decoder import FrameDecoder
 from repro.codec.encoder import EncoderConfig, FrameEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
+from repro.resilience.errors import (
+    ChecksumError,
+    ConcealmentReport,
+    CorruptStreamError,
+    TruncatedStreamError,
+)
+from repro.resilience.framing import SLICE_OVERHEAD, crc32
 from repro.tensor.alignment import MXAlignment, mx_align, mx_from_side_info, mx_unalign
 from repro.tensor.frames import TileLayout, join_tiles, split_tiles
 from repro.tensor.precision import QuantizationGrid, grid_for
@@ -47,10 +54,16 @@ _DEFAULT_TILE = 256
 #   per tile, in raster order:
 #     tag u8 = 0 (minmax): scale f64 | offset f64
 #     tag u8 = 1 (mx):     original_size u32 | side_len u32 | side bytes
-#   payload bytes (the video bitstream)
+#   payload_len u32 | meta_crc u32 (CRC32 of all preceding bytes)
+#   payload bytes (the video bitstream, itself CRC-sliced per frame)
+#
+# Version 3 added the trailing ``payload_len``/``meta_crc`` pair: the
+# metadata is the one region concealment cannot patch (a wrong grid
+# silently destroys every value), so it fails loudly via its own CRC,
+# while payload damage is localised by the per-frame slice checksums.
 
 _MAGIC = b"L5"
-_CONTAINER_VERSION = 2
+_CONTAINER_VERSION = 3
 _DTYPE_CODES = {
     "float16": 1,
     "float32": 2,
@@ -85,10 +98,23 @@ def _unpack_name(raw: bytes, offset: int, names: dict) -> Tuple[str, int]:
         try:
             return names[code], offset + 1
         except KeyError:
-            raise ValueError(f"unknown name code {code}") from None
+            raise CorruptStreamError(f"unknown name code {code}") from None
     length = raw[offset + 1]
     start = offset + 2
     return raw[start : start + length].decode("utf-8"), start + length
+
+
+def _stream_fixed_bits(n_frames: int) -> float:
+    """QP-independent bits inside the frame stream itself.
+
+    The 21-byte checksummed header plus the 8-byte length+CRC framing
+    of each frame slice; rate control uses this (plus the container
+    metadata size) to recognise budgets that only fixed overhead, not
+    coding quality, can blow.
+    """
+    from repro.codec.encoder import _HEADER_SIZE
+
+    return 8.0 * (_HEADER_SIZE + SLICE_OVERHEAD * n_frames)
 
 
 def _rows_cols(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -188,28 +214,39 @@ class CompressedTensor:
                 parts.append(
                     struct.pack("<Bdd", _GRID_MINMAX, grid.scale, grid.offset)
                 )
-        return b"".join(parts)
+        parts.append(struct.pack("<I", len(self.data)))
+        meta = b"".join(parts)
+        return meta + struct.pack("<I", crc32(meta))
 
     def to_bytes(self) -> bytes:
         """Serialize to a portable byte string (compact binary, no pickle)."""
         return self._pack_meta() + self.data
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "CompressedTensor":
-        """Inverse of :meth:`to_bytes`."""
+    def from_bytes(cls, raw: bytes, strict: bool = True) -> "CompressedTensor":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises :class:`CorruptStreamError` (a ``ValueError``) on any
+        damage to the metadata: bad magic, version, checksum, or
+        truncation.  ``strict=False`` tolerates a payload whose length
+        disagrees with the header (the per-slice checksums localise
+        that damage during a concealment-mode decode); the metadata
+        itself must always verify -- a wrong quantization grid cannot
+        be concealed.
+        """
         if raw[: len(_MAGIC)] != _MAGIC:
-            raise ValueError("not an LLM.265 tensor container")
+            raise CorruptStreamError("not an LLM.265 tensor container")
         try:
-            return cls._parse(raw)
+            return cls._parse(raw, strict)
         except (struct.error, IndexError):
-            raise ValueError("truncated LLM.265 tensor container") from None
+            raise TruncatedStreamError("truncated LLM.265 tensor container") from None
 
     @classmethod
-    def _parse(cls, raw: bytes) -> "CompressedTensor":
+    def _parse(cls, raw: bytes, strict: bool) -> "CompressedTensor":
         offset = len(_MAGIC)
         version, flags, qp, tile, ndim = struct.unpack_from("<BBfHB", raw, offset)
         if version != _CONTAINER_VERSION:
-            raise ValueError(f"unsupported container version {version}")
+            raise CorruptStreamError(f"unsupported container version {version}")
         offset += struct.calcsize("<BBfHB")
         shape = struct.unpack_from(f"<{ndim}I", raw, offset) if ndim else ()
         offset += 4 * ndim
@@ -232,12 +269,32 @@ class CompressedTensor:
                 original_size, side_len = struct.unpack_from("<II", raw, offset)
                 offset += 8
                 side_info = raw[offset : offset + side_len]
+                if len(side_info) < side_len:
+                    raise TruncatedStreamError("truncated MX side info")
                 offset += side_len
                 grids.append(mx_from_side_info(side_info, original_size))
             else:
-                raise ValueError(f"unknown grid tag {tag}")
+                raise CorruptStreamError(f"unknown grid tag {tag}")
+
+        (payload_len,) = struct.unpack_from("<I", raw, offset)
+        offset += 4
+        (stored_crc,) = struct.unpack_from("<I", raw, offset)
+        actual_crc = crc32(raw[:offset])
+        offset += 4
+        if actual_crc != stored_crc:
+            raise ChecksumError(
+                "container metadata checksum mismatch",
+                expected=stored_crc,
+                actual=actual_crc,
+            )
+        data = raw[offset:]
+        if strict and len(data) != payload_len:
+            raise TruncatedStreamError(
+                f"container payload length mismatch: header says {payload_len} "
+                f"bytes, found {len(data)}"
+            )
         return cls(
-            data=raw[offset:],
+            data=data,
             layout=layout,
             grids=tuple(grids),
             frame_shape=frame_shape,
@@ -323,11 +380,35 @@ class TensorCodec:
             telemetry.count("ratecontrol.budget_miss")
         return compressed
 
-    def decode(self, compressed: CompressedTensor) -> np.ndarray:
-        """Reconstruct the tensor from its compressed form."""
+    def decode(
+        self, compressed: CompressedTensor, conceal: bool = False
+    ) -> np.ndarray:
+        """Reconstruct the tensor from its compressed form.
+
+        With ``conceal=True`` damaged frame slices are patched (zero /
+        neighbor prediction) instead of failing; use
+        :meth:`decode_with_report` to learn *which* tiles were patched.
+        """
+        tensor, _ = self.decode_with_report(compressed, conceal=conceal)
+        return tensor
+
+    def decode_with_report(
+        self, compressed: CompressedTensor, conceal: bool = True
+    ) -> Tuple[np.ndarray, ConcealmentReport]:
+        """Like :meth:`decode` but also returns the concealment report.
+
+        Each concealed slice index is a tile index in raster order, so
+        the report pinpoints exactly which region of the tensor carries
+        predicted rather than decoded values.
+        """
         with telemetry.span("tensor.decode"):
             telemetry.count("tensor.decodes")
-            decoded_frames = decode_frames(compressed.data)
+            decoder = FrameDecoder(compressed.data, conceal=conceal)
+            decoded_frames = decoder.decode()
+            if not decoder.report.clean:
+                telemetry.count(
+                    "tensor.tiles_concealed", decoder.report.concealed_count
+                )
             tiles: List[np.ndarray] = []
             for index, frame in enumerate(decoded_frames):
                 y0, x0, h, w = compressed.layout.tile_box(index)
@@ -338,7 +419,7 @@ class TensorCodec:
                 else:
                     tiles.append(grid.to_values(cropped))
             restored = join_tiles(tiles, compressed.layout)
-        return restored.astype(compressed.dtype, copy=False)
+        return restored.astype(compressed.dtype, copy=False), decoder.report
 
     def roundtrip(
         self, tensor: np.ndarray, **targets
@@ -407,11 +488,28 @@ class TensorCodec:
         (data-destroying) encode would be perverse, so the codec
         returns its *finest* encode with ``budget_met = False``.  The
         absolute overshoot is a few dozen bytes by construction.
+
+        The same principle applies *before* the budget becomes strictly
+        unmeetable: when the QP-independent bytes (container metadata,
+        stream header, slice framing) eat more than half the budget,
+        any QP that technically fits does so by obliterating the
+        payload, not by coding it better.  Such budgets are declared
+        unmeetable in spirit and also get the finest-encode fallback.
         """
         with telemetry.span("ratecontrol.search_bitrate"):
             lo, hi = 0.0, 51.0
             telemetry.count("ratecontrol.iterations")
             best = self._encode_at(frames, grids, layout, frame_shape, tensor, hi)
+            fixed_bits = 8.0 * (best.nbytes - len(best.data)) + _stream_fixed_bits(
+                layout.num_tiles
+            )
+            if fixed_bits > 0.5 * budget * max(1, best.num_values):
+                telemetry.count("ratecontrol.iterations")
+                finest = self._encode_at(
+                    frames, grids, layout, frame_shape, tensor, lo
+                )
+                finest.budget_met = False
+                return finest
             if best.bits_per_value > budget:
                 telemetry.count("ratecontrol.iterations")
                 finest = self._encode_at(

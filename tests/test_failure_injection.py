@@ -13,6 +13,7 @@ from repro.codec.encoder import EncoderConfig, encode_frames
 from repro.codec.entropy.huffman import huffman_decompress
 from repro.codec.entropy.lz4 import lz4_decompress
 from repro.models.synthetic_weights import weight_like
+from repro.resilience.errors import CorruptStreamError
 from repro.tensor.codec import CompressedTensor, TensorCodec
 from repro.tensor.precision import quantize_to_uint8
 
@@ -25,22 +26,24 @@ def stream():
 
 class TestCorruptStreams:
     def test_truncated_header_rejected(self, stream):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             decode_frames(stream[:10])
 
     def test_wrong_magic_rejected(self, stream):
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             decode_frames(b"XXXX" + stream[4:])
 
     def test_wrong_version_rejected(self, stream):
         bad = bytearray(stream)
         bad[4] = 99
-        with pytest.raises(ValueError):
+        with pytest.raises(CorruptStreamError):
             decode_frames(bytes(bad))
 
     def test_payload_corruption_is_contained(self, stream):
-        """Flipping payload bytes must raise or decode to a frame --
-        never hang, never crash the interpreter."""
+        """Flipping payload bytes must raise CorruptStreamError (the
+        single failure type of every deserialisation path) or decode to
+        a frame -- never hang, never crash the interpreter, never leak
+        a low-level EOFError/IndexError."""
         rng = np.random.default_rng(0)
         for _ in range(20):
             bad = bytearray(stream)
@@ -49,15 +52,15 @@ class TestCorruptStreams:
             try:
                 frames = decode_frames(bytes(bad))
                 assert frames[0].shape == (32, 32)
-            except (ValueError, EOFError, IndexError):
-                pass  # loud failure is acceptable
+            except CorruptStreamError:
+                pass  # loud, typed failure is the contract
 
     def test_truncated_payload_is_contained(self, stream):
         for cut in (len(stream) // 2, len(stream) - 3):
             try:
                 frames = decode_frames(stream[:cut])
                 assert frames[0].shape == (32, 32)
-            except (ValueError, EOFError, IndexError):
+            except CorruptStreamError:
                 pass
 
 
@@ -66,7 +69,7 @@ class TestCorruptByteCoders:
         from repro.codec.entropy.huffman import huffman_compress
 
         blob = huffman_compress(b"hello world" * 20)
-        with pytest.raises((ValueError, EOFError)):
+        with pytest.raises(CorruptStreamError):
             huffman_decompress(blob[: len(blob) - 4])
 
     def test_lz4_bad_offset(self):
@@ -75,13 +78,13 @@ class TestCorruptByteCoders:
         # Declared length 8, one sequence with a match pointing before
         # the start of the output buffer.
         blob = struct.pack("<I", 8) + bytes([0x12, ord("a"), 0xFF, 0x00])
-        with pytest.raises((ValueError, IndexError)):
+        with pytest.raises(CorruptStreamError):
             lz4_decompress(blob)
 
 
 class TestCompressedTensorRobustness:
     def test_from_bytes_requires_header(self):
-        with pytest.raises(Exception):
+        with pytest.raises(CorruptStreamError):
             CompressedTensor.from_bytes(b"\x00\x00")
 
     def test_roundtrip_preserves_through_serialization(self):

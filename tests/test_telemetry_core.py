@@ -108,7 +108,7 @@ class TestCodecInstrumentation:
             result = encode_frames([frame], EncoderConfig(qp=24))
         bits = result.stats["bits"]
         assert sum(bits.values()) == 8 * len(result.data)
-        assert bits["header"] == 8 * 17  # fixed header size
+        assert bits["header"] == 8 * 21  # fixed header size (17 fields + CRC32)
         for element in ("sig", "level", "last", "flush"):
             assert bits[element] > 0
 

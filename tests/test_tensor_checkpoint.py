@@ -55,8 +55,10 @@ class TestCheckpoint:
             if tensor.ndim >= 2 and tensor.size >= 256:
                 rel = np.mean((restored[name] - tensor) ** 2) / (np.var(tensor) or 1)
                 # Tiny trained matrices are near-incompressible; bound
-                # the damage rather than demand near-losslessness.
-                assert rel < 0.6, name
+                # the damage rather than demand near-losslessness.  The
+                # CRC32 resilience framing eats a sliver of the bit
+                # budget, nudging the boundary QP one step coarser.
+                assert rel < 0.7, name
 
     def test_model_still_works_after_reload(self, state, tmp_path):
         model, corpus = load_model("tiny-sim")

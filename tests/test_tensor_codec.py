@@ -62,6 +62,18 @@ class TestEncodeDecode:
         compressed = codec.encode(weight, bits_per_value=3.0)
         assert compressed.budget_met
 
+    def test_overhead_dominated_budget_returns_finest_not_garbage(self, codec):
+        """A (16, 16) tensor at 3.5 bits: a coarse-enough QP technically
+        fits, but only because the fixed header/framing overhead leaves
+        almost nothing for the payload.  The codec must refuse to
+        obliterate the data to satisfy the letter of the budget."""
+        tiny = np.random.default_rng(1).normal(0, 0.1, (16, 16)).astype(np.float32)
+        compressed = codec.encode(tiny, bits_per_value=3.5)
+        assert not compressed.budget_met
+        restored = codec.decode(compressed)
+        rel = np.mean((restored - tiny) ** 2) / np.var(tiny)
+        assert rel < 0.01  # near-lossless fallback
+
     def test_conflicting_targets_rejected(self, codec, weight):
         with pytest.raises(ValueError):
             codec.encode(weight, qp=20, bits_per_value=3.0)
@@ -92,7 +104,10 @@ class TestEncodeDecode:
         t = np.full((32, 32), 0.75, dtype=np.float32)
         restored, compressed = codec.roundtrip(t, qp=20)
         assert np.allclose(restored, t)
-        assert compressed.compression_ratio > 30  # bounded by fixed header cost
+        # Bounded by fixed header cost: stream header plus container
+        # metadata plus the CRC32 resilience framing (8 bytes/slice +
+        # 8-byte payload_len/meta_crc trailer).
+        assert compressed.compression_ratio > 24
 
 
 class TestCompressionQuality:
