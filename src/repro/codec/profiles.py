@@ -11,6 +11,7 @@ than forking three.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Tuple
 
 from repro.codec import intra
@@ -42,13 +43,16 @@ class CodecProfile:
         """Every intra mode the profile may signal."""
         return (intra.PLANAR, intra.DC) + self.angular_modes
 
+    @lru_cache(maxsize=None)
     def coarse_modes(self) -> Tuple[int, ...]:
-        """Modes evaluated in the first RDO pass."""
+        """Modes evaluated in the first RDO pass (memoized -- this is
+        asked once per leaf trial in the RD search)."""
         coarse = tuple(
             m for m in self.coarse_angular_modes if m in self.angular_modes
         )
         return (intra.PLANAR, intra.DC) + coarse
 
+    @lru_cache(maxsize=None)
     def refine_modes(self, best: int) -> Tuple[int, ...]:
         """Neighbouring angular modes to re-evaluate around ``best``."""
         if best < intra.ANGULAR_FIRST:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 import numpy as np
 
 import repro.telemetry as telemetry
+from repro.parallel import ParallelConfig
 from repro.quant.rtn import rtn_roundtrip
 from repro.resilience.errors import CorruptStreamError, TransportError
 from repro.resilience.faults import FaultInjector, RetryPolicy
@@ -81,8 +82,9 @@ class CodecCompressor:
         bits_per_value: float = 3.5,
         codec: Optional[TensorCodec] = None,
         refresh_every: int = 50,
+        parallel: Optional[ParallelConfig] = None,
     ) -> None:
-        self.codec = codec or TensorCodec(tile=128)
+        self.codec = codec or TensorCodec(tile=128, parallel=parallel)
         self.bits_per_value = bits_per_value
         self.refresh_every = refresh_every
         self._qp_cache: Dict[Tuple[int, ...], Tuple[float, int]] = {}

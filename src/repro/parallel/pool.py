@@ -1,0 +1,190 @@
+"""Shared worker-pool engine behind every slice/tensor fan-out.
+
+PR 2 made every frame an independently decodable slice (fresh entropy
+coder + contexts per frame), which is exactly the bitstream property
+real codecs exploit for slice/wavefront parallelism.  This module is
+the cash-in: a single, small engine that the frame encoder, the frame
+decoder, the tensor codec, and the checkpoint writer all use to fan
+work out over a pool of workers while guaranteeing that the *result
+ordering* -- and therefore every byte of output -- is identical to the
+serial path.
+
+Design rules:
+
+- **Determinism first.**  :func:`parallel_map` always returns results
+  in submission order, and falls back to a plain serial loop whenever
+  parallelism cannot help (one item, one worker) or cannot be correct
+  (the caller detects a cross-item dependency and passes
+  ``serial=True``).  Callers never need to re-sort or re-derive state.
+- **Pools are shared and lazy.**  Process pools cost real start-up
+  time; one pool per (kind, worker-count) is created on first use and
+  reused for the life of the process (``atexit`` tears them down).
+- **Every dispatch is observable.**  ``parallel.*`` telemetry counters
+  and a span wrap each fan-out, so a trace shows exactly which stages
+  ran parallel and which fell back, and ``BENCH_codec.json`` numbers
+  can be cross-checked against traces.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import repro.telemetry as telemetry
+
+__all__ = [
+    "ParallelConfig",
+    "parallel_map",
+    "pool_stats",
+    "shutdown_pools",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Executor kinds accepted by :class:`ParallelConfig`.
+EXECUTORS = ("process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs for one fan-out policy.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``0`` resolves to ``os.cpu_count()``.  ``1``
+        always means the serial path.
+    executor:
+        ``"process"`` (true parallelism; workers must receive picklable
+        arguments), ``"thread"`` (cheap dispatch, parallel only where
+        numpy releases the GIL), or ``"serial"`` (forced fallback --
+        useful to pin a config while debugging).
+    chunk_size:
+        Items handed to a worker per dispatch (process pools only);
+        larger chunks amortise pickling for many small items.
+    """
+
+    workers: int = 0
+    executor: str = "process"
+    chunk_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {self.executor!r}"
+            )
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = cpu count)")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    def resolved_workers(self) -> int:
+        """Concrete worker count (``workers=0`` -> CPU count)."""
+        if self.workers == 0:
+            return os.cpu_count() or 1
+        return self.workers
+
+    def is_serial(self) -> bool:
+        """True when this config can never dispatch to a pool."""
+        return self.executor == "serial" or self.resolved_workers() <= 1
+
+
+#: Serial singleton: the fallback policy and the "parallelism off" value.
+SERIAL = ParallelConfig(workers=1, executor="serial")
+
+# One shared executor per (kind, workers); created lazily, torn down at
+# interpreter exit.  Sharing matters: a ProcessPoolExecutor costs tens
+# of milliseconds to spin up, which would otherwise be paid per encode.
+_pools: dict = {}
+_pool_dispatches = 0
+_pool_serial_fallbacks = 0
+
+
+def _get_pool(kind: str, workers: int) -> Executor:
+    key = (kind, workers)
+    pool = _pools.get(key)
+    if pool is None:
+        if kind == "process":
+            pool = ProcessPoolExecutor(max_workers=workers)
+        else:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-parallel"
+            )
+        _pools[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached executor (also registered via ``atexit``)."""
+    for pool in _pools.values():
+        pool.shutdown(wait=True, cancel_futures=True)
+    _pools.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def pool_stats() -> dict:
+    """Introspection for tests/benchmarks: live pools and dispatch counts."""
+    return {
+        "live_pools": sorted(_pools.keys()),
+        "dispatches": _pool_dispatches,
+        "serial_fallbacks": _pool_serial_fallbacks,
+    }
+
+
+def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    config: Optional[ParallelConfig],
+    label: str = "map",
+    serial: bool = False,
+) -> List[R]:
+    """Apply ``fn`` to ``items``, preserving order, optionally in parallel.
+
+    The contract callers rely on: the returned list is exactly
+    ``[fn(x) for x in items]`` -- same order, same exceptions.  If any
+    call raises, the exception of the *earliest* item surfaces (like
+    the serial loop; later items may or may not have run).
+
+    ``serial=True`` forces the fallback regardless of ``config``; pass
+    it when the caller detects a cross-item dependency (e.g. inter
+    prediction between frames) that makes fan-out incorrect.
+    """
+    global _pool_dispatches, _pool_serial_fallbacks
+    items = list(items)
+    if (
+        serial
+        or config is None
+        or config.is_serial()
+        or len(items) <= 1
+    ):
+        if config is not None and not config.is_serial() and not serial:
+            # A parallel policy that degenerated (single item).
+            telemetry.count("parallel.single_item")
+        _pool_serial_fallbacks += 1
+        telemetry.count("parallel.serial_fallbacks")
+        return _serial_map(fn, items)
+
+    workers = min(config.resolved_workers(), len(items))
+    _pool_dispatches += 1
+    telemetry.count("parallel.dispatches")
+    telemetry.count("parallel.tasks", len(items))
+    telemetry.observe("parallel.workers", workers)
+    with telemetry.span(f"parallel.{label}"):
+        pool = _get_pool(config.executor, workers)
+        if config.executor == "process":
+            results = pool.map(fn, items, chunksize=config.chunk_size)
+        else:
+            results = pool.map(fn, items)
+        # list() drains in submission order; the first failing item's
+        # exception propagates here, matching the serial loop.
+        return list(results)

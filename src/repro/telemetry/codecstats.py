@@ -67,6 +67,24 @@ class EncodeStats:
     def add_qp(self, qp: int) -> None:
         self.qp_values.append(qp)
 
+    def merge(self, other: "EncodeStats") -> None:
+        """Fold another ledger into this one (parallel slice workers).
+
+        Slice-parallel encoding gives each worker its own ledger (the
+        telemetry registry is thread-local and absent in workers); the
+        session merges them back in frame order, so bit totals still
+        telescope exactly and the QP sequence matches the serial path.
+        Stage ``seconds`` become summed *CPU* time across workers --
+        they no longer bound wall-clock time under parallelism.
+        """
+        for element, bits in other.bits.items():
+            self.add_bits(element, bits)
+        for name, value in other.counts.items():
+            self.add_count(name, value)
+        for stage, seconds in other.seconds.items():
+            self.add_seconds(stage, seconds)
+        self.qp_values.extend(other.qp_values)
+
     # -- consuming -----------------------------------------------------
 
     @property

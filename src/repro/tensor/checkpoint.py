@@ -40,6 +40,7 @@ from repro.resilience.errors import (
     CorruptStreamError,
     TruncatedStreamError,
 )
+from repro.parallel import ParallelConfig
 from repro.resilience.framing import crc32
 from repro.tensor.codec import CompressedTensor, TensorCodec
 
@@ -135,13 +136,18 @@ def save_checkpoint(
     bits_per_value: float = 2.9,
     codec: Optional[TensorCodec] = None,
     min_compress_size: int = 256,
+    parallel: Optional[ParallelConfig] = None,
 ) -> CheckpointStats:
     """Write ``state`` to ``path`` with LLM.265-compressed weights.
 
     Tensors with >= 2 dims and at least ``min_compress_size`` elements
     go through the codec; everything else is stored raw (FP32).
+
+    ``parallel`` (ignored when an explicit ``codec`` is passed) enables
+    slice-parallel tile encoding inside the default codec; the written
+    bytes are identical to a serial save.
     """
-    codec = codec or TensorCodec(tile=128)
+    codec = codec or TensorCodec(tile=128, parallel=parallel)
     num_compressed = 0
     num_raw = 0
     parts: List[bytes] = []
@@ -224,15 +230,18 @@ def _decode_entry(
 
 
 def load_checkpoint(
-    path: str, codec: Optional[TensorCodec] = None
+    path: str,
+    codec: Optional[TensorCodec] = None,
+    parallel: Optional[ParallelConfig] = None,
 ) -> Dict[str, np.ndarray]:
     """Load a checkpoint written by :func:`save_checkpoint`.
 
     Strict: any damaged entry raises :class:`CorruptStreamError`.  Use
     :func:`load_checkpoint_with_report` to salvage the intact tensors
-    from a damaged file.
+    from a damaged file.  ``parallel`` (ignored when an explicit
+    ``codec`` is passed) enables slice-parallel tile decoding.
     """
-    codec = codec or TensorCodec(tile=128)
+    codec = codec or TensorCodec(tile=128, parallel=parallel)
     with open(path, "rb") as handle:
         blob = handle.read()
     state: Dict[str, np.ndarray] = {}

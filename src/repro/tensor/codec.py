@@ -25,6 +25,7 @@ import repro.telemetry as telemetry
 from repro.codec.decoder import FrameDecoder
 from repro.codec.encoder import EncoderConfig, FrameEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
+from repro.parallel import ParallelConfig
 from repro.resilience.errors import (
     ChecksumError,
     ConcealmentReport,
@@ -323,6 +324,11 @@ class TensorCodec:
         frame, the paper's default) or ``"mx"`` (per-32-block shared
         exponents via the three-in-one alignment unit, Section 7 --
         robust to extreme outliers at ~0.25 bits/value side info).
+    parallel:
+        Optional :class:`~repro.parallel.ParallelConfig` enabling
+        slice-parallel encode and decode over tiles.  Bitstreams and
+        reconstructions are bit-identical to serial operation (slices
+        are independently codable); ``None`` keeps everything serial.
     """
 
     def __init__(
@@ -332,6 +338,7 @@ class TensorCodec:
         use_inter: bool = False,
         qp_search_precision: float = 0.25,
         alignment: str = "minmax",
+        parallel: Optional[ParallelConfig] = None,
     ) -> None:
         if alignment not in ("minmax", "mx"):
             raise ValueError("alignment must be 'minmax' or 'mx'")
@@ -340,6 +347,7 @@ class TensorCodec:
         self.use_inter = use_inter
         self.qp_search_precision = qp_search_precision
         self.alignment = alignment
+        self.parallel = parallel
 
     # -- encoding --------------------------------------------------------
 
@@ -403,7 +411,9 @@ class TensorCodec:
         """
         with telemetry.span("tensor.decode"):
             telemetry.count("tensor.decodes")
-            decoder = FrameDecoder(compressed.data, conceal=conceal)
+            decoder = FrameDecoder(
+                compressed.data, conceal=conceal, parallel=self.parallel
+            )
             decoded_frames = decoder.decode()
             if not decoder.report.clean:
                 telemetry.count(
@@ -431,7 +441,12 @@ class TensorCodec:
     # -- internals ---------------------------------------------------------
 
     def _encoder_config(self, qp: float) -> EncoderConfig:
-        return EncoderConfig(profile=self.profile, qp=qp, use_inter=self.use_inter)
+        return EncoderConfig(
+            profile=self.profile,
+            qp=qp,
+            use_inter=self.use_inter,
+            parallel=self.parallel,
+        )
 
     def _to_frames(self, tensor: np.ndarray):
         with telemetry.span("tensor.to_frames"):

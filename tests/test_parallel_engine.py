@@ -1,0 +1,231 @@
+"""Bit-exactness and semantics of the slice-parallel engine.
+
+The contract under test (ISSUE 3 tentpole): for every worker count and
+executor kind, parallel encode and decode produce output *byte-identical*
+to the serial path, at the codec, tensor, checkpoint, and distributed
+layers.  Plus the pool semantics those guarantees rest on: submission
+ordering, earliest-exception propagation, and the closed-form QP dither
+fast-forward that lets a slice worker reproduce frame ``i``'s quantizer
+sequence without replaying frames ``0 .. i-1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.decoder import decode_frames
+from repro.codec.encoder import EncoderConfig, FrameEncoder, QpDither
+from repro.codec.profiles import H265_PROFILE
+from repro.distributed.comm import CodecCompressor
+from repro.parallel import SERIAL, ParallelConfig, parallel_map
+from repro.tensor.checkpoint import load_checkpoint, save_checkpoint
+from repro.tensor.codec import TensorCodec
+
+
+def _frames(n=4, h=64, w=64, seed=11):
+    rng = np.random.default_rng(seed)
+    base = np.linspace(40, 200, w)[None, :] + np.linspace(-30, 30, h)[:, None]
+    return [
+        np.clip(base + rng.normal(0, 25, (h, w)), 0, 255).astype(np.uint8)
+        for _ in range(n)
+    ]
+
+
+def _tensor(seed=5, edge=64):
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((edge, 4))
+    v = rng.standard_normal((4, edge))
+    return (u @ v + 0.2 * rng.standard_normal((edge, edge))).astype(np.float32)
+
+
+# -- pool semantics ----------------------------------------------------
+
+
+class TestParallelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(executor="gpu")
+        with pytest.raises(ValueError):
+            ParallelConfig(workers=-1)
+        with pytest.raises(ValueError):
+            ParallelConfig(chunk_size=0)
+
+    def test_is_serial(self):
+        assert SERIAL.is_serial()
+        assert ParallelConfig(workers=1, executor="thread").is_serial()
+        assert ParallelConfig(workers=4, executor="serial").is_serial()
+        assert not ParallelConfig(workers=2, executor="thread").is_serial()
+
+    def test_workers_zero_resolves_to_cpu_count(self):
+        assert ParallelConfig(workers=0).resolved_workers() >= 1
+
+
+class TestParallelMap:
+    def test_preserves_submission_order(self):
+        cfg = ParallelConfig(workers=4, executor="thread")
+        items = list(range(40))
+        assert parallel_map(lambda x: x * x, items, cfg) == [x * x for x in items]
+
+    def test_serial_flag_forces_fallback(self):
+        cfg = ParallelConfig(workers=4, executor="thread")
+        out = parallel_map(lambda x: x + 1, [1, 2, 3], cfg, serial=True)
+        assert out == [2, 3, 4]
+
+    def test_none_config_is_serial(self):
+        assert parallel_map(lambda x: -x, [1, 2], None) == [-1, -2]
+
+    def test_exception_propagates(self):
+        cfg = ParallelConfig(workers=2, executor="thread")
+
+        def boom(x):
+            if x == 3:
+                raise ValueError("item 3")
+            return x
+
+        with pytest.raises(ValueError, match="item 3"):
+            parallel_map(boom, [1, 2, 3, 4], cfg)
+
+
+class TestQpDither:
+    @pytest.mark.parametrize("frac", [0, 1, 77, 128, 255])
+    @pytest.mark.parametrize("steps", [0, 1, 16, 100])
+    def test_advanced_matches_stepping(self, frac, steps):
+        stepped = QpDither(26, frac)
+        for _ in range(steps):
+            stepped.next()
+        jumped = QpDither.advanced(26, frac, steps)
+        # The next 64 QPs must agree exactly.
+        assert [stepped.next() for _ in range(64)] == [
+            jumped.next() for _ in range(64)
+        ]
+
+
+# -- codec-layer byte identity -----------------------------------------
+
+
+WORKER_COUNTS = [1, 2, 4]
+
+
+class TestEncodeDecodeIdentity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("rd_search", ["vectorized", "turbo"])
+    def test_parallel_encode_is_byte_identical(self, workers, rd_search):
+        frames = _frames()
+        serial = FrameEncoder(
+            EncoderConfig(qp=27.0, rd_search=rd_search)
+        ).encode(frames)
+        par = FrameEncoder(
+            EncoderConfig(
+                qp=27.0,
+                rd_search=rd_search,
+                parallel=ParallelConfig(workers=workers, executor="thread"),
+            )
+        ).encode(frames)
+        assert par.data == serial.data
+        assert par.mse == pytest.approx(serial.mse)
+
+    def test_process_executor_encode_identical(self):
+        frames = _frames(n=3)
+        serial = FrameEncoder(EncoderConfig(qp=27.0)).encode(frames)
+        par = FrameEncoder(
+            EncoderConfig(
+                qp=27.0, parallel=ParallelConfig(workers=2, executor="process")
+            )
+        ).encode(frames)
+        assert par.data == serial.data
+
+    def test_fractional_qp_dither_survives_fanout(self):
+        # Fractional QPs make the per-CTU quantizer depend on global CTU
+        # index -- exactly what QpDither.advanced must reproduce per slice.
+        frames = _frames(n=5)
+        for rd_search in ("vectorized", "turbo"):
+            cfg = dict(qp=26.43, rd_search=rd_search)
+            serial = FrameEncoder(EncoderConfig(**cfg)).encode(frames)
+            par = FrameEncoder(
+                EncoderConfig(
+                    **cfg, parallel=ParallelConfig(workers=4, executor="thread")
+                )
+            ).encode(frames)
+            assert par.data == serial.data
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_parallel_decode_matches_serial(self, workers):
+        frames = _frames()
+        data = FrameEncoder(EncoderConfig(qp=27.0)).encode(frames).data
+        serial = decode_frames(data)
+        par = decode_frames(
+            data, parallel=ParallelConfig(workers=workers, executor="thread")
+        )
+        assert len(par) == len(serial)
+        for a, b in zip(serial, par):
+            np.testing.assert_array_equal(a, b)
+
+    def test_inter_streams_fall_back_and_still_match(self):
+        # Inter prediction chains frames; both sides must detect the
+        # dependency, run serially, and agree with the plain path.
+        frames = _frames()
+        pool = ParallelConfig(workers=4, executor="thread")
+        serial = FrameEncoder(EncoderConfig(qp=27.0, use_inter=True)).encode(frames)
+        par = FrameEncoder(
+            EncoderConfig(qp=27.0, use_inter=True, parallel=pool)
+        ).encode(frames)
+        assert par.data == serial.data
+        for a, b in zip(decode_frames(serial.data), decode_frames(serial.data, parallel=pool)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_single_frame_degenerates_to_serial(self):
+        frames = _frames(n=1)
+        pool = ParallelConfig(workers=4, executor="thread")
+        serial = FrameEncoder(EncoderConfig(qp=27.0)).encode(frames)
+        par = FrameEncoder(EncoderConfig(qp=27.0, parallel=pool)).encode(frames)
+        assert par.data == serial.data
+        np.testing.assert_array_equal(
+            decode_frames(serial.data)[0], decode_frames(serial.data, parallel=pool)[0]
+        )
+
+
+# -- tensor / checkpoint / distributed plumbing ------------------------
+
+
+class TestTensorLayerIdentity:
+    def test_tensor_codec_parallel_identity(self):
+        tensor = _tensor()
+        pool = ParallelConfig(workers=4, executor="thread")
+        serial_codec = TensorCodec(tile=32)
+        par_codec = TensorCodec(tile=32, parallel=pool)
+        a = serial_codec.encode(tensor, qp=27.0)
+        b = par_codec.encode(tensor, qp=27.0)
+        assert a.data == b.data
+        np.testing.assert_array_equal(serial_codec.decode(a), par_codec.decode(b))
+
+    def test_checkpoint_parallel_identity(self, tmp_path):
+        tensors = {"w": _tensor(seed=1), "b": _tensor(seed=2, edge=32)}
+        plain = tmp_path / "plain.llmckpt"
+        fanned = tmp_path / "fanned.llmckpt"
+        save_checkpoint(tensors, str(plain), bits_per_value=3.0)
+        save_checkpoint(
+            tensors,
+            str(fanned),
+            bits_per_value=3.0,
+            parallel=ParallelConfig(workers=4, executor="thread"),
+        )
+        assert plain.read_bytes() == fanned.read_bytes()
+        a = load_checkpoint(str(plain))
+        b = load_checkpoint(
+            str(fanned), parallel=ParallelConfig(workers=2, executor="thread")
+        )
+        for key in tensors:
+            np.testing.assert_array_equal(a[key], b[key])
+
+    def test_codec_compressor_parallel_identity(self):
+        tensor = _tensor().astype(np.float64)
+        serial = CodecCompressor(bits_per_value=3.5)
+        par = CodecCompressor(
+            bits_per_value=3.5,
+            parallel=ParallelConfig(workers=4, executor="thread"),
+        )
+        a, bits_a = serial.compress(tensor, step=0)
+        b, bits_b = par.compress(tensor, step=0)
+        assert bits_a == pytest.approx(bits_b)
+        np.testing.assert_array_equal(a, b)
