@@ -16,6 +16,11 @@ Subcommands:
 - ``bench``      -- codec throughput ladder (pre-optimisation baseline,
   vectorized RD, slice-parallel) with byte-identity verification; exit
   2 when any configuration's output diverges
+- ``chaos``      -- seeded chaos soak of the fault-tolerant serving
+  layer; exit 2 on any silent corruption, untyped error, or
+  availability below the SLO
+- ``serve-bench`` -- healthy-path serving benchmark (sequential
+  latency percentiles + typed-shedding overload burst)
 
 A global ``--trace out.json`` flag (before the subcommand) records a
 Chrome trace-event file of the run for ``chrome://tracing`` /
@@ -113,7 +118,49 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--output", default=None,
                        help="write the JSON result document here")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos-soak the serving layer (exit 2 on contract violation)",
+    )
+    chaos.add_argument("--requests", type=int, default=500)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="shortened soak (120 requests; CI smoke mode)",
+    )
+    chaos.add_argument("--output", default=None,
+                       help="merge the report into this JSON file")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="healthy-path serving benchmark (latency + shedding burst)",
+    )
+    serve_bench.add_argument("--requests", type=int, default=60)
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--output", default=None,
+                             help="merge the report into this JSON file")
     return parser
+
+
+def _merge_json(path: str, section: str, document: dict) -> None:
+    """Merge ``document`` under ``section`` in the JSON file at ``path``."""
+    import json
+    import os
+
+    existing = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r") as handle:
+                existing = json.load(handle)
+        except (OSError, ValueError):
+            existing = {}
+    if not isinstance(existing, dict):
+        existing = {}
+    existing[section] = document
+    with open(path, "w") as handle:
+        json.dump(existing, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _rate_kwargs(args: argparse.Namespace) -> dict:
@@ -295,6 +342,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 2 if damaged else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Exit 0 on a clean soak, 2 on any serving-contract violation."""
+    from repro.serving.chaos import ChaosConfig, format_report, run_chaos
+
+    requests = 120 if args.quick else args.requests
+    report = run_chaos(ChaosConfig(requests=requests, seed=args.seed))
+    print(format_report(report))
+    if args.output:
+        _merge_json(args.output, "chaos", report)
+        print(f"wrote {args.output}")
+    return 0 if report["invariant"]["passed"] else 2
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serving.chaos import run_serve_bench
+
+    report = run_serve_bench(requests=args.requests, seed=args.seed)
+    sequential = report["sequential"]["latency_ms"]
+    burst = report["burst"]
+    print(
+        f"sequential: {report['sequential']['requests']} requests, "
+        f"p50={sequential['p50']:.1f}ms p99={sequential['p99']:.1f}ms"
+    )
+    print(
+        f"burst: {burst['threads']} threads x {burst['per_thread']} requests "
+        f"in {burst['elapsed_s']:.1f}s, shed={report['shed_typed']} (typed), "
+        f"availability={burst['slo']['availability']:.3f}"
+    )
+    if args.output:
+        _merge_json(args.output, "serve_bench", report)
+        print(f"wrote {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -304,6 +385,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "verify": _cmd_verify,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

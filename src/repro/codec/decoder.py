@@ -34,6 +34,7 @@ from repro.codec.syntax import (
 )
 from repro.codec.transform import inverse_dct2_batch
 from repro.parallel import ParallelConfig, parallel_map
+from repro.resilience.deadline import Deadline
 from repro.resilience.errors import ConcealmentReport, CorruptStreamError
 from repro.resilience.framing import deframe_slices
 
@@ -53,7 +54,9 @@ class FrameDecoder:
         data: bytes,
         conceal: bool = False,
         parallel: Optional[ParallelConfig] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
+        self._deadline = deadline
         self._header = unpack_header(data)
         try:
             self._profile = PROFILES_BY_ID[self._header["profile_id"]]
@@ -115,7 +118,11 @@ class FrameDecoder:
             ]
             with telemetry.span("frames.decode"):
                 recons = parallel_map(
-                    _decode_slice_worker, tasks, par, label="decode"
+                    _decode_slice_worker,
+                    tasks,
+                    par,
+                    label="decode",
+                    deadline=self._deadline,
                 )
             frames = [
                 np.clip(np.rint(r[:height, :width]), 0, 255).astype(np.uint8)
@@ -129,6 +136,8 @@ class FrameDecoder:
         frames: List[np.ndarray] = []
         with telemetry.span("frames.decode"):
             for frame_index in range(h["n_frames"]):
+                if self._deadline is not None:
+                    self._deadline.check("frames.decode")
                 segment = slices[frame_index] if frame_index < len(slices) else None
                 with telemetry.span("frame"):
                     recon = self._decode_slice(

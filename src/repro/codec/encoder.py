@@ -28,6 +28,7 @@ from repro.codec import intra
 from repro.codec.entropy.arithmetic import BinaryEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
 from repro.parallel import ParallelConfig, parallel_map
+from repro.resilience.deadline import Deadline
 from repro.resilience.errors import (
     ChecksumError,
     CorruptStreamError,
@@ -174,6 +175,15 @@ class EncoderConfig:
     #: byte-identical to serial; automatically falls back to serial
     #: when ``use_inter`` introduces cross-frame dependencies.
     parallel: Optional[ParallelConfig] = None
+    #: Cooperative time budget for this encode (None = unbounded).
+    #: Checked at every frame boundary -- in the serial loop, in each
+    #: parallel slice worker, and by the pool wait itself -- so an
+    #: over-budget encode raises
+    #: :class:`~repro.resilience.errors.DeadlineExceeded` at a slice
+    #: boundary with no partial state left behind.  Output bytes are
+    #: unaffected by the deadline (an encode either completes
+    #: identically or raises).
+    deadline: Optional[Deadline] = None
 
     def __post_init__(self) -> None:
         if self.rd_search not in RD_SEARCHES:
@@ -405,7 +415,11 @@ class FrameEncoder:
                     for index, frame in enumerate(frames)
                 ]
                 results = parallel_map(
-                    _encode_slice_worker, tasks, par, label="encode"
+                    _encode_slice_worker,
+                    tasks,
+                    par,
+                    label="encode",
+                    deadline=cfg.deadline,
                 )
                 for slice_bytes, frame_sse, worker_stats in results:
                     slices.append(slice_bytes)
@@ -416,6 +430,8 @@ class FrameEncoder:
                 if par is not None:
                     telemetry.count("parallel.serial_fallbacks")
                 for index, frame in enumerate(frames):
+                    if cfg.deadline is not None:
+                        cfg.deadline.check("frames.encode")
                     padded = pad_frame(frame, self._ctu)
                     # Each frame is one error-resilience slice: a fresh
                     # coder and fresh contexts make it independently
@@ -1259,6 +1275,8 @@ def _encode_slice_worker(args):
     Returns ``(framed_slice_bytes, frame_sse, stats_or_None)``.
     """
     config, frame, index, qp_base, qp_frac, dither_steps, want_stats = args
+    if config.deadline is not None:
+        config.deadline.check("frames.encode.worker")
     encoder = FrameEncoder(config)
     encoder._ctu = (
         config.profile.ctu_size if config.use_partition else config.fixed_cu_size

@@ -10,7 +10,11 @@ to the serial path; see ``docs/PERFORMANCE.md``.
 from repro.parallel.pool import (
     EXECUTORS,
     SERIAL,
+    BrokenPoolError,
     ParallelConfig,
+    WorkerTimeoutError,
+    discard_pool,
+    get_executor,
     parallel_map,
     pool_stats,
     shutdown_pools,
@@ -19,7 +23,11 @@ from repro.parallel.pool import (
 __all__ = [
     "EXECUTORS",
     "SERIAL",
+    "BrokenPoolError",
     "ParallelConfig",
+    "WorkerTimeoutError",
+    "discard_pool",
+    "get_executor",
     "parallel_map",
     "pool_stats",
     "shutdown_pools",

@@ -19,6 +19,13 @@ Design rules:
 - **Pools are shared and lazy.**  Process pools cost real start-up
   time; one pool per (kind, worker-count) is created on first use and
   reused for the life of the process (``atexit`` tears them down).
+- **Worker death is not the caller's problem.**  A crashed process
+  (OOM-killed, segfaulted, ``SIGKILL``-ed) surfaces from the stdlib as
+  ``BrokenProcessPool``; :func:`parallel_map` discards the dead pool
+  and re-runs the batch serially, so a deterministic ``fn`` yields the
+  identical result list a healthy pool would have.  Callers that run
+  their own supervision (restart + re-dispatch, see
+  :mod:`repro.serving.supervisor`) opt out with ``on_broken="raise"``.
 - **Every dispatch is observable.**  ``parallel.*`` telemetry counters
   and a span wrap each fan-out, so a trace shows exactly which stages
   ran parallel and which fell back, and ``BENCH_codec.json`` numbers
@@ -29,14 +36,25 @@ from __future__ import annotations
 
 import atexit
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import repro.telemetry as telemetry
+from repro.resilience.deadline import Deadline, effective_timeout
 
 __all__ = [
+    "BrokenPoolError",
     "ParallelConfig",
+    "WorkerTimeoutError",
+    "discard_pool",
+    "get_executor",
     "parallel_map",
     "pool_stats",
     "shutdown_pools",
@@ -47,6 +65,25 @@ R = TypeVar("R")
 
 #: Executor kinds accepted by :class:`ParallelConfig`.
 EXECUTORS = ("process", "thread", "serial")
+
+#: The stdlib's "a worker died under the executor" family
+#: (``BrokenProcessPool`` / ``BrokenThreadPool``), re-exported so
+#: callers and supervisors need no ``concurrent.futures`` imports.
+BrokenPoolError = BrokenExecutor
+
+
+class WorkerTimeoutError(TimeoutError):
+    """A dispatched item did not finish within its ``timeout_s``.
+
+    The hung worker may still be running (a process-pool task cannot be
+    preempted); the pool that owns it should be discarded via
+    :func:`discard_pool` before re-dispatching, which supervision
+    layers do automatically.
+    """
+
+    def __init__(self, message: str, index: int = -1) -> None:
+        super().__init__(message)
+        self.index = index  # submission-order index of the late item
 
 
 @dataclass(frozen=True)
@@ -102,6 +139,7 @@ SERIAL = ParallelConfig(workers=1, executor="serial")
 _pools: dict = {}
 _pool_dispatches = 0
 _pool_serial_fallbacks = 0
+_pool_breakages = 0
 
 
 def _get_pool(kind: str, workers: int) -> Executor:
@@ -116,6 +154,34 @@ def _get_pool(kind: str, workers: int) -> Executor:
             )
         _pools[key] = pool
     return pool
+
+
+def get_executor(config: ParallelConfig) -> Executor:
+    """The shared live executor for ``config`` (created on first use).
+
+    Supervision layers use this to submit individually-tracked futures
+    instead of whole batches; the executor is the same one
+    :func:`parallel_map` dispatches to, so pool reuse still holds.
+    """
+    if config.is_serial():
+        raise ValueError("a serial ParallelConfig has no executor")
+    return _get_pool(config.executor, config.resolved_workers())
+
+
+def discard_pool(kind: str, workers: int) -> bool:
+    """Drop (and shut down) one cached executor; True if it existed.
+
+    The replacement is created lazily on the next dispatch.  Used after
+    a pool breaks (worker crash) or goes unresponsive (hung worker):
+    ``shutdown(wait=False)`` abandons rather than joins the wreckage,
+    so a hung task cannot hang the supervisor too.
+    """
+    pool = _pools.pop((kind, workers), None)
+    if pool is None:
+        return False
+    pool.shutdown(wait=False, cancel_futures=True)
+    telemetry.count("parallel.pools_discarded")
+    return True
 
 
 def shutdown_pools() -> None:
@@ -134,11 +200,58 @@ def pool_stats() -> dict:
         "live_pools": sorted(_pools.keys()),
         "dispatches": _pool_dispatches,
         "serial_fallbacks": _pool_serial_fallbacks,
+        "breakages": _pool_breakages,
     }
 
 
-def _serial_map(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-    return [fn(item) for item in items]
+def _serial_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    deadline: Optional[Deadline] = None,
+) -> List[R]:
+    results: List[R] = []
+    for item in items:
+        if deadline is not None:
+            deadline.check("parallel_map")
+        results.append(fn(item))
+    return results
+
+
+def _mapped_with_timeout(
+    pool: Executor,
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    timeout_s: Optional[float],
+    deadline: Optional[Deadline],
+) -> List[R]:
+    """Submit items individually and bound each wait.
+
+    Per-item semantics: item *i*'s clock starts when the caller begins
+    waiting on it, so a batch of N items on W workers gets roughly the
+    same leniency a dedicated worker would -- a single hung worker
+    still trips the bound.  Earlier items' exceptions surface first
+    (futures are drained in submission order), matching the serial
+    loop's contract.
+    """
+    futures = [pool.submit(fn, item) for item in items]
+    results: List[R] = []
+    try:
+        for index, future in enumerate(futures):
+            wait_s = effective_timeout(deadline, timeout_s)
+            try:
+                results.append(future.result(timeout=wait_s))
+            except FuturesTimeoutError:
+                telemetry.count("parallel.worker_timeouts")
+                if deadline is not None and deadline.expired():
+                    deadline.check("parallel_map")
+                raise WorkerTimeoutError(
+                    f"item {index} exceeded its {timeout_s}s timeout",
+                    index=index,
+                ) from None
+    finally:
+        for future in futures:
+            future.cancel()
+    return results
 
 
 def parallel_map(
@@ -147,6 +260,9 @@ def parallel_map(
     config: Optional[ParallelConfig],
     label: str = "map",
     serial: bool = False,
+    timeout_s: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
+    on_broken: str = "serial",
 ) -> List[R]:
     """Apply ``fn`` to ``items``, preserving order, optionally in parallel.
 
@@ -158,8 +274,25 @@ def parallel_map(
     ``serial=True`` forces the fallback regardless of ``config``; pass
     it when the caller detects a cross-item dependency (e.g. inter
     prediction between frames) that makes fan-out incorrect.
+
+    Fault handling:
+
+    - ``timeout_s`` bounds each item's pool wait; a straggler raises
+      :class:`WorkerTimeoutError` (pool paths only -- the serial loop
+      cannot preempt ``fn``).
+    - ``deadline`` is checked between serial items and caps every pool
+      wait; expiry raises
+      :class:`~repro.resilience.errors.DeadlineExceeded`.
+    - A pool whose worker died mid-batch (``BrokenProcessPool``) is
+      discarded; with ``on_broken="serial"`` (default) the *entire*
+      batch re-runs serially -- ``fn`` must therefore be deterministic
+      and idempotent, which every codec fan-out body is -- and with
+      ``on_broken="raise"`` the :class:`BrokenPoolError` propagates for
+      a supervisor to restart + re-dispatch itself.
     """
-    global _pool_dispatches, _pool_serial_fallbacks
+    global _pool_dispatches, _pool_serial_fallbacks, _pool_breakages
+    if on_broken not in ("serial", "raise"):
+        raise ValueError(f"on_broken must be 'serial' or 'raise', got {on_broken!r}")
     items = list(items)
     if (
         serial
@@ -172,8 +305,10 @@ def parallel_map(
             telemetry.count("parallel.single_item")
         _pool_serial_fallbacks += 1
         telemetry.count("parallel.serial_fallbacks")
-        return _serial_map(fn, items)
+        return _serial_map(fn, items, deadline)
 
+    if deadline is not None:
+        deadline.check("parallel_map")
     workers = min(config.resolved_workers(), len(items))
     _pool_dispatches += 1
     telemetry.count("parallel.dispatches")
@@ -181,10 +316,23 @@ def parallel_map(
     telemetry.observe("parallel.workers", workers)
     with telemetry.span(f"parallel.{label}"):
         pool = _get_pool(config.executor, workers)
-        if config.executor == "process":
-            results = pool.map(fn, items, chunksize=config.chunk_size)
-        else:
-            results = pool.map(fn, items)
-        # list() drains in submission order; the first failing item's
-        # exception propagates here, matching the serial loop.
-        return list(results)
+        try:
+            if timeout_s is not None or deadline is not None:
+                return _mapped_with_timeout(pool, fn, items, timeout_s, deadline)
+            if config.executor == "process":
+                results = pool.map(fn, items, chunksize=config.chunk_size)
+            else:
+                results = pool.map(fn, items)
+            # list() drains in submission order; the first failing item's
+            # exception propagates here, matching the serial loop.
+            return list(results)
+        except BrokenPoolError:
+            # A worker died (SIGKILL, OOM, segfault): the pool is
+            # unusable and which items completed is unknowable.
+            _pool_breakages += 1
+            telemetry.count("parallel.broken_pools")
+            discard_pool(config.executor, workers)
+            if on_broken == "raise":
+                raise
+            telemetry.count("parallel.broken_pool_serial_reruns")
+            return _serial_map(fn, items, deadline)

@@ -16,10 +16,12 @@ and retry policy.
   ``llm265 verify``.
 """
 
+from repro.resilience.deadline import Deadline
 from repro.resilience.errors import (
     ChecksumError,
     ConcealmentReport,
     CorruptStreamError,
+    DeadlineExceeded,
     TransportError,
     TruncatedStreamError,
 )
@@ -38,6 +40,8 @@ __all__ = [
     "ChecksumError",
     "ConcealmentReport",
     "CorruptStreamError",
+    "Deadline",
+    "DeadlineExceeded",
     "FaultConfig",
     "FaultInjector",
     "RetryPolicy",

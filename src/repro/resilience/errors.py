@@ -19,6 +19,7 @@ __all__ = [
     "ChecksumError",
     "ConcealmentReport",
     "CorruptStreamError",
+    "DeadlineExceeded",
     "TransportError",
     "TruncatedStreamError",
 ]
@@ -44,6 +45,17 @@ class ChecksumError(CorruptStreamError):
         super().__init__(message)
         self.expected = expected
         self.actual = actual
+
+
+class DeadlineExceeded(TimeoutError):
+    """A cooperative deadline budget ran out mid-request.
+
+    Raised by :class:`repro.resilience.deadline.Deadline` checkpoints
+    inside the encoder, decoder, rate-control loops, and pool waits.
+    Deliberately a ``TimeoutError`` (not a :class:`CorruptStreamError`):
+    the input was fine, the time budget was not -- callers respond by
+    shedding or degrading, never by concealing.
+    """
 
 
 class TransportError(RuntimeError):

@@ -1,0 +1,369 @@
+"""`CodecService`: the supervised request path around the tensor codec.
+
+One request = one :class:`ServeResponse`, always.  The service never
+lets a library exception, a crashed worker, or a hung attempt escape
+to the caller raw; every path funnels into the response contract the
+chaos harness asserts:
+
+- ``ok`` and not ``degraded``: the payload is bit-exact with what a
+  healthy serial run at the same ladder rung would have produced.
+- ``ok`` and ``degraded=True``: a reduced-fidelity answer, produced
+  only by the explicit concealment fallback for damaged decode inputs
+  (with the patched tiles enumerated in ``report``).
+- not ``ok``: a *typed* error -- :class:`~repro.serving.broker.Overloaded`
+  (shed at admission), :class:`~repro.resilience.errors.DeadlineExceeded`
+  (budget expired), :class:`~repro.resilience.errors.CorruptStreamError`
+  (input damaged beyond concealment), or
+  :class:`~repro.serving.supervisor.RetriesExhausted` (infrastructure
+  fault outlasted supervision).
+
+Request flow: broker admission (bounded, typed shedding) -> ladder
+rung selection (load + per-rung circuit breakers) -> supervised
+execution (bounded attempt timeouts, seeded-backoff retries, child
+deadlines so abandoned attempts self-cancel) -> on persistent failure,
+step down the ladder; for damaged decodes, fall through to
+concealment.  Every outcome lands in the SLO tracker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.resilience.errors import ConcealmentReport, CorruptStreamError
+from repro.resilience.faults import RetryPolicy
+from repro.serving.broker import Overloaded, RequestBroker
+from repro.serving.ladder import DEFAULT_LADDER, DegradationLadder, Rung
+from repro.serving.slo import SloTracker
+from repro.serving.supervisor import RetriesExhausted, Supervisor
+from repro.tensor.codec import CompressedTensor, TensorCodec
+
+__all__ = ["CodecService", "ServeResponse", "ServiceConfig"]
+
+#: Hook signature for fault injection: called at the top of every
+#: supervised attempt with the request kind ("encode" / "decode"); may
+#: sleep (straggler/hang), raise (crash/exception), or do nothing.
+FaultGate = Callable[[str], None]
+
+
+@dataclass
+class ServiceConfig:
+    """Operating envelope of one :class:`CodecService`."""
+
+    tile: int = 32
+    default_qp: float = 26.0
+    #: Default end-to-end request budget (overridable per request).
+    deadline_s: float = 2.0
+    #: Supervision bound on a single attempt; a hang is declared after
+    #: this long and the attempt abandoned (its child deadline reaps
+    #: it).  Must comfortably exceed one honest encode of your tensors.
+    attempt_timeout_s: float = 0.25
+    max_inflight: int = 2
+    max_queue: int = 8
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(max_retries=3, backoff_base_s=0.002)
+    )
+    rungs: Sequence[Rung] = DEFAULT_LADDER
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 1.0
+    #: Seeds supervision backoff jitter (reproducible soak schedules).
+    seed: int = 0
+
+
+@dataclass
+class ServeResponse:
+    """The one shape every request resolves to."""
+
+    ok: bool
+    kind: str  # "encode" | "decode"
+    value: object = None  # CompressedTensor (encode) / np.ndarray (decode)
+    degraded: bool = False
+    error: Optional[BaseException] = None
+    rung: str = ""
+    retries: int = 0  # extra attempts beyond the first, across rungs
+    ladder_steps: int = 0  # rungs stepped down after the starting one
+    concealed: int = 0  # tiles patched by concealment (decode only)
+    report: Optional[ConcealmentReport] = None
+    latency_s: float = 0.0
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__ if self.error is not None else ""
+
+    def summary(self) -> str:
+        if self.ok:
+            flag = " DEGRADED" if self.degraded else ""
+            return (
+                f"{self.kind} ok rung={self.rung}{flag} "
+                f"retries={self.retries} {1e3 * self.latency_s:.1f}ms"
+            )
+        return (
+            f"{self.kind} {self.error_type}: {self.error} "
+            f"({1e3 * self.latency_s:.1f}ms)"
+        )
+
+
+class CodecService:
+    """Fault-tolerant encode/decode service over :class:`TensorCodec`."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.broker = RequestBroker(cfg.max_inflight, cfg.max_queue)
+        self.slo = SloTracker()
+        self.supervisor = Supervisor(retry=cfg.retry, seed=cfg.seed)
+        self.ladder = DegradationLadder(
+            cfg.rungs,
+            failure_threshold=cfg.breaker_failure_threshold,
+            cooldown_s=cfg.breaker_cooldown_s,
+        )
+        self._codecs = {
+            rung.name: TensorCodec(
+                tile=cfg.tile, parallel=rung.parallel, rd_search=rung.rd_search
+            )
+            for rung in self.ladder.rungs
+        }
+        # Decode has no rd-search axis; serial decode keeps damaged-input
+        # handling (concealment) on its well-tested path.
+        self._decode_codec = TensorCodec(tile=cfg.tile)
+
+    # -- public API ----------------------------------------------------
+
+    def encode(
+        self,
+        tensor: np.ndarray,
+        qp: Optional[float] = None,
+        bits_per_value: Optional[float] = None,
+        target_mse: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+    ) -> ServeResponse:
+        """Compress ``tensor``; never raises, always a :class:`ServeResponse`."""
+        targets = dict(qp=qp, bits_per_value=bits_per_value, target_mse=target_mse)
+        if all(v is None for v in targets.values()):
+            targets["qp"] = self.config.default_qp
+
+        def attempt_factory(rung: Rung):
+            codec = self._codecs[rung.name]
+
+            def work(attempt_deadline: Optional[Deadline]):
+                if fault_gate is not None:
+                    fault_gate("encode")
+                return codec.encode(tensor, deadline=attempt_deadline, **targets)
+
+            return work
+
+        return self._serve("encode", attempt_factory, deadline_s)
+
+    def decode(
+        self,
+        blob: bytes,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+    ) -> ServeResponse:
+        """Decompress ``blob``; damaged payloads degrade to concealment."""
+
+        def attempt_factory(rung: Rung):
+            def work(attempt_deadline: Optional[Deadline]):
+                if fault_gate is not None:
+                    fault_gate("decode")
+                compressed = CompressedTensor.from_bytes(blob, strict=True)
+                tensor, report = self._decode_codec.decode_with_report(
+                    compressed, conceal=False, deadline=attempt_deadline
+                )
+                return tensor, report
+
+            return work
+
+        def conceal_fallback(attempt_deadline: Optional[Deadline]):
+            if fault_gate is not None:
+                fault_gate("decode")
+            compressed = CompressedTensor.from_bytes(blob, strict=False)
+            return self._decode_codec.decode_with_report(
+                compressed, conceal=True, deadline=attempt_deadline
+            )
+
+        return self._serve(
+            "decode", attempt_factory, deadline_s, conceal_fallback
+        )
+
+    def stats(self) -> dict:
+        """Service-wide SLO + component introspection (JSON-ready)."""
+        return {
+            "slo": self.slo.snapshot(),
+            "broker": self.broker.stats(),
+            "ladder": self.ladder.stats(),
+            "supervisor": self.supervisor.stats(),
+        }
+
+    # -- request machinery ---------------------------------------------
+
+    def _serve(
+        self,
+        kind: str,
+        attempt_factory: Callable[[Rung], Callable],
+        deadline_s: Optional[float],
+        conceal_fallback: Optional[Callable] = None,
+    ) -> ServeResponse:
+        start_time = time.perf_counter()
+        deadline = Deadline.after(
+            deadline_s if deadline_s is not None else self.config.deadline_s,
+            label=kind,
+        )
+        with telemetry.span(f"serving.{kind}"):
+            try:
+                self.broker.acquire(deadline)
+            except Overloaded as exc:
+                return self._finish(
+                    ServeResponse(ok=False, kind=kind, error=exc), start_time
+                )
+            except DeadlineExceeded as exc:
+                return self._finish(
+                    ServeResponse(ok=False, kind=kind, error=exc), start_time
+                )
+            try:
+                response = self._execute(
+                    kind, attempt_factory, deadline, conceal_fallback
+                )
+            finally:
+                self.broker.release()
+        return self._finish(response, start_time)
+
+    def _execute(
+        self,
+        kind: str,
+        attempt_factory: Callable[[Rung], Callable],
+        deadline: Deadline,
+        conceal_fallback: Optional[Callable],
+    ) -> ServeResponse:
+        cfg = self.config
+        start = self.ladder.start_for_pressure(self.broker.pressure())
+        index = start
+        retries = 0
+        last_error: Optional[BaseException] = None
+        while True:
+            index, rung = self.ladder.select(index)
+            work = attempt_factory(rung)
+            try:
+                value, attempts = self.supervisor.run(
+                    work, cfg.attempt_timeout_s, deadline
+                )
+                retries += attempts - 1
+                self.ladder.record(index, True)
+                return self._success(kind, rung, value, retries, index - start)
+            except DeadlineExceeded as exc:
+                # Budget gone: no rung can help.  Not a backend failure,
+                # so the breaker is left alone.
+                return ServeResponse(
+                    ok=False, kind=kind, error=exc, rung=rung.name,
+                    retries=retries, ladder_steps=index - start,
+                )
+            except RetriesExhausted as exc:
+                retries += exc.attempts - 1
+                last_error = exc.last_error or exc
+                self.ladder.record(index, False)
+                telemetry.count("serving.rung_failures")
+                if index + 1 < len(self.ladder):
+                    index += 1
+                    continue
+                return ServeResponse(
+                    ok=False, kind=kind, error=exc, rung=rung.name,
+                    retries=retries, ladder_steps=index - start,
+                )
+            except CorruptStreamError as exc:
+                # Damaged input, not a sick backend: concealment is the
+                # designed fallback (decode only), never a silent patch
+                # -- the response is flagged degraded.
+                self.ladder.record(index, True)
+                if conceal_fallback is None:
+                    return ServeResponse(
+                        ok=False, kind=kind, error=exc, rung=rung.name,
+                        retries=retries,
+                    )
+                return self._conceal(
+                    kind, rung, conceal_fallback, deadline, retries, exc
+                )
+            except ValueError as exc:
+                # Malformed request (bad targets, wrong dtype): typed,
+                # immediate, no retry -- it fails identically every time.
+                self.ladder.record(index, True)
+                return ServeResponse(
+                    ok=False, kind=kind, error=exc, rung=rung.name,
+                    retries=retries,
+                )
+
+    def _conceal(
+        self,
+        kind: str,
+        rung: Rung,
+        conceal_fallback: Callable,
+        deadline: Deadline,
+        retries: int,
+        strict_error: CorruptStreamError,
+    ) -> ServeResponse:
+        telemetry.count("serving.conceal_fallbacks")
+        try:
+            value, attempts = self.supervisor.run(
+                conceal_fallback, self.config.attempt_timeout_s, deadline
+            )
+        except (CorruptStreamError, DeadlineExceeded, RetriesExhausted) as exc:
+            # Metadata damage (nothing to conceal) or budget/fault
+            # exhaustion: surface the typed failure.
+            return ServeResponse(
+                ok=False, kind=kind, error=exc, rung="concealed", retries=retries,
+            )
+        tensor, report = value
+        degraded = not report.clean
+        response = ServeResponse(
+            ok=True,
+            kind=kind,
+            value=tensor,
+            degraded=degraded,
+            rung="concealed" if degraded else rung.name,
+            retries=retries + attempts - 1,
+            concealed=report.concealed_count,
+            report=report,
+        )
+        if degraded:
+            telemetry.count("serving.degraded_responses")
+        return response
+
+    def _success(
+        self, kind: str, rung: Rung, value, retries: int, ladder_steps: int
+    ) -> ServeResponse:
+        report: Optional[ConcealmentReport] = None
+        if kind == "decode":
+            value, report = value
+        return ServeResponse(
+            ok=True,
+            kind=kind,
+            value=value,
+            rung=rung.name,
+            retries=retries,
+            ladder_steps=max(0, ladder_steps),
+            report=report,
+        )
+
+    def _finish(self, response: ServeResponse, start_time: float) -> ServeResponse:
+        response.latency_s = time.perf_counter() - start_time
+        if response.ok:
+            outcome = "degraded" if response.degraded else "ok"
+        elif isinstance(response.error, Overloaded):
+            outcome = "shed"
+        elif isinstance(response.error, DeadlineExceeded):
+            outcome = "deadline"
+        else:
+            outcome = "error"
+        self.slo.record(
+            outcome,
+            response.latency_s,
+            retries=response.retries,
+            ladder_steps=response.ladder_steps,
+            concealed=response.concealed,
+        )
+        return response

@@ -1,0 +1,254 @@
+"""Supervision: detect crashed/hung work, restart pools, re-dispatch.
+
+Two supervision shapes, both bounded and seeded:
+
+- :meth:`Supervisor.run` guards **one unit of work** (a whole request
+  attempt).  The work runs on a supervised thread so the caller's wait
+  can be bounded (``attempt_timeout_s``): a hang is detected by the
+  *supervisor's* clock, never by trusting the work to return.  The
+  abandoned attempt is handed a child deadline, so the cooperative
+  checks inside the codec stop it shortly after the supervisor gives
+  up -- partial work cancels itself instead of running orphaned.
+
+- :meth:`Supervisor.map` guards a **batch fan-out** over
+  :mod:`repro.parallel`.  Item failures are tracked individually; a
+  broken pool (``BrokenProcessPool`` -- a worker was SIGKILLed or
+  OOMed) or a hung worker (item timeout) causes the dead pool to be
+  discarded (:func:`repro.parallel.discard_pool`) and only the
+  unfinished items re-dispatched to a fresh one, up to
+  ``RetryPolicy.max_retries`` rounds.
+
+Backoff between retries is real (the service actually waits) but tiny
+and *seeded*: jitter comes from one ``numpy`` generator, so a chaos
+run replays the same schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.parallel import (
+    BrokenPoolError,
+    ParallelConfig,
+    WorkerTimeoutError,
+    discard_pool,
+    get_executor,
+    parallel_map,
+)
+from repro.resilience.deadline import Deadline, effective_timeout
+from repro.resilience.faults import RetryPolicy
+
+__all__ = ["RetriesExhausted", "Supervisor", "WorkerCrashed"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Exceptions treated as transient infrastructure faults: the work
+#: itself may be fine, the worker running it died or stalled.  Note
+#: ``ValueError`` (and so ``CorruptStreamError``) is deliberately NOT
+#: here -- bad input fails identically on every retry.
+RETRYABLE = (BrokenPoolError, WorkerTimeoutError, RuntimeError, OSError)
+
+
+class WorkerCrashed(BrokenPoolError):
+    """A worker died mid-task (also raised by simulated chaos crashes).
+
+    Subclasses the stdlib broken-pool family so every supervision and
+    fallback path treats real and injected crashes identically.
+    """
+
+
+class RetriesExhausted(RuntimeError):
+    """Supervision gave up: the fault persisted through every retry."""
+
+    def __init__(self, message: str, last_error: Optional[BaseException] = None,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
+class Supervisor:
+    """Bounded-retry execution guard with seeded backoff.
+
+    Parameters
+    ----------
+    retry:
+        Retry budget and backoff curve (reuses the transport layer's
+        :class:`~repro.resilience.faults.RetryPolicy`).
+    seed:
+        Seeds the backoff jitter; two supervisors with the same seed
+        produce the same wait schedule.
+    executor:
+        Thread-pool policy used by :meth:`run` to make single-item
+        waits boundable.  Threads, not processes: request bodies close
+        over live codec objects, and a hung *thread* is cheap to
+        abandon (its cooperative deadline reaps it).
+    """
+
+    def __init__(
+        self,
+        retry: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        executor: Optional[ParallelConfig] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.retry = retry or RetryPolicy(max_retries=3, backoff_base_s=0.002)
+        self._rng = np.random.default_rng(seed)
+        self._executor_config = executor or ParallelConfig(
+            workers=8, executor="thread"
+        )
+        self._sleep = sleep
+        self.restarts = 0  # pools discarded + recreated
+        self.timeouts = 0  # hung work detected
+        self.retries = 0  # re-dispatched attempts
+
+    # -- internals -----------------------------------------------------
+
+    def _backoff(self, attempt: int, deadline: Optional[Deadline]) -> None:
+        """Seeded-jitter exponential backoff, capped by the deadline."""
+        wait_s = self.retry.backoff_s(attempt) * float(0.5 + self._rng.random())
+        capped = effective_timeout(deadline, wait_s)
+        if capped is not None and capped > 0:
+            telemetry.observe("serving.backoff_s", capped)
+            self._sleep(capped)
+
+    # -- single-item supervision (request attempts) --------------------
+
+    def run(
+        self,
+        work: Callable[[Optional[Deadline]], R],
+        attempt_timeout_s: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+        retryable: Tuple[type, ...] = RETRYABLE,
+    ) -> Tuple[R, int]:
+        """Run ``work`` under supervision; returns ``(result, attempts)``.
+
+        ``work`` receives the *attempt's* deadline (the request
+        deadline capped at ``attempt_timeout_s``) and must thread it
+        into whatever it calls, so an attempt the supervisor abandoned
+        stops cooperating on its own.  Transient failures (``retryable``)
+        are retried with seeded backoff until the retry budget or the
+        request deadline runs out; anything else propagates immediately.
+        """
+        pool = get_executor(self._executor_config)
+        last_error: Optional[BaseException] = None
+        attempts = 0
+        for attempt in range(self.retry.max_retries + 1):
+            if deadline is not None:
+                deadline.check("supervisor.run")
+            attempt_deadline = (
+                deadline.child(attempt_timeout_s, label="attempt")
+                if deadline is not None and attempt_timeout_s is not None
+                else deadline
+            )
+            attempts += 1
+            future = pool.submit(work, attempt_deadline)
+            wait_s = effective_timeout(deadline, attempt_timeout_s)
+            try:
+                result = future.result(timeout=wait_s)
+                if attempt:
+                    telemetry.count("serving.recovered_after_retry")
+                return result, attempts
+            except FuturesTimeoutError:
+                future.cancel()
+                self.timeouts += 1
+                telemetry.count("serving.worker_timeouts")
+                last_error = WorkerTimeoutError(
+                    f"attempt {attempt} exceeded {wait_s:.3f}s"
+                )
+            except retryable as exc:
+                if isinstance(exc, BrokenPoolError):
+                    telemetry.count("serving.worker_crashes")
+                last_error = exc
+            if attempt < self.retry.max_retries:
+                self.retries += 1
+                self._backoff(attempt + 1, deadline)
+        raise RetriesExhausted(
+            f"work failed after {attempts} attempts: {last_error!r}",
+            last_error=last_error,
+            attempts=attempts,
+        )
+
+    # -- batch supervision (pool fan-outs) -----------------------------
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        config: ParallelConfig,
+        label: str = "supervised",
+        timeout_s: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
+    ) -> List[R]:
+        """Fan ``items`` out with restart + re-dispatch supervision.
+
+        Behaves like :func:`repro.parallel.parallel_map` (ordered
+        results, earliest exception) except that pool breakage and hung
+        workers are survived: the pool is restarted and only the items
+        without a result yet are re-dispatched, up to the retry budget.
+        ``fn`` must be deterministic/idempotent -- every codec fan-out
+        body is, which is what makes re-dispatch sound.
+        """
+        items = list(items)
+        results: List[Optional[Tuple[R]]] = [None] * len(items)  # boxed
+        pending = list(range(len(items)))
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.retry.max_retries + 1):
+            if deadline is not None:
+                deadline.check("supervisor.map")
+            if attempt:
+                self.retries += 1
+                telemetry.count("serving.redispatches", len(pending))
+                self._backoff(attempt, deadline)
+            try:
+                batch = parallel_map(
+                    fn,
+                    [items[i] for i in pending],
+                    config,
+                    label=label,
+                    timeout_s=timeout_s,
+                    deadline=deadline,
+                    on_broken="raise",
+                )
+            except (BrokenPoolError, WorkerTimeoutError) as exc:
+                # The pool is wrecked (dead worker) or wedged (hung
+                # worker): discard it so the next round gets a fresh
+                # one, then re-dispatch everything still unfinished.
+                last_error = exc
+                if not config.is_serial():
+                    workers = min(config.resolved_workers(), len(pending))
+                    discarded = discard_pool(config.executor, workers)
+                    # parallel_map discards a broken pool itself before
+                    # re-raising; either way the next round gets a fresh
+                    # pool, which is what "restart" counts.
+                    if discarded or isinstance(exc, BrokenPoolError):
+                        self.restarts += 1
+                        telemetry.count("serving.pool_restarts")
+                if isinstance(exc, WorkerTimeoutError):
+                    self.timeouts += 1
+                continue
+            for index, value in zip(pending, batch):
+                results[index] = (value,)
+            pending = []
+            break
+        if pending:
+            raise RetriesExhausted(
+                f"{len(pending)}/{len(items)} items unfinished after "
+                f"{self.retry.max_retries + 1} dispatch rounds: {last_error!r}",
+                last_error=last_error,
+                attempts=self.retry.max_retries + 1,
+            )
+        return [box[0] for box in results]  # type: ignore[index]
+
+    def stats(self) -> dict:
+        return {
+            "restarts": self.restarts,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+        }

@@ -27,8 +27,10 @@ exactly the damaged tensors instead of losing the whole file.
 
 from __future__ import annotations
 
+import itertools
 import os
 import struct
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -119,10 +121,22 @@ def _unpack_raw(payload: bytes) -> np.ndarray:
         raise CorruptStreamError(f"corrupt raw tensor payload: {exc}") from None
 
 
+_tmp_counter = itertools.count()
+
+
 def _atomic_write(path: str, blob: bytes) -> None:
     """Crash-safe write: the path either keeps its old content or gets
-    the complete new one, never a partial file."""
-    tmp = f"{path}.tmp.{os.getpid()}"
+    the complete new one, never a partial file.
+
+    The temp name is unique per (process, thread, write), not just per
+    process: two threads racing ``save()`` on the same path must each
+    stage a complete private file, so whichever ``os.replace`` lands
+    last wins wholesale -- the survivor is always one writer's intact
+    checkpoint, never an interleaving of both.
+    """
+    tmp = (
+        f"{path}.tmp.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}"
+    )
     with open(tmp, "wb") as handle:
         handle.write(blob)
         handle.flush()

@@ -23,9 +23,10 @@ import numpy as np
 
 import repro.telemetry as telemetry
 from repro.codec.decoder import FrameDecoder
-from repro.codec.encoder import EncoderConfig, FrameEncoder
+from repro.codec.encoder import RD_SEARCHES, EncoderConfig, FrameEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
 from repro.parallel import ParallelConfig
+from repro.resilience.deadline import Deadline
 from repro.resilience.errors import (
     ChecksumError,
     ConcealmentReport,
@@ -329,6 +330,11 @@ class TensorCodec:
         slice-parallel encode and decode over tiles.  Bitstreams and
         reconstructions are bit-identical to serial operation (slices
         are independently codable); ``None`` keeps everything serial.
+    rd_search:
+        Mode-search strategy forwarded to the frame encoder
+        (``"vectorized"`` default, ``"turbo"`` fastest, ``"legacy"``
+        reference); the serving degradation ladder steps requests down
+        this axis under load.
     """
 
     def __init__(
@@ -339,15 +345,21 @@ class TensorCodec:
         qp_search_precision: float = 0.25,
         alignment: str = "minmax",
         parallel: Optional[ParallelConfig] = None,
+        rd_search: str = "vectorized",
     ) -> None:
         if alignment not in ("minmax", "mx"):
             raise ValueError("alignment must be 'minmax' or 'mx'")
+        if rd_search not in RD_SEARCHES:
+            raise ValueError(
+                f"rd_search must be one of {RD_SEARCHES}, got {rd_search!r}"
+            )
         self.profile = profile
         self.tile = tile
         self.use_inter = use_inter
         self.qp_search_precision = qp_search_precision
         self.alignment = alignment
         self.parallel = parallel
+        self.rd_search = rd_search
 
     # -- encoding --------------------------------------------------------
 
@@ -357,8 +369,16 @@ class TensorCodec:
         qp: Optional[float] = None,
         bits_per_value: Optional[float] = None,
         target_mse: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
     ) -> CompressedTensor:
-        """Compress ``tensor`` under exactly one rate/quality target."""
+        """Compress ``tensor`` under exactly one rate/quality target.
+
+        ``deadline`` is a cooperative time budget checked between
+        rate-control iterations and at every frame boundary inside the
+        encoder; when it expires the encode raises
+        :class:`~repro.resilience.errors.DeadlineExceeded` cleanly (no
+        partial container is ever returned).
+        """
         chosen = [t is not None for t in (qp, bits_per_value, target_mse)]
         if sum(chosen) == 0:
             qp = 24.0
@@ -368,20 +388,24 @@ class TensorCodec:
         tensor = np.asarray(tensor)
         with telemetry.span("tensor.encode"):
             telemetry.count("tensor.encodes")
+            if deadline is not None:
+                deadline.check("tensor.encode")
             frames, grids, layout, frame_shape = self._to_frames(tensor)
 
             if qp is not None:
                 compressed = self._encode_at(
-                    frames, grids, layout, frame_shape, tensor, qp
+                    frames, grids, layout, frame_shape, tensor, qp, deadline
                 )
             elif bits_per_value is not None:
                 telemetry.observe("ratecontrol.bits_requested", bits_per_value)
                 compressed = self._search_bitrate(
-                    frames, grids, layout, frame_shape, tensor, bits_per_value
+                    frames, grids, layout, frame_shape, tensor, bits_per_value,
+                    deadline,
                 )
             else:
                 compressed = self._search_mse(
-                    frames, grids, layout, frame_shape, tensor, target_mse
+                    frames, grids, layout, frame_shape, tensor, target_mse,
+                    deadline,
                 )
         telemetry.observe("tensor.bits_per_value", compressed.bits_per_value)
         if not compressed.budget_met:
@@ -389,7 +413,10 @@ class TensorCodec:
         return compressed
 
     def decode(
-        self, compressed: CompressedTensor, conceal: bool = False
+        self,
+        compressed: CompressedTensor,
+        conceal: bool = False,
+        deadline: Optional[Deadline] = None,
     ) -> np.ndarray:
         """Reconstruct the tensor from its compressed form.
 
@@ -397,11 +424,16 @@ class TensorCodec:
         neighbor prediction) instead of failing; use
         :meth:`decode_with_report` to learn *which* tiles were patched.
         """
-        tensor, _ = self.decode_with_report(compressed, conceal=conceal)
+        tensor, _ = self.decode_with_report(
+            compressed, conceal=conceal, deadline=deadline
+        )
         return tensor
 
     def decode_with_report(
-        self, compressed: CompressedTensor, conceal: bool = True
+        self,
+        compressed: CompressedTensor,
+        conceal: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[np.ndarray, ConcealmentReport]:
         """Like :meth:`decode` but also returns the concealment report.
 
@@ -412,7 +444,10 @@ class TensorCodec:
         with telemetry.span("tensor.decode"):
             telemetry.count("tensor.decodes")
             decoder = FrameDecoder(
-                compressed.data, conceal=conceal, parallel=self.parallel
+                compressed.data,
+                conceal=conceal,
+                parallel=self.parallel,
+                deadline=deadline,
             )
             decoded_frames = decoder.decode()
             if not decoder.report.clean:
@@ -440,12 +475,16 @@ class TensorCodec:
 
     # -- internals ---------------------------------------------------------
 
-    def _encoder_config(self, qp: float) -> EncoderConfig:
+    def _encoder_config(
+        self, qp: float, deadline: Optional[Deadline] = None
+    ) -> EncoderConfig:
         return EncoderConfig(
             profile=self.profile,
             qp=qp,
             use_inter=self.use_inter,
             parallel=self.parallel,
+            rd_search=self.rd_search,
+            deadline=deadline,
         )
 
     def _to_frames(self, tensor: np.ndarray):
@@ -473,10 +512,11 @@ class TensorCodec:
         return frames, tuple(grids), layout, (frame_h, frame_w)
 
     def _encode_at(
-        self, frames, grids, layout, frame_shape, tensor, qp: float
+        self, frames, grids, layout, frame_shape, tensor, qp: float,
+        deadline: Optional[Deadline] = None,
     ) -> CompressedTensor:
         telemetry.count("tensor.encoder_runs")
-        result = FrameEncoder(self._encoder_config(qp)).encode(frames)
+        result = FrameEncoder(self._encoder_config(qp, deadline)).encode(frames)
         return CompressedTensor(
             data=result.data,
             layout=layout,
@@ -494,7 +534,8 @@ class TensorCodec:
         return float(np.mean(delta**2))
 
     def _search_bitrate(
-        self, frames, grids, layout, frame_shape, tensor, budget: float
+        self, frames, grids, layout, frame_shape, tensor, budget: float,
+        deadline: Optional[Deadline] = None,
     ) -> CompressedTensor:
         """Smallest QP whose total rate (payload + metadata) fits the budget.
 
@@ -514,33 +555,39 @@ class TensorCodec:
         with telemetry.span("ratecontrol.search_bitrate"):
             lo, hi = 0.0, 51.0
             telemetry.count("ratecontrol.iterations")
-            best = self._encode_at(frames, grids, layout, frame_shape, tensor, hi)
+            best = self._encode_at(
+                frames, grids, layout, frame_shape, tensor, hi, deadline
+            )
             fixed_bits = 8.0 * (best.nbytes - len(best.data)) + _stream_fixed_bits(
                 layout.num_tiles
             )
             if fixed_bits > 0.5 * budget * max(1, best.num_values):
                 telemetry.count("ratecontrol.iterations")
                 finest = self._encode_at(
-                    frames, grids, layout, frame_shape, tensor, lo
+                    frames, grids, layout, frame_shape, tensor, lo, deadline
                 )
                 finest.budget_met = False
                 return finest
             if best.bits_per_value > budget:
                 telemetry.count("ratecontrol.iterations")
                 finest = self._encode_at(
-                    frames, grids, layout, frame_shape, tensor, lo
+                    frames, grids, layout, frame_shape, tensor, lo, deadline
                 )
                 finest.budget_met = False
                 return finest
             telemetry.count("ratecontrol.iterations")
-            finest = self._encode_at(frames, grids, layout, frame_shape, tensor, lo)
+            finest = self._encode_at(
+                frames, grids, layout, frame_shape, tensor, lo, deadline
+            )
             if finest.bits_per_value <= budget:
                 return finest
             while hi - lo > self.qp_search_precision:
+                if deadline is not None:
+                    deadline.check("ratecontrol.search_bitrate")
                 mid = (lo + hi) / 2.0
                 telemetry.count("ratecontrol.iterations")
                 candidate = self._encode_at(
-                    frames, grids, layout, frame_shape, tensor, mid
+                    frames, grids, layout, frame_shape, tensor, mid, deadline
                 )
                 if candidate.bits_per_value <= budget:
                     best, hi = candidate, mid
@@ -549,22 +596,27 @@ class TensorCodec:
         return best
 
     def _search_mse(
-        self, frames, grids, layout, frame_shape, tensor, max_mse: float
+        self, frames, grids, layout, frame_shape, tensor, max_mse: float,
+        deadline: Optional[Deadline] = None,
     ) -> CompressedTensor:
         """Largest QP whose tensor-domain MSE stays within the budget."""
         with telemetry.span("ratecontrol.search_mse"):
             lo, hi = 0.0, 51.0
             telemetry.count("ratecontrol.iterations")
-            finest = self._encode_at(frames, grids, layout, frame_shape, tensor, lo)
+            finest = self._encode_at(
+                frames, grids, layout, frame_shape, tensor, lo, deadline
+            )
             if self._tensor_mse(finest, tensor) > max_mse:
                 telemetry.count("ratecontrol.target_miss")
                 return finest  # cannot meet the target; return best effort
             best = finest
             while hi - lo > self.qp_search_precision:
+                if deadline is not None:
+                    deadline.check("ratecontrol.search_mse")
                 mid = (lo + hi) / 2.0
                 telemetry.count("ratecontrol.iterations")
                 candidate = self._encode_at(
-                    frames, grids, layout, frame_shape, tensor, mid
+                    frames, grids, layout, frame_shape, tensor, mid, deadline
                 )
                 if self._tensor_mse(candidate, tensor) <= max_mse:
                     best, lo = candidate, mid

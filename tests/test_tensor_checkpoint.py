@@ -1,10 +1,16 @@
 """Tests for compressed model checkpoints."""
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.models.zoo import load_model
-from repro.tensor.checkpoint import load_checkpoint, save_checkpoint
+from repro.tensor.checkpoint import (
+    load_checkpoint,
+    load_checkpoint_with_report,
+    save_checkpoint,
+)
 
 
 @pytest.fixture()
@@ -83,3 +89,132 @@ class TestCheckpoint:
         path.write_bytes(bytes(blob))
         with pytest.raises(ValueError):
             load_checkpoint(str(path))
+
+
+class TestConcurrentWriters:
+    """Two writers racing ``save()`` on one path (PR 4 satellite).
+
+    The survivor must always be ONE writer's complete, CRC-clean v2
+    checkpoint -- never an interleaving of both.  Writer identity is
+    carried redundantly (a raw tag scalar AND the compressed weight's
+    magnitude), so a mixed file is detectable.
+    """
+
+    @staticmethod
+    def _state(tag):
+        return {
+            "weight": np.full((32, 32), 5.0 * (tag - 1), dtype=np.float32),
+            "tag": np.array([float(tag)], dtype=np.float32),
+        }
+
+    @staticmethod
+    def _assert_single_writer(path):
+        loaded = load_checkpoint(path)  # strict: v2 header + every CRC
+        assert set(loaded) == {"weight", "tag"}
+        tag = float(loaded["tag"][0])
+        assert tag in (1.0, 2.0)
+        mean = float(np.mean(loaded["weight"]))
+        # tag 1 wrote ~0.0 everywhere, tag 2 wrote ~5.0: the weight must
+        # come from the same writer as the tag.
+        expected = 5.0 * (tag - 1.0)
+        assert abs(mean - expected) < 1.0
+        return tag
+
+    def test_barrier_synchronised_race_leaves_one_intact_writer(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+        import threading
+
+        path = str(tmp_path / "race.lv265")
+        barrier = threading.Barrier(2, timeout=30.0)
+        real_replace = os_module.replace
+
+        def synced_replace(src, dst):
+            # Both temp files are fully staged and fsynced before either
+            # is allowed to land -- the worst-case interleaving.
+            barrier.wait()
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os_module, "replace", synced_replace)
+
+        errors = []
+
+        def writer(tag):
+            try:
+                save_checkpoint(self._state(tag), path)
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(tag,)) for tag in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        monkeypatch.undo()
+        assert not errors
+        self._assert_single_writer(path)
+        leftovers = [f for f in os.listdir(tmp_path) if ".tmp." in f]
+        assert leftovers == []  # both temp stages were consumed or never leaked
+
+    def test_unsynchronised_write_storm(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "storm.lv265")
+
+        def writer(tag):
+            for _ in range(4):
+                save_checkpoint(self._state(tag), path)
+
+        threads = [
+            threading.Thread(target=writer, args=(tag,)) for tag in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        self._assert_single_writer(path)
+        leftovers = [f for f in os.listdir(tmp_path) if ".tmp." in f]
+        assert leftovers == []
+
+
+class TestPartialLoadReporting:
+    """Damage to one entry loses that entry, never the file (PR 4 satellite)."""
+
+    @staticmethod
+    def _two_entry_state():
+        return {
+            "first": np.arange(6, dtype=np.float32),
+            "second": np.arange(6, 12, dtype=np.float32),
+        }
+
+    def test_mid_write_truncation_reports_the_tail(self, tmp_path):
+        path = tmp_path / "cut.lv265"
+        save_checkpoint(self._two_entry_state(), str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-10])  # entry "second" is cut mid-payload
+
+        with pytest.raises(ValueError):
+            load_checkpoint(str(path))  # strict load refuses
+
+        state, report = load_checkpoint_with_report(str(path))
+        assert not report.clean
+        assert "first" in state
+        assert "second" not in state
+        assert any("truncated" in reason for _, reason in report.skipped)
+        assert "skipped" in report.summary()
+
+    def test_corrupt_entry_is_skipped_and_named(self, tmp_path):
+        path = tmp_path / "flip.lv265"
+        save_checkpoint(self._two_entry_state(), str(path))
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF  # inside the last entry's payload
+        path.write_bytes(bytes(blob))
+
+        state, report = load_checkpoint_with_report(str(path))
+        assert "first" in state
+        assert "second" not in state
+        assert ("second", "checksum mismatch") in report.skipped
+        assert report.loaded == ["first"]
