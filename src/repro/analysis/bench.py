@@ -21,6 +21,17 @@ standard QPs, for a fixed ladder of engine configurations:
   (verified on every run; divergence fails the bench, and CI runs
   ``llm265 bench --quick`` exactly to catch that).
 
+Decode gets its own ladder, timed on the ``turbo`` stream of each QP
+and gated on byte-identity against the first rung:
+
+- ``legacy``     -- the interleaved reference decoder, serial.  The
+  tracked decode speedups are measured against this rung.
+- ``vectorized`` -- the two-phase plan/reconstruct decoder (native
+  scan kernel when available, fused pure-Python loop otherwise).
+- ``parallel``   -- the vectorized decoder behind slice-parallel
+  fan-out.  The decoder itself falls back to serial below its
+  payload/slice/CPU thresholds; the bench records what actually ran.
+
 Results are written as JSON (``BENCH_codec.json`` at the repo root is
 the tracked baseline) with the git revision, configuration, per-QP
 throughput, and speedup versus baseline.
@@ -37,13 +48,16 @@ import numpy as np
 
 from repro.codec.decoder import decode_frames
 from repro.codec.encoder import EncoderConfig, FrameEncoder
+from repro.codec.entropy import native
 from repro.codec.profiles import H265_PROFILE, CodecProfile
-from repro.parallel import ParallelConfig
+from repro.parallel import ParallelConfig, warm_pool
 from repro.tensor.frames import split_tiles
 from repro.tensor.precision import grid_for
 
 #: JSON schema identifier written into every result file.
-SCHEMA = "llm265-bench-v1"
+#: v2 added the decode ladder (legacy / vectorized / parallel) with
+#: per-rung ``decode_speedup`` fields.
+SCHEMA = "llm265-bench-v2"
 #: Standard QPs: fine / mid / coarse operating points.
 DEFAULT_QPS = (18.0, 26.0, 34.0)
 _SEED = 20260806
@@ -94,6 +108,46 @@ def _time_best(fn, repeats: int) -> Tuple[float, object]:
         result = fn()
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _time_best_interleaved(fns: Dict[str, object], repeats: int):
+    """Best-of-N for several functions, sampled round-robin.
+
+    Sequential best-of-N is unfair when rungs are compared against each
+    other: a background load spike lasting longer than one rung's whole
+    sampling window slows *only* that rung and survives the min().
+    Interleaving the samples makes any spike hit every rung equally, so
+    per-rung bests stay comparable.  Returns {name: (seconds, result)}.
+    """
+    best: Dict[str, float] = {name: float("inf") for name in fns}
+    samples: Dict[str, List[float]] = {name: [] for name in fns}
+    results: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        for name, fn in fns.items():
+            start = time.perf_counter()
+            results[name] = fn()
+            elapsed = time.perf_counter() - start
+            samples[name].append(elapsed)
+            best[name] = min(best[name], elapsed)
+    return {name: (best[name], results[name], samples[name]) for name in fns}
+
+
+def _paired_ratio(a: List[float], b: List[float]) -> float:
+    """Median of per-round a/b ratios from interleaved samples.
+
+    Adjacent samples share whatever the machine was doing that instant,
+    so the per-round ratio cancels load drift that a ratio of two
+    independent bests cannot.  This is the statistic behind the
+    "parallel decode never loses to serial" summary claim: on a box
+    where parallel falls back to serial the true ratio is exactly 1.0,
+    and this estimator actually lands there instead of crediting noise
+    to one side.
+    """
+    ratios = sorted(x / y for x, y in zip(a, b))
+    mid = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[mid]
+    return (ratios[mid - 1] + ratios[mid]) / 2
 
 
 def bench_configs(workers: int) -> Dict[str, EncoderConfig]:
@@ -164,35 +218,53 @@ def run_benchmark(
             for name in ladder
         }
 
+        # -- decode ladder, on this QP's turbo stream ------------------
         data = streams["turbo"]
-        dec_serial, serial_frames = _time_best(
-            lambda: decode_frames(data), repeats
-        )
-        dec_par, par_frames = _time_best(
-            lambda: decode_frames(
-                data,
-                parallel=ParallelConfig(workers=workers, executor="thread"),
+        par_cfg = ParallelConfig(workers=workers, executor="thread")
+        warm_pool(par_cfg)
+        decode_ladder = {
+            "legacy": lambda: decode_frames(data, decode="legacy"),
+            "vectorized": lambda: decode_frames(data, decode="vectorized"),
+            "parallel": lambda: decode_frames(
+                data, parallel=par_cfg, decode="vectorized"
             ),
-            repeats,
+        }
+        decoded: Dict[str, list] = {}
+        # Decode is cheap next to encode, so spend extra samples: the
+        # summary compares decode rungs against each other and needs
+        # per-rung bests that are stable to scheduler noise.
+        timed = _time_best_interleaved(decode_ladder, max(repeats, 2 * repeats + 1))
+        for name, (seconds, frames_out, _samples) in timed.items():
+            decoded[name] = frames_out
+            row["decode"][name] = {
+                "seconds": round(seconds, 6),
+                "mb_per_s": round(mb / seconds, 3),
+            }
+        # Two decimals: wall-clock jitter on these sub-second decodes is
+        # a few percent per sample, so a third digit is false precision.
+        row["decode"]["parallel_vs_serial"] = round(
+            _paired_ratio(timed["vectorized"][2], timed["parallel"][2]), 2
         )
         decode_identical = all(
-            np.array_equal(a, b) for a, b in zip(serial_frames, par_frames)
+            np.array_equal(a, b)
+            for name in ("vectorized", "parallel")
+            for a, b in zip(decoded["legacy"], decoded[name])
         )
         divergent = divergent or not decode_identical
-        row["decode"] = {
-            "serial": {
-                "seconds": round(dec_serial, 6),
-                "mb_per_s": round(mb / dec_serial, 3),
-            },
-            "parallel": {
-                "seconds": round(dec_par, 6),
-                "mb_per_s": round(mb / dec_par, 3),
-            },
-            "identical": decode_identical,
+        row["decode"]["identical"] = decode_identical
+        row["decode_speedup"] = {
+            name: round(
+                row["decode"]["legacy"]["seconds"]
+                / row["decode"][name]["seconds"],
+                3,
+            )
+            for name in decode_ladder
         }
         results.append(row)
 
     speedups = [r["encode_speedup"]["parallel"] for r in results]
+    dec_speedups = [r["decode_speedup"]["vectorized"] for r in results]
+    par_vs_serial = [r["decode"]["parallel_vs_serial"] for r in results]
     return {
         "schema": SCHEMA,
         "git_rev": _git_rev(),
@@ -204,11 +276,19 @@ def run_benchmark(
             "repeats": repeats,
             "qps": list(qps),
             "seed": _SEED,
+            "scan_kernel": native.build_info(),
         },
         "results": results,
         "summary": {
             "best_encode_speedup": max(speedups),
             "mean_encode_speedup": round(sum(speedups) / len(speedups), 3),
+            "best_decode_speedup": max(dec_speedups),
+            "mean_decode_speedup": round(
+                sum(dec_speedups) / len(dec_speedups), 3
+            ),
+            # min over QPs of the paired serial/parallel ratio;
+            # >= 1.0 means the parallel rung never loses to serial.
+            "parallel_vs_serial_decode": min(par_vs_serial),
             "all_identical": not divergent,
         },
     }
@@ -221,27 +301,31 @@ def format_report(doc: dict) -> str:
         f"{doc['config']['size_mb']:.2f} MB tensor, "
         f"{doc['config']['workers']} workers, "
         f"best of {doc['config']['repeats']}",
-        f"{'QP':>5s} {'config':<12s} {'MB/s':>9s} {'speedup':>8s} {'bytes':>9s}",
+        f"{'QP':>5s} {'config':<14s} {'MB/s':>9s} {'speedup':>8s} {'bytes':>9s}",
     ]
     for row in doc["results"]:
         for name, enc in row["encode"].items():
             lines.append(
-                f"{row['qp']:5.1f} {name:<12s} {enc['mb_per_s']:>9.2f} "
+                f"{row['qp']:5.1f} {name:<14s} {enc['mb_per_s']:>9.2f} "
                 f"{row['encode_speedup'][name]:>7.2f}x {enc['bytes']:>9d}"
             )
         dec = row["decode"]
-        lines.append(
-            f"{row['qp']:5.1f} {'decode':<12s} "
-            f"{dec['serial']['mb_per_s']:>9.2f} "
-            f"{dec['serial']['seconds'] / dec['parallel']['seconds']:>7.2f}x "
-            f"{'par' if dec['identical'] else 'DIVERGED':>9s}"
-        )
+        for name in ("legacy", "vectorized", "parallel"):
+            lines.append(
+                f"{row['qp']:5.1f} {'dec:' + name:<14s} "
+                f"{dec[name]['mb_per_s']:>9.2f} "
+                f"{row['decode_speedup'][name]:>7.2f}x "
+                f"{'ok' if dec['identical'] else 'DIVERGED':>9s}"
+            )
         if not row["bitstreams_identical"]:
             lines.append(f"{row['qp']:5.1f} ** ENCODE BITSTREAMS DIVERGED **")
     s = doc["summary"]
     lines.append(
-        f"summary: encode speedup mean {s['mean_encode_speedup']:.2f}x, "
-        f"best {s['best_encode_speedup']:.2f}x, "
+        f"summary: encode speedup mean {s['mean_encode_speedup']:.2f}x "
+        f"best {s['best_encode_speedup']:.2f}x | "
+        f"decode speedup mean {s['mean_decode_speedup']:.2f}x "
+        f"best {s['best_decode_speedup']:.2f}x "
+        f"(parallel/serial {s['parallel_vs_serial_decode']:.2f}x) | "
         f"identical={s['all_identical']}"
     )
     return "\n".join(lines)

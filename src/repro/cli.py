@@ -105,7 +105,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="codec throughput benchmark (baseline / vectorized / parallel)",
+        help="codec throughput benchmark: encode ladder (baseline / "
+             "vectorized / turbo / parallel) + decode ladder (legacy / "
+             "vectorized / parallel), all behind one identity gate",
     )
     bench.add_argument(
         "--quick", action="store_true",
@@ -298,6 +300,28 @@ def _print_stats(
         if qp.get("count"):
             print(f"{'qp mean/min/max':<18s} "
                   f"{qp['mean']:>10.2f} {qp['min']:>4d} {qp['max']:>4d}")
+        print()
+
+    decode_seconds = {
+        name[len("decode.seconds."):]: value
+        for name, value in registry.counters.items()
+        if name.startswith("decode.seconds.")
+    }
+    decode_counts = {
+        name[len("decode."):]: value
+        for name, value in registry.counters.items()
+        if name.startswith("decode.") and not name.startswith("decode.seconds.")
+    }
+    if decode_seconds or decode_counts:
+        print("-- decoder (this session's decodes) --")
+        for stage in telemetry.DECODE_STAGES:
+            if stage in decode_seconds:
+                print(f"{stage:<18s} {decode_seconds[stage] * 1e3:>10.2f} ms")
+        for name in sorted(decode_counts):
+            print(f"{name:<18s} {int(decode_counts[name]):>10d}")
+        from repro.codec.entropy import native as _native
+
+        print(f"{'scan kernel':<18s} {_native.build_info():>10s}")
         print()
 
     print("-- session telemetry (all encodes incl. rate-control search) --")

@@ -12,11 +12,32 @@ arrival and supports two failure policies:
   decoded frame) or mid-gray zero-fill for the first frame; decoding
   continues with the next slice and every patched region is listed in
   the returned :class:`~repro.resilience.errors.ConcealmentReport`.
+
+Two decode implementations share that contract (``decode=`` on
+:class:`FrameDecoder` / :func:`decode_frames`):
+
+- ``"legacy"``     -- the original interleaved loop: per leaf, drain
+  bins, dequantize, inverse-transform, predict, write.  Kept as the
+  reference implementation.
+- ``"vectorized"`` -- the default two-phase *plan -> reconstruct*
+  path.  Phase one drains the range decoder into a flat leaf plan
+  (modes, motion vectors, coefficient scans) using the fused
+  :meth:`~repro.codec.entropy.arithmetic.BinaryDecoder.decode_coeff_scan`
+  hot loop; phase two dequantizes and inverse-transforms all
+  same-size leaves in one batched GEMM (sharing the encoder's
+  lru-cached DCT basis / zigzag operators) and then applies
+  prediction in dependency order.  Byte-identical to ``"legacy"`` on
+  every stream, including corrupt-stream and concealment behaviour --
+  the bench identity gate and ``tests/test_fast_decode.py`` /
+  ``tests/test_decode_fuzz.py`` enforce this.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import os
+import time
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -25,21 +46,42 @@ from repro.codec import intra
 from repro.codec.encoder import QpDither, unpack_header
 from repro.codec.entropy.arithmetic import BinaryDecoder
 from repro.codec.profiles import PROFILES_BY_ID
-from repro.codec.quantizer import dequantize
+from repro.codec.quantizer import dequantize, qstep
 from repro.codec.syntax import (
     CodecContexts,
     decode_coeff_block,
+    decode_coeff_block_scanned,
     decode_intra_mode,
     decode_mv,
 )
-from repro.codec.transform import inverse_dct2_batch
-from repro.parallel import ParallelConfig, parallel_map
+from repro.codec.transform import inverse_dct2_batch, zigzag_order
+from repro.parallel import ParallelConfig, parallel_map, warm_pool
 from repro.resilience.deadline import Deadline
 from repro.resilience.errors import ConcealmentReport, CorruptStreamError
 from repro.resilience.framing import deframe_slices
+from repro.telemetry.codecstats import DecodeStats
 
 #: Mid-gray sample used to zero-fill a concealed frame with no neighbour.
 _CONCEAL_FILL = 128.0
+
+#: Decode implementations selectable via ``decode=`` (fastest first).
+DECODES = ("vectorized", "legacy")
+
+#: Parallel decode dispatch thresholds.  Below either bound the fan-out
+#: overhead (task submission, result marshalling, worker warm-up) costs
+#: more than the decode itself, so the decoder silently stays serial.
+#: Streams must have at least this many slices ...
+_PARALLEL_MIN_SLICES = 4
+#: ... and at least this many payload bytes (32 KiB) to fan out.
+_PARALLEL_MIN_BYTES = 1 << 15
+
+
+def _effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
 
 
 class FrameDecoder:
@@ -47,6 +89,8 @@ class FrameDecoder:
 
     ``conceal=True`` switches from fail-loud to decode-past-damage;
     :attr:`report` describes what (if anything) was concealed.
+    ``decode`` selects the implementation (see module docstring); both
+    produce byte-identical samples, reports, and typed errors.
     """
 
     def __init__(
@@ -55,7 +99,10 @@ class FrameDecoder:
         conceal: bool = False,
         parallel: Optional[ParallelConfig] = None,
         deadline: Optional[Deadline] = None,
+        decode: str = "vectorized",
     ) -> None:
+        if decode not in DECODES:
+            raise ValueError(f"decode must be one of {DECODES}, got {decode!r}")
         self._deadline = deadline
         self._header = unpack_header(data)
         try:
@@ -64,12 +111,15 @@ class FrameDecoder:
             raise CorruptStreamError(
                 f"unknown profile id {self._header['profile_id']}"
             ) from None
+        self._raw_header = bytes(data[: self._header["header_size"]])
         self._payload = data[self._header["header_size"] :]
         self._conceal = conceal
         self._parallel = parallel
+        self._decode_mode = decode
         self._ctx: Optional[CodecContexts] = None
         self._dec: Optional[BinaryDecoder] = None
         self._registry = None
+        self._stats: Optional[DecodeStats] = None
         self.report = ConcealmentReport()
 
     def decode(self) -> List[np.ndarray]:
@@ -83,6 +133,7 @@ class FrameDecoder:
         ctus_per_frame = (pad_h // ctu) * (pad_w // ctu)
         self._reference: Optional[np.ndarray] = None
         self._registry = telemetry.current()
+        self._stats = DecodeStats() if self._registry is not None else None
         self.report = ConcealmentReport(total_slices=h["n_frames"])
 
         slices, damage = deframe_slices(
@@ -91,7 +142,11 @@ class FrameDecoder:
         damage_reasons = dict(damage)
 
         par = self._parallel
-        use_parallel = (
+        # Eligibility (slice independence) and profitability (payload
+        # large enough to amortise fan-out) are separate questions: a
+        # parallel-capable stream below the dispatch thresholds decodes
+        # serially -- small payloads were measurably *slower* parallel.
+        par_capable = (
             par is not None
             and not par.is_serial()
             and h["n_frames"] > 1
@@ -99,20 +154,34 @@ class FrameDecoder:
             and not self._conceal
             and not damage_reasons
         )
+        use_parallel = (
+            par_capable
+            and h["n_frames"] >= _PARALLEL_MIN_SLICES
+            and len(self._payload) >= _PARALLEL_MIN_BYTES
+            # On a single-CPU machine fan-out is pure overhead no matter
+            # how large the payload: decode is CPU-bound end to end.
+            and _effective_cpus() > 1
+        )
+        if par_capable and not use_parallel:
+            telemetry.count("decode.parallel_threshold_fallbacks")
         if use_parallel:
             # Every slice is independently decodable (fresh entropy state,
             # per-frame dither restart via the closed form) and, with inter
             # prediction off, carries no cross-frame reference -- so slices
             # decode concurrently to the exact same samples as the serial
             # loop.  Concealment and inter streams stay on the serial path.
+            # Tasks ship the 21 raw header bytes (workers parse + cache
+            # them once per stream shape), not the unpacked frame context.
+            warm_pool(par)
             tasks = [
                 (
-                    self._header,
+                    self._raw_header,
                     slices[i],
                     i,
                     pad_h,
                     pad_w,
                     i * ctus_per_frame,
+                    self._decode_mode,
                 )
                 for i in range(h["n_frames"])
             ]
@@ -131,6 +200,7 @@ class FrameDecoder:
             self._reference = recons[-1]
             if self._registry is not None:
                 self._registry.count("decode.frames", h["n_frames"])
+                self._stats.publish(self._registry)
             return frames
 
         frames: List[np.ndarray] = []
@@ -155,6 +225,7 @@ class FrameDecoder:
                 self._reference = recon
         if self._registry is not None:
             self._registry.count("decode.frames", h["n_frames"])
+            self._stats.publish(self._registry)
         return frames
 
     # -- per-slice -----------------------------------------------------
@@ -178,7 +249,7 @@ class FrameDecoder:
         self._dec = BinaryDecoder(segment)
         self._ctx = CodecContexts()
         try:
-            return self._decode_frame(height, width, frame_index, dither)
+            return self._decode_frame_any(height, width, frame_index, dither)
         except CorruptStreamError:
             if not self._conceal:
                 raise
@@ -226,7 +297,14 @@ class FrameDecoder:
             return self._reference.copy()  # neighbour (temporal) prediction
         return np.full((height, width), _CONCEAL_FILL, dtype=np.float64)
 
-    # -- per-frame (unchanged CABAC replay) ----------------------------
+    def _decode_frame_any(
+        self, height: int, width: int, frame_index: int, dither: QpDither
+    ) -> np.ndarray:
+        if self._decode_mode == "legacy":
+            return self._decode_frame(height, width, frame_index, dither)
+        return self._decode_frame_vectorized(height, width, frame_index, dither)
+
+    # -- per-frame (legacy: interleaved CABAC replay) -------------------
 
     def _decode_frame(
         self, height: int, width: int, frame_index: int, dither: QpDither
@@ -321,6 +399,211 @@ class FrameDecoder:
         value = int(self._modes[y, x])
         return value if value >= 0 else None
 
+    # -- per-frame (vectorized: plan -> batched reconstruct) ------------
+    #
+    # Bit-exactness argument.  Phase one touches every adaptive context
+    # and every dither step in exactly the legacy order (the quadtree
+    # walk is identical; mode decoding depends only on *neighbour
+    # modes*, which the plan records leaf-by-leaf, never on pixels), so
+    # the entropy decode consumes identical bins and fails on identical
+    # inputs.  Phase two's batched dequantize is the same elementwise
+    # multiply legacy performs per leaf, the batched inverse DCT runs
+    # the same (n, n) x (n, n) GEMM per stacked slice as the legacy
+    # batch-of-one call, and prediction replays in decode order against
+    # a reconstruction mask that is, at every leaf, the exact mask the
+    # interleaved loop would have had.
+
+    def _decode_frame_vectorized(
+        self, height: int, width: int, frame_index: int, dither: QpDither
+    ) -> np.ndarray:
+        h = self._header
+        ctu = h["ctu"]
+        self._recon = np.zeros((height, width), dtype=np.float64)
+        self._mask = np.zeros((height, width), dtype=bool)
+        self._modes = np.full((height, width), -1, dtype=np.int16)
+        self._inter_allowed = (
+            h["use_inter"] and frame_index > 0 and self._reference is not None
+        )
+        registry = self._registry
+        stats = self._stats
+
+        # Phase 1: drain the range decoder into a flat leaf plan.
+        started = time.perf_counter() if stats is not None else 0.0
+        leaves: List[tuple] = []
+        with telemetry.span("decode.entropy"):
+            for y0 in range(0, height, ctu):
+                for x0 in range(0, width, ctu):
+                    self._qp = dither.next()
+                    if registry is not None:
+                        registry.count("decode.ctu")
+                        registry.observe("decode.qp", self._qp)
+                    self._plan_cu(y0, x0, ctu, 0, leaves)
+        if stats is not None:
+            now = time.perf_counter()
+            stats.add_seconds("entropy", now - started)
+            stats.add_count("coeff_bins", self._dec.scan_bins)
+            started = now
+
+        # Phase 2: one batched dequantize + inverse transform per size.
+        with telemetry.span("decode.reconstruct"):
+            residuals = self._batch_residuals(leaves, h["use_transform"], stats)
+        if stats is not None:
+            now = time.perf_counter()
+            stats.add_seconds("reconstruct", now - started)
+            started = now
+
+        # Phase 3: prediction in dependency (decode) order.
+        with telemetry.span("decode.predict"):
+            self._apply_predictions(leaves, residuals, height, width)
+        if stats is not None:
+            stats.add_seconds("predict", time.perf_counter() - started)
+        return self._recon
+
+    def _plan_cu(
+        self, y0: int, x0: int, size: int, depth: int, leaves: List[tuple]
+    ) -> None:
+        h = self._header
+        if h["use_partition"] and size > h["min_cu"]:
+            if self._dec.decode_bit(self._ctx.split, min(depth, 5)):
+                if self._registry is not None:
+                    self._registry.count("decode.cu.split")
+                half = size // 2
+                for qy in (0, 1):
+                    for qx in (0, 1):
+                        self._plan_cu(
+                            y0 + qy * half, x0 + qx * half, half, depth + 1, leaves
+                        )
+                return
+        self._plan_leaf(y0, x0, size, leaves)
+
+    def _plan_leaf(
+        self, y0: int, x0: int, size: int, leaves: List[tuple]
+    ) -> None:
+        h = self._header
+        is_inter = False
+        if self._inter_allowed:
+            is_inter = bool(self._dec.decode_bit(self._ctx.pred_flag, 0))
+        if self._registry is not None:
+            self._registry.count("decode.cu.leaf")
+            self._registry.count(
+                "decode.mode.inter" if is_inter else "decode.mode.intra"
+            )
+
+        mode: Optional[int] = None
+        ry = rx = 0
+        if is_inter:
+            mv = decode_mv(self._dec, self._ctx)
+            ry, rx = y0 + mv[0], x0 + mv[1]
+            ref_h, ref_w = self._reference.shape
+            # Validated at plan time so a corrupt MV surfaces at the
+            # same bin position (and with the same message) as legacy.
+            if not (0 <= ry <= ref_h - size and 0 <= rx <= ref_w - size):
+                raise CorruptStreamError(
+                    f"motion vector {mv} points outside the reference frame"
+                )
+        elif h["use_intra"]:
+            left_mode = self._neighbor_mode(y0, x0 - 1)
+            top_mode = self._neighbor_mode(y0 - 1, x0)
+            mode = decode_intra_mode(
+                self._dec, self._ctx, left_mode, top_mode, self._profile.all_modes
+            )
+
+        scanned = decode_coeff_block_scanned(self._dec, self._ctx, size)
+        leaves.append((y0, x0, size, mode, is_inter, ry, rx, self._qp, scanned))
+        # The plan-time mask/mode maps drive neighbour-mode contexts
+        # exactly as the interleaved loop's post-leaf updates would.
+        sl = (slice(y0, y0 + size), slice(x0, x0 + size))
+        self._mask[sl] = True
+        self._modes[sl] = mode if mode is not None else intra.DC
+
+    def _batch_residuals(
+        self,
+        leaves: List[tuple],
+        use_transform: bool,
+        stats: Optional[DecodeStats],
+    ) -> Dict[int, np.ndarray]:
+        """Dequantize + inverse-transform every coded leaf, batched by size.
+
+        Returns residual grids keyed by leaf index; cbf=0 leaves are
+        absent (their residual is exactly zero, added as such by the
+        prediction pass -- the legacy path's IDCT of an all-zero block
+        is also exactly zero).
+        """
+        groups: Dict[int, List[int]] = {}
+        for index, leaf in enumerate(leaves):
+            if leaf[8] is not None:
+                groups.setdefault(leaf[2], []).append(index)
+        residuals: Dict[int, np.ndarray] = {}
+        for n, indices in sorted(groups.items()):
+            scan_rows = np.stack([leaves[i][8] for i in indices])
+            steps = np.array(
+                [qstep(leaves[i][7]) for i in indices], dtype=np.float64
+            )
+            # Same elementwise product as per-leaf ``dequantize``; the
+            # zigzag unscan is one fancy-index store across the batch.
+            dequant = scan_rows.astype(np.float64) * steps[:, None]
+            flat = np.empty((len(indices), n * n), dtype=np.float64)
+            flat[:, zigzag_order(n)] = dequant
+            grids = flat.reshape(len(indices), n, n)
+            if use_transform:
+                grids = inverse_dct2_batch(grids)
+            for j, index in enumerate(indices):
+                residuals[index] = grids[j]
+        if stats is not None:
+            stats.add_count("batches", len(groups))
+            stats.add_count("batched_blocks", len(residuals))
+        return residuals
+
+    def _apply_predictions(
+        self,
+        leaves: List[tuple],
+        residuals: Dict[int, np.ndarray],
+        height: int,
+        width: int,
+    ) -> None:
+        h = self._header
+        use_intra = h["use_intra"]
+        recon = self._recon
+        # Fresh mask: at leaf k it holds exactly leaves 0..k-1, which is
+        # what the interleaved loop's reference gather saw at leaf k.
+        mask = np.zeros((height, width), dtype=bool)
+        zeros: Dict[int, np.ndarray] = {}
+        for index, (y0, x0, size, mode, is_inter, ry, rx, _qp, _sc) in enumerate(
+            leaves
+        ):
+            if is_inter:
+                prediction = self._reference[
+                    ry : ry + size, rx : rx + size
+                ].astype(np.float64)
+            elif use_intra:
+                top, left = intra.gather_references(recon, mask, y0, x0, size)
+                prediction = intra.predict(top, left, mode, size)
+            else:
+                prediction = np.full((size, size), 128.0)
+            residual = residuals.get(index)
+            if residual is None:
+                residual = zeros.get(size)
+                if residual is None:
+                    residual = zeros.setdefault(
+                        size, np.zeros((size, size), dtype=np.float64)
+                    )
+            sl = (slice(y0, y0 + size), slice(x0, x0 + size))
+            recon[sl] = np.clip(prediction + residual, 0.0, 255.0)
+            mask[sl] = True
+        self._mask = mask
+
+
+@lru_cache(maxsize=64)
+def _worker_header(raw_header: bytes) -> dict:
+    """Parse (and memoise) a stream header inside a worker.
+
+    Slice tasks ship the 21 raw header bytes instead of the unpacked
+    frame-context dict, so a process pool pickles a tiny bytes object
+    per task and each worker pays the parse once per distinct stream
+    shape.  The returned dict is shared -- callers must not mutate it.
+    """
+    return unpack_header(raw_header)
+
 
 def _decode_slice_worker(args) -> np.ndarray:
     """Decode one framed slice in isolation (module-level: picklable).
@@ -330,20 +613,23 @@ def _decode_slice_worker(args) -> np.ndarray:
     closed form, and the same exception wrapping so parallel failures
     surface as the identical :class:`CorruptStreamError`.
     """
-    header, segment, frame_index, pad_h, pad_w, dither_steps = args
+    raw_header, segment, frame_index, pad_h, pad_w, dither_steps, mode = args
+    header = _worker_header(raw_header)
     dec = FrameDecoder.__new__(FrameDecoder)
     dec._header = header
     dec._profile = PROFILES_BY_ID[header["profile_id"]]
     dec._conceal = False
     dec._parallel = None
     dec._registry = None
+    dec._stats = None
     dec._reference = None
+    dec._decode_mode = mode
     dec.report = ConcealmentReport()
     dither = QpDither.advanced(header["qp_base"], header["qp_frac"], dither_steps)
     dec._dec = BinaryDecoder(segment)
     dec._ctx = CodecContexts()
     try:
-        return dec._decode_frame(pad_h, pad_w, frame_index, dither)
+        return dec._decode_frame_any(pad_h, pad_w, frame_index, dither)
     except CorruptStreamError:
         raise
     except Exception as exc:
@@ -356,6 +642,7 @@ def decode_frames(
     data: bytes,
     conceal: bool = False,
     parallel: Optional[ParallelConfig] = None,
+    decode: str = "vectorized",
 ) -> List[np.ndarray]:
     """Decode a complete bitstream into its frame sequence.
 
@@ -363,15 +650,20 @@ def decode_frames(
     ``conceal=True`` decodes past damaged slices -- use
     :func:`decode_frames_with_report` when the concealment details
     matter.  ``parallel`` opts intra-only, undamaged streams into
-    slice-parallel decoding (sample-identical to serial decode).
+    slice-parallel decoding (sample-identical to serial decode; streams
+    below the slice/byte dispatch thresholds stay serial).  ``decode``
+    selects the implementation ladder rung (``"vectorized"`` default,
+    ``"legacy"`` reference) -- output is byte-identical either way.
     """
-    return FrameDecoder(data, conceal=conceal, parallel=parallel).decode()
+    return FrameDecoder(
+        data, conceal=conceal, parallel=parallel, decode=decode
+    ).decode()
 
 
 def decode_frames_with_report(
-    data: bytes, conceal: bool = True
+    data: bytes, conceal: bool = True, decode: str = "vectorized"
 ) -> Tuple[List[np.ndarray], ConcealmentReport]:
     """Decode and return ``(frames, concealment report)``."""
-    decoder = FrameDecoder(data, conceal=conceal)
+    decoder = FrameDecoder(data, conceal=conceal, decode=decode)
     frames = decoder.decode()
     return frames, decoder.report

@@ -1,0 +1,200 @@
+/* Native hot loop for the fused coefficient-scan decode.
+ *
+ * This is a line-for-line transliteration of
+ * BinaryDecoder.decode_coeff_scan in arithmetic.py: same LZMA-style
+ * range decoder (32-bit range/code, 11-bit probabilities, shift-5
+ * adaptation), same bin order (significance, truncated-unary level
+ * prefix, order-k Exp-Golomb bypass suffix, sign bypass), same
+ * renormalisation (probabilities are clamped to [31, 2017] by the
+ * adaptation rule, so a single byte shift always restores
+ * range >= 2^24).  Every integer operation is exact in uint32/int64,
+ * so the decoded syntax -- and, critically, the decoder state left
+ * behind (pos/range/code and every context probability) -- is
+ * bit-identical to the pure-Python loop.  tests/test_fast_decode.py
+ * locks the two together on random streams.
+ *
+ * Built on demand by repro.codec.entropy.native (gcc -O2 -shared);
+ * the pure-Python loop remains the behaviourally-identical fallback.
+ *
+ * Return status: 0 = ok, 1 = corrupt Exp-Golomb suffix (caller raises
+ * CorruptStreamError exactly like the Python loop), 2 = a decoded
+ * magnitude overflowed int64 (caller raises OverflowError, matching
+ * what numpy's int64 conversion raises on the Python loop's big int).
+ */
+
+#include <stdint.h>
+
+#define PROB_BITS 11
+#define PROB_ONE 2048
+#define ADAPT_SHIFT 5
+#define TOP (1u << 24)
+
+int64_t llm265_decode_coeff_scan(
+    const uint8_t *data, int64_t dlen,
+    int64_t *pos_io, uint32_t *rng_io, uint32_t *code_io,
+    int64_t n_scan, int64_t last,
+    int32_t *sig_probs, int64_t sig_base, const int32_t *sig_buckets,
+    int32_t *level_probs, int64_t level_base,
+    int64_t max_prefix, int64_t k,
+    int64_t *out, int64_t *bins_io)
+{
+    int64_t pos = *pos_io;
+    uint32_t rng = *rng_io;
+    uint32_t code = *code_io;
+    int64_t bins = last; /* one significance bin per non-last position */
+    int64_t top_ctx = max_prefix - 1;
+    int64_t status = 0;
+    int64_t i;
+
+    for (i = 0; i < n_scan; i++)
+        out[i] = 0;
+
+    for (i = last; i >= 0; i--) {
+        if (i != last) {
+            int64_t idx = sig_base + sig_buckets[i];
+            int32_t prob = sig_probs[idx];
+            uint32_t bound = (rng >> PROB_BITS) * (uint32_t)prob;
+            if (code < bound) {
+                rng = bound;
+                sig_probs[idx] = prob + ((PROB_ONE - prob) >> ADAPT_SHIFT);
+                if (rng < TOP) {
+                    rng <<= 8;
+                    code = (code << 8) | (pos < dlen ? data[pos] : 0);
+                    pos++;
+                }
+                continue;
+            }
+            code -= bound;
+            rng -= bound;
+            sig_probs[idx] = prob - (prob >> ADAPT_SHIFT);
+            if (rng < TOP) {
+                rng <<= 8;
+                code = (code << 8) | (pos < dlen ? data[pos] : 0);
+                pos++;
+            }
+        }
+        /* Magnitude: adaptive truncated-unary prefix ... */
+        int64_t prefix = 0;
+        while (prefix < max_prefix) {
+            int64_t idx =
+                level_base + (prefix < top_ctx ? prefix : top_ctx);
+            int32_t prob = level_probs[idx];
+            uint32_t bound = (rng >> PROB_BITS) * (uint32_t)prob;
+            int bit;
+            if (code < bound) {
+                rng = bound;
+                level_probs[idx] = prob + ((PROB_ONE - prob) >> ADAPT_SHIFT);
+                bit = 0;
+            } else {
+                code -= bound;
+                rng -= bound;
+                level_probs[idx] = prob - (prob >> ADAPT_SHIFT);
+                bit = 1;
+            }
+            if (rng < TOP) {
+                rng <<= 8;
+                code = (code << 8) | (pos < dlen ? data[pos] : 0);
+                pos++;
+            }
+            if (bit == 0)
+                break;
+            prefix++;
+        }
+        unsigned __int128 value;
+        if (prefix < max_prefix) {
+            value = (unsigned __int128)prefix;
+            bins += prefix + 2; /* prefix bins + terminator + sign */
+        } else {
+            /* ... plus an order-k Exp-Golomb bypass suffix. */
+            int64_t prefix_len = 0;
+            for (;;) {
+                int bit;
+                rng >>= 1;
+                if (code >= rng) {
+                    code -= rng;
+                    bit = 1;
+                } else {
+                    bit = 0;
+                }
+                if (rng < TOP) {
+                    rng <<= 8;
+                    code = (code << 8) | (pos < dlen ? data[pos] : 0);
+                    pos++;
+                }
+                if (bit)
+                    break;
+                prefix_len++;
+                if (prefix_len > 64) {
+                    *pos_io = pos;
+                    *rng_io = rng;
+                    *code_io = code;
+                    *bins_io = bins + max_prefix + prefix_len + 1;
+                    return 1;
+                }
+            }
+            unsigned __int128 shifted = 1;
+            int64_t j;
+            for (j = 0; j < prefix_len; j++) {
+                rng >>= 1;
+                if (code >= rng) {
+                    code -= rng;
+                    shifted = (shifted << 1) | 1;
+                } else {
+                    shifted = shifted << 1;
+                }
+                if (rng < TOP) {
+                    rng <<= 8;
+                    code = (code << 8) | (pos < dlen ? data[pos] : 0);
+                    pos++;
+                }
+            }
+            unsigned __int128 suffix = 0;
+            for (j = 0; j < k; j++) {
+                rng >>= 1;
+                if (code >= rng) {
+                    code -= rng;
+                    suffix = (suffix << 1) | 1;
+                } else {
+                    suffix = suffix << 1;
+                }
+                if (rng < TOP) {
+                    rng <<= 8;
+                    code = (code << 8) | (pos < dlen ? data[pos] : 0);
+                    pos++;
+                }
+            }
+            value = (unsigned __int128)max_prefix +
+                    (((shifted - 1) << k) | suffix);
+            bins += max_prefix + 2 * prefix_len + k + 2;
+        }
+        unsigned __int128 magnitude = value + 1;
+        /* Sign bypass bin (counted in the magnitude's tally above). */
+        int negative;
+        rng >>= 1;
+        if (code >= rng) {
+            code -= rng;
+            negative = 1;
+        } else {
+            negative = 0;
+        }
+        if (rng < TOP) {
+            rng <<= 8;
+            code = (code << 8) | (pos < dlen ? data[pos] : 0);
+            pos++;
+        }
+        if (magnitude > (unsigned __int128)INT64_MAX) {
+            /* Python stores the exact big int and numpy raises
+             * OverflowError at array conversion; flag it and keep
+             * draining bins so the decoder state stays in sync. */
+            status = 2;
+            out[i] = negative ? INT64_MIN : INT64_MAX;
+        } else {
+            out[i] = negative ? -(int64_t)magnitude : (int64_t)magnitude;
+        }
+    }
+    *pos_io = pos;
+    *rng_io = rng;
+    *code_io = code;
+    *bins_io = bins;
+    return status;
+}

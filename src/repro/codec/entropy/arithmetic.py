@@ -284,6 +284,9 @@ class BinaryDecoder:
         self._pos = 1  # the first emitted byte is the encoder's cache seed
         self._range = _MASK32
         self._code = 0
+        #: Bins consumed by :meth:`decode_coeff_scan` (the fused hot
+        #: loop); the primitive entry points do not pay for counting.
+        self.scan_bins = 0
         for _ in range(4):
             self._code = ((self._code << 8) | self._next_byte()) & _MASK32
 
@@ -352,3 +355,174 @@ class BinaryDecoder:
         if k:
             remainder |= self.decode_bypass_bits(k)
         return max_prefix + remainder
+
+    def decode_coeff_scan(
+        self,
+        n_scan: int,
+        last: int,
+        sig_probs: List[int],
+        sig_base: int,
+        sig_buckets,
+        level_probs: List[int],
+        level_base: int,
+        max_prefix: int,
+        k: int,
+    ) -> List[int]:
+        """Fused significance/level/sign loop over one coefficient scan.
+
+        Mirror image of :meth:`BinaryEncoder.encode_coeff_scan`: consumes,
+        for scan positions ``last .. 0``, exactly the bin sequence the
+        primitive calls (``decode_bit`` / ``decode_ueg`` /
+        ``decode_bypass``) would, touching the same context slots in the
+        same order, and returns the scanned level array (length
+        ``n_scan``, zeros where insignificant).
+
+        This is the decoder's hottest loop; holding the coder state
+        (data/pos/range/code) in locals for the whole block instead of
+        re-entering ``decode_bit`` per bin roughly halves the read cost.
+        Two further micro-optimisations the primitives do not make: the
+        module constants are bound to locals (a global lookup per bin
+        is measurable at millions of bins), and renormalisation is an
+        ``if`` rather than a ``while`` -- adapted probabilities are
+        clamped to ``[31, 2017]`` by the shift-5 update rule, so one
+        operation shrinks the range by at most a factor of ~66 and a
+        single byte shift (x256) always restores ``range >= 2^24``.
+        Bin counts (:attr:`scan_bins`) are derived arithmetically from
+        the decoded syntax instead of incremented per bin.  Output is
+        bit-exact with the primitive-call sequence --
+        ``tests/test_fast_decode.py`` locks the two together.  Raises
+        :class:`CorruptStreamError` on a runaway Exp-Golomb suffix,
+        exactly like :meth:`decode_ueg`.
+        """
+        data = self._data
+        dlen = len(data)
+        pos = self._pos
+        rng = self._range
+        code = self._code
+        prob_bits = _PROB_BITS
+        prob_one = _PROB_ONE
+        adapt = _ADAPT_SHIFT
+        top = _TOP
+        mask32 = _MASK32
+        bins = last  # one significance bin per non-last position
+        out = [0] * n_scan
+        top_ctx = max_prefix - 1
+        for i in range(last, -1, -1):
+            if i != last:
+                idx = sig_base + sig_buckets[i]
+                prob = sig_probs[idx]
+                bound = (rng >> prob_bits) * prob
+                if code < bound:
+                    rng = bound
+                    sig_probs[idx] = prob + ((prob_one - prob) >> adapt)
+                    if rng < top:
+                        rng = (rng << 8) & mask32
+                        code = (
+                            (code << 8) | (data[pos] if pos < dlen else 0)
+                        ) & mask32
+                        pos += 1
+                    continue
+                code -= bound
+                rng -= bound
+                sig_probs[idx] = prob - (prob >> adapt)
+                if rng < top:
+                    rng = (rng << 8) & mask32
+                    code = ((code << 8) | (data[pos] if pos < dlen else 0)) & mask32
+                    pos += 1
+            # Magnitude: adaptive truncated-unary prefix ...
+            prefix = 0
+            while prefix < max_prefix:
+                idx = level_base + (prefix if prefix < top_ctx else top_ctx)
+                prob = level_probs[idx]
+                bound = (rng >> prob_bits) * prob
+                if code < bound:
+                    rng = bound
+                    level_probs[idx] = prob + ((prob_one - prob) >> adapt)
+                    bit = 0
+                else:
+                    code -= bound
+                    rng -= bound
+                    level_probs[idx] = prob - (prob >> adapt)
+                    bit = 1
+                if rng < top:
+                    rng = (rng << 8) & mask32
+                    code = ((code << 8) | (data[pos] if pos < dlen else 0)) & mask32
+                    pos += 1
+                if bit == 0:
+                    break
+                prefix += 1
+            if prefix < max_prefix:
+                value = prefix
+                bins += prefix + 2  # prefix bins + terminator + sign
+            else:
+                # ... plus an order-k Exp-Golomb bypass suffix.
+                prefix_len = 0
+                while True:
+                    rng >>= 1
+                    if code >= rng:
+                        code -= rng
+                        bit = 1
+                    else:
+                        bit = 0
+                    if rng < top:
+                        rng = (rng << 8) & mask32
+                        code = (
+                            (code << 8) | (data[pos] if pos < dlen else 0)
+                        ) & mask32
+                        pos += 1
+                    if bit:
+                        break
+                    prefix_len += 1
+                    if prefix_len > 64:
+                        self._pos = pos
+                        self._range = rng
+                        self._code = code
+                        self.scan_bins += bins + max_prefix + prefix_len + 1
+                        raise CorruptStreamError("corrupt UEG suffix")
+                shifted = 1
+                for _ in range(prefix_len):
+                    rng >>= 1
+                    if code >= rng:
+                        code -= rng
+                        shifted = (shifted << 1) | 1
+                    else:
+                        shifted = shifted << 1
+                    if rng < top:
+                        rng = (rng << 8) & mask32
+                        code = (
+                            (code << 8) | (data[pos] if pos < dlen else 0)
+                        ) & mask32
+                        pos += 1
+                suffix = 0
+                for _ in range(k):
+                    rng >>= 1
+                    if code >= rng:
+                        code -= rng
+                        suffix = (suffix << 1) | 1
+                    else:
+                        suffix = suffix << 1
+                    if rng < top:
+                        rng = (rng << 8) & mask32
+                        code = (
+                            (code << 8) | (data[pos] if pos < dlen else 0)
+                        ) & mask32
+                        pos += 1
+                value = max_prefix + (((shifted - 1) << k) | suffix)
+                bins += max_prefix + 2 * prefix_len + k + 2
+            magnitude = value + 1
+            # Sign bypass bin (counted in the magnitude's tally above).
+            rng >>= 1
+            if code >= rng:
+                code -= rng
+                out[i] = -magnitude
+            else:
+                out[i] = magnitude
+            if rng < top:
+                rng = (rng << 8) & mask32
+                code = ((code << 8) | (data[pos] if pos < dlen else 0)) & mask32
+                pos += 1
+        self._pos = pos
+        self._range = rng
+        self._code = code
+        self.scan_bins += bins
+        return out

@@ -1,0 +1,214 @@
+"""Optional native kernel for the fused coefficient-scan decode.
+
+The two-phase decoder's entropy stage is a pure-Python bin loop; even
+with localized state it tops out around 4 Mbins/s.  This module
+compiles ``_scan_kernel.c`` -- a line-for-line transliteration of
+:meth:`BinaryDecoder.decode_coeff_scan` -- into a tiny shared library
+with the system C compiler the first time it is needed, caches the
+``.so`` under ``_build/`` keyed by a content hash of the source, and
+exposes it through :func:`scan`.
+
+Everything degrades gracefully: no compiler, a failed build, a failed
+``dlopen``, or ``LLM265_PURE_PYTHON=1`` in the environment all make
+:func:`available` return ``False`` and the decoder silently uses the
+pure-Python fused loop instead (same bits out, ~2x slower).  Nothing
+is downloaded and no third-party package is involved -- the kernel is
+1 C file, ``cc``, and ``ctypes``.
+
+The kernel releases the GIL for the duration of each scan call (plain
+``ctypes.CDLL`` behaviour), which is what lets thread-parallel decode
+scale on multi-core machines.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from array import array
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["available", "build_info", "scan"]
+
+_SRC = os.path.join(os.path.dirname(__file__), "_scan_kernel.c")
+_BUILD_DIR = os.path.join(os.path.dirname(__file__), "_build")
+
+_lock = threading.Lock()
+_fn = None  # resolved kernel function, or None
+_state = "unloaded"  # unloaded | ready | disabled | failed
+
+
+def _compiler() -> Optional[str]:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _build_and_load():
+    """Compile (if not cached) and dlopen the kernel; may raise."""
+    with open(_SRC, "rb") as fh:
+        source = fh.read()
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    so_path = os.path.join(_BUILD_DIR, f"scan_kernel_{tag}.so")
+    if not os.path.exists(so_path):
+        cc = _compiler()
+        if cc is None:
+            raise RuntimeError("no C compiler on PATH")
+        os.makedirs(_BUILD_DIR, exist_ok=True)
+        # Build to a temp name and os.replace() so concurrent builders
+        # (parallel test workers, process-pool warm-up) never observe a
+        # half-written library.
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=_BUILD_DIR)
+        os.close(fd)
+        try:
+            subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", tmp, _SRC],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp, so_path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    lib = ctypes.CDLL(so_path)
+    fn = lib.llm265_decode_coeff_scan
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [
+        ctypes.c_char_p,  # data
+        ctypes.c_int64,  # dlen
+        ctypes.POINTER(ctypes.c_int64),  # pos_io
+        ctypes.POINTER(ctypes.c_uint32),  # rng_io
+        ctypes.POINTER(ctypes.c_uint32),  # code_io
+        ctypes.c_int64,  # n_scan
+        ctypes.c_int64,  # last
+        ctypes.c_void_p,  # sig_probs
+        ctypes.c_int64,  # sig_base
+        ctypes.c_void_p,  # sig_buckets
+        ctypes.c_void_p,  # level_probs
+        ctypes.c_int64,  # level_base
+        ctypes.c_int64,  # max_prefix
+        ctypes.c_int64,  # k
+        ctypes.c_void_p,  # out
+        ctypes.POINTER(ctypes.c_int64),  # bins_io
+    ]
+    return fn
+
+
+def _resolve():
+    """One-time lazy init; never raises."""
+    global _fn, _state
+    if _state != "unloaded":
+        return _fn
+    with _lock:
+        if _state != "unloaded":
+            return _fn
+        if os.environ.get("LLM265_PURE_PYTHON"):
+            _state = "disabled"
+            return None
+        try:
+            _fn = _build_and_load()
+            _state = "ready"
+        except Exception:
+            _fn = None
+            _state = "failed"
+    return _fn
+
+
+def available() -> bool:
+    """True when the compiled scan kernel is loaded and usable."""
+    return _resolve() is not None
+
+
+def build_info() -> str:
+    """Human-readable kernel state for ``llm265 stats`` / diagnostics."""
+    _resolve()
+    return _state
+
+
+# Per-size bucket arrays are tiny and fixed; cache their C form.
+_bucket_cache: dict = {}
+
+
+def _bucket_array(buckets: Sequence[int]) -> array:
+    key = tuple(buckets)
+    arr = _bucket_cache.get(key)
+    if arr is None:
+        arr = array("i", key)
+        _bucket_cache[key] = arr
+    return arr
+
+
+def scan(
+    dec,
+    n_scan: int,
+    last: int,
+    sig_probs: List[int],
+    sig_base: int,
+    sig_buckets: Sequence[int],
+    level_probs: List[int],
+    level_base: int,
+    max_prefix: int,
+    k: int,
+) -> Optional[np.ndarray]:
+    """Run the native scan; return int64 levels or None if unavailable.
+
+    Mirrors :meth:`BinaryDecoder.decode_coeff_scan` exactly, including
+    the state left on ``dec`` and in the context probability lists on
+    *both* success and error paths.  Raises :class:`CorruptStreamError`
+    for a runaway Exp-Golomb suffix and :class:`OverflowError` for a
+    magnitude that does not fit int64 (what ``np.asarray`` raises on
+    the pure path's big int), so callers cannot tell the paths apart.
+    """
+    fn = _resolve()
+    if fn is None:
+        return None
+    from repro.resilience.errors import CorruptStreamError
+
+    data = dec._data
+    pos = ctypes.c_int64(dec._pos)
+    rng = ctypes.c_uint32(dec._range)
+    code = ctypes.c_uint32(dec._code)
+    bins = ctypes.c_int64(0)
+    sig_arr = array("i", sig_probs)
+    lvl_arr = array("i", level_probs)
+    buckets = _bucket_array(sig_buckets)
+    out = np.empty(n_scan, dtype=np.int64)
+    status = fn(
+        data,
+        len(data),
+        ctypes.byref(pos),
+        ctypes.byref(rng),
+        ctypes.byref(code),
+        n_scan,
+        last,
+        sig_arr.buffer_info()[0],
+        sig_base,
+        buckets.buffer_info()[0],
+        lvl_arr.buffer_info()[0],
+        level_base,
+        max_prefix,
+        k,
+        out.ctypes.data,
+        ctypes.byref(bins),
+    )
+    # Write state back unconditionally -- the Python loop also adapts
+    # contexts and advances the coder before raising.
+    sig_probs[:] = sig_arr
+    level_probs[:] = lvl_arr
+    dec._pos = pos.value
+    dec._range = rng.value
+    dec._code = code.value
+    dec.scan_bins += bins.value
+    if status == 1:
+        raise CorruptStreamError("corrupt UEG suffix")
+    if status == 2:
+        raise OverflowError("decoded coefficient magnitude exceeds int64")
+    return out

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.codec.entropy import native
 from repro.codec.entropy.arithmetic import BinaryDecoder, BinaryEncoder, ContextSet
 from repro.codec.intra import most_probable_modes
 from repro.codec.transform import zigzag_scan, zigzag_unscan
@@ -176,6 +177,56 @@ def decode_coeff_block(
         sign = dec.decode_bypass()
         scanned[i] = -magnitude if sign else magnitude
     return zigzag_unscan(scanned, n)
+
+
+def decode_coeff_block_scanned(
+    dec: BinaryDecoder, ctx: CodecContexts, n: int
+) -> Optional[np.ndarray]:
+    """Fast-path inverse of :func:`encode_coeff_block`.
+
+    Consumes exactly the bins :func:`decode_coeff_block` would (same
+    contexts, same order, same :class:`CorruptStreamError` conditions)
+    but returns the levels still in *scan order* -- ``None`` for an
+    all-zero block (cbf = 0), else a length ``n*n`` int64 vector --
+    leaving the zigzag unscan to the caller, which batches it across
+    every same-size leaf of the frame.  The bin draining itself runs
+    through the compiled scan kernel when one is available
+    (:mod:`repro.codec.entropy.native`), else the fused pure-Python
+    :meth:`BinaryDecoder.decode_coeff_scan` loop -- both bit-exact.
+    """
+    cls = size_class(n)
+    if dec.decode_bit(ctx.cbf, 0) == 0:
+        return None
+    last = dec.decode_ueg(ctx.last, cls * _LAST_PREFIX, _LAST_PREFIX, k=1)
+    if last >= n * n:
+        raise CorruptStreamError("corrupt stream: last coefficient out of range")
+    if native.available():
+        fast = native.scan(
+            dec,
+            n * n,
+            last,
+            ctx.sig.probs,
+            cls * _SIG_CTX_PER_CLASS,
+            _sig_buckets(n),
+            ctx.level.probs,
+            cls * _LEVEL_PREFIX,
+            _LEVEL_PREFIX,
+            1,
+        )
+        if fast is not None:
+            return fast
+    scanned = dec.decode_coeff_scan(
+        n * n,
+        last,
+        ctx.sig.probs,
+        cls * _SIG_CTX_PER_CLASS,
+        _sig_buckets(n),
+        ctx.level.probs,
+        cls * _LEVEL_PREFIX,
+        _LEVEL_PREFIX,
+        1,
+    )
+    return np.asarray(scanned, dtype=np.int64)
 
 
 def estimate_coeff_bits(levels: np.ndarray) -> float:

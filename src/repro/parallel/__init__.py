@@ -18,6 +18,7 @@ from repro.parallel.pool import (
     parallel_map,
     pool_stats,
     shutdown_pools,
+    warm_pool,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "parallel_map",
     "pool_stats",
     "shutdown_pools",
+    "warm_pool",
 ]

@@ -58,6 +58,7 @@ __all__ = [
     "parallel_map",
     "pool_stats",
     "shutdown_pools",
+    "warm_pool",
 ]
 
 T = TypeVar("T")
@@ -202,6 +203,43 @@ def pool_stats() -> dict:
         "serial_fallbacks": _pool_serial_fallbacks,
         "breakages": _pool_breakages,
     }
+
+
+def _noop() -> None:
+    """Warm-up task: forces the executor to actually start a worker."""
+    return None
+
+
+# (kind, workers) keys whose workers have been started at least once.
+_warmed: set = set()
+
+
+def warm_pool(config: Optional[ParallelConfig]) -> bool:
+    """Start ``config``'s workers ahead of the first real dispatch.
+
+    Process workers cost tens of milliseconds each to fork and import;
+    paying that inside the first timed fan-out makes "parallel" lose to
+    serial on short batches.  This submits one no-op per worker and
+    waits for all of them, so the pool is hot before real work arrives.
+    Idempotent and cheap: a pool that is already warm (and still alive)
+    is left alone.  Returns True when a warm-up was actually performed.
+
+    The warmed pool is keyed by the config's *resolved* worker count; a
+    later dispatch that clamps to fewer workers (fewer items than
+    workers) creates its own pool lazily, which is fine -- that path
+    only arises for small batches where warm-up never mattered.
+    """
+    if config is None or config.is_serial():
+        return False
+    key = (config.executor, config.resolved_workers())
+    if key in _warmed and key in _pools:
+        return False
+    pool = _get_pool(*key)
+    for future in [pool.submit(_noop) for _ in range(key[1])]:
+        future.result()
+    _warmed.add(key)
+    telemetry.count("parallel.pool_warmups")
+    return True
 
 
 def _serial_map(

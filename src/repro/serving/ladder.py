@@ -32,26 +32,38 @@ __all__ = ["DEFAULT_LADDER", "DegradationLadder", "Rung"]
 
 @dataclass(frozen=True)
 class Rung:
-    """One service configuration: an rd-search strategy + fan-out policy."""
+    """One service configuration: search/decode strategies + fan-out."""
 
     name: str
     rd_search: str
     parallel: Optional[ParallelConfig] = None
+    decode: str = "vectorized"
 
     def __post_init__(self) -> None:
+        from repro.codec.decoder import DECODES
         from repro.codec.encoder import RD_SEARCHES
 
         if self.rd_search not in RD_SEARCHES:
             raise ValueError(f"unknown rd_search {self.rd_search!r}")
+        if self.decode not in DECODES:
+            raise ValueError(f"unknown decode {self.decode!r}")
 
 
 #: turbo+threads -> vectorized serial -> legacy serial.  Thread (not
 #: process) fan-out on the top rung: request bodies already run on
-#: supervised threads, and numpy releases the GIL in the hot kernels.
+#: supervised threads, and numpy / the native scan kernel release the
+#: GIL in the hot loops.  The decode axis steps down in lockstep with
+#: rd-search: the floor rung serves with the interleaved reference
+#: decoder, so a rung-2 response exercises no fast-path code at all.
 DEFAULT_LADDER: Tuple[Rung, ...] = (
-    Rung("turbo", "turbo", ParallelConfig(workers=2, executor="thread")),
-    Rung("vectorized", "vectorized", None),
-    Rung("legacy", "legacy", None),
+    Rung(
+        "turbo",
+        "turbo",
+        ParallelConfig(workers=2, executor="thread"),
+        decode="vectorized",
+    ),
+    Rung("vectorized", "vectorized", None, decode="vectorized"),
+    Rung("legacy", "legacy", None, decode="legacy"),
 )
 
 

@@ -34,6 +34,7 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 import repro.telemetry as telemetry
+from repro.parallel import warm_pool
 from repro.resilience.deadline import Deadline, DeadlineExceeded
 from repro.resilience.errors import ConcealmentReport, CorruptStreamError
 from repro.resilience.faults import RetryPolicy
@@ -124,13 +125,21 @@ class CodecService:
         )
         self._codecs = {
             rung.name: TensorCodec(
-                tile=cfg.tile, parallel=rung.parallel, rd_search=rung.rd_search
+                tile=cfg.tile,
+                parallel=rung.parallel,
+                rd_search=rung.rd_search,
+                decode=rung.decode,
             )
             for rung in self.ladder.rungs
         }
-        # Decode has no rd-search axis; serial decode keeps damaged-input
-        # handling (concealment) on its well-tested path.
-        self._decode_codec = TensorCodec(tile=cfg.tile)
+        # Concealment of damaged inputs always runs on the serial legacy
+        # decoder: the fast path is byte-identical there too (fuzz-gated),
+        # but a salvage pass is the wrong moment for clever code.
+        self._conceal_codec = TensorCodec(tile=cfg.tile, decode="legacy")
+        # Decode pools are paid for at construction, not on the first
+        # hot request.
+        for rung in self.ladder.rungs:
+            warm_pool(rung.parallel)
 
     # -- public API ----------------------------------------------------
 
@@ -169,11 +178,13 @@ class CodecService:
         """Decompress ``blob``; damaged payloads degrade to concealment."""
 
         def attempt_factory(rung: Rung):
+            codec = self._codecs[rung.name]
+
             def work(attempt_deadline: Optional[Deadline]):
                 if fault_gate is not None:
                     fault_gate("decode")
                 compressed = CompressedTensor.from_bytes(blob, strict=True)
-                tensor, report = self._decode_codec.decode_with_report(
+                tensor, report = codec.decode_with_report(
                     compressed, conceal=False, deadline=attempt_deadline
                 )
                 return tensor, report
@@ -184,7 +195,7 @@ class CodecService:
             if fault_gate is not None:
                 fault_gate("decode")
             compressed = CompressedTensor.from_bytes(blob, strict=False)
-            return self._decode_codec.decode_with_report(
+            return self._conceal_codec.decode_with_report(
                 compressed, conceal=True, deadline=attempt_deadline
             )
 

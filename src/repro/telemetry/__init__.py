@@ -15,7 +15,12 @@ can stay instrumented in production.  See ``docs/TELEMETRY.md`` for
 the stable metric-name contract.
 """
 
-from repro.telemetry.codecstats import BIT_CLASSES, EncodeStats
+from repro.telemetry.codecstats import (
+    BIT_CLASSES,
+    DECODE_STAGES,
+    DecodeStats,
+    EncodeStats,
+)
 from repro.telemetry.core import (
     MAX_TRACE_EVENTS,
     Histogram,
@@ -39,6 +44,8 @@ from repro.telemetry.export import (
 
 __all__ = [
     "BIT_CLASSES",
+    "DECODE_STAGES",
+    "DecodeStats",
     "EncodeStats",
     "Histogram",
     "MAX_TRACE_EVENTS",

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.telemetry.core import Registry
 
-__all__ = ["BIT_CLASSES", "EncodeStats"]
+__all__ = ["BIT_CLASSES", "DecodeStats", "EncodeStats"]
 
 #: Stable syntax-element bit classes, in stream order.  ``header`` is
 #: the fixed stream header, ``slice_hdr`` the per-slice CRC32 framing
@@ -118,3 +118,55 @@ class EncodeStats:
             registry.count(f"{prefix}.seconds.{stage}", seconds)
         for qp in self.qp_values:
             registry.observe(f"{prefix}.qp", qp)
+
+
+#: Stage names of the two-phase (vectorized) decoder, in pipeline order.
+DECODE_STAGES = ("entropy", "reconstruct", "predict")
+
+
+class DecodeStats:
+    """Per-decode ledger: stage timings + structural counters.
+
+    The decode-side sibling of :class:`EncodeStats`, filled by the
+    vectorized two-phase :class:`~repro.codec.decoder.FrameDecoder`
+    path: wall seconds per stage (``entropy`` -- draining the range
+    decoder into the leaf plan, ``reconstruct`` -- batched dequantize +
+    inverse transform, ``predict`` -- dependency-order prediction) and
+    counters (``coeff_bins`` consumed by the fused scan loop,
+    ``batched_blocks`` / ``batches`` describing the GEMM grouping).
+    The legacy interleaved path cannot split its stages, so it
+    publishes no ledger; structural ``decode.*`` registry counters are
+    emitted identically by both paths.
+    """
+
+    __slots__ = ("counts", "seconds")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.seconds: Dict[str, float] = {}
+
+    def add_count(self, name: str, value: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + value
+
+    def add_seconds(self, stage: str, seconds: float) -> None:
+        self.seconds[stage] = self.seconds.get(stage, 0.0) + seconds
+
+    def merge(self, other: "DecodeStats") -> None:
+        """Fold another ledger into this one (multi-stream sessions)."""
+        for name, value in other.counts.items():
+            self.add_count(name, value)
+        for stage, seconds in other.seconds.items():
+            self.add_seconds(stage, seconds)
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot for reports and tests."""
+        return {"counts": dict(self.counts), "seconds": dict(self.seconds)}
+
+    def publish(self, registry: Optional[Registry], prefix: str = "decode") -> None:
+        """Merge this ledger into a registry's global aggregates."""
+        if registry is None:
+            return
+        for name, value in self.counts.items():
+            registry.count(f"{prefix}.{name}", value)
+        for stage, seconds in self.seconds.items():
+            registry.count(f"{prefix}.seconds.{stage}", seconds)

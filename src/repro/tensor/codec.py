@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 import repro.telemetry as telemetry
-from repro.codec.decoder import FrameDecoder
+from repro.codec.decoder import DECODES, FrameDecoder
 from repro.codec.encoder import RD_SEARCHES, EncoderConfig, FrameEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
 from repro.parallel import ParallelConfig
@@ -335,6 +335,12 @@ class TensorCodec:
         (``"vectorized"`` default, ``"turbo"`` fastest, ``"legacy"``
         reference); the serving degradation ladder steps requests down
         this axis under load.
+    decode:
+        Decode-path strategy forwarded to the frame decoder:
+        ``"vectorized"`` (default) runs the two-phase plan/reconstruct
+        decoder, ``"legacy"`` the interleaved reference decoder.  Both
+        produce byte-identical reconstructions; stored as
+        :attr:`decode_mode` (``decode`` the method keeps its name).
     """
 
     def __init__(
@@ -346,6 +352,7 @@ class TensorCodec:
         alignment: str = "minmax",
         parallel: Optional[ParallelConfig] = None,
         rd_search: str = "vectorized",
+        decode: str = "vectorized",
     ) -> None:
         if alignment not in ("minmax", "mx"):
             raise ValueError("alignment must be 'minmax' or 'mx'")
@@ -353,6 +360,8 @@ class TensorCodec:
             raise ValueError(
                 f"rd_search must be one of {RD_SEARCHES}, got {rd_search!r}"
             )
+        if decode not in DECODES:
+            raise ValueError(f"decode must be one of {DECODES}, got {decode!r}")
         self.profile = profile
         self.tile = tile
         self.use_inter = use_inter
@@ -360,6 +369,7 @@ class TensorCodec:
         self.alignment = alignment
         self.parallel = parallel
         self.rd_search = rd_search
+        self.decode_mode = decode
 
     # -- encoding --------------------------------------------------------
 
@@ -448,6 +458,7 @@ class TensorCodec:
                 conceal=conceal,
                 parallel=self.parallel,
                 deadline=deadline,
+                decode=self.decode_mode,
             )
             decoded_frames = decoder.decode()
             if not decoder.report.clean:

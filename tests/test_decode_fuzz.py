@@ -1,0 +1,116 @@
+"""Differential fuzz: legacy vs. vectorized decode on damaged streams.
+
+The vectorized decoder is only a valid substitute if it is
+*indistinguishable* from the legacy decoder on hostile input, not just
+on clean streams: same typed error (``CorruptStreamError`` /
+``TruncatedStreamError`` / ...) in strict mode, and in concealment
+mode the same frames and the same per-slice concealment report.  This
+file drives both decoders over seeded bit-flips and truncations and
+asserts exactly that, for the native scan kernel and the pure-Python
+fallback alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.decoder import decode_frames, decode_frames_with_report
+from repro.codec.encoder import EncoderConfig, FrameEncoder
+from repro.codec.entropy import native
+from repro.resilience.errors import TruncatedStreamError
+
+_TRIALS = 40
+
+
+def _stream(qp=24.0, seed=11, n=4, edge=64, use_inter=False):
+    rng = np.random.default_rng(seed)
+    base = np.linspace(40, 200, edge)[None, :] + np.linspace(-30, 30, edge)[:, None]
+    frames = [
+        np.clip(base + rng.normal(0, 25, (edge, edge)), 0, 255).astype(np.uint8)
+        for _ in range(n)
+    ]
+    return FrameEncoder(EncoderConfig(qp=qp, use_inter=use_inter)).encode(frames).data
+
+
+def _damage(data: bytes, rng: np.random.Generator) -> bytes:
+    """Two thirds bit-flips, one third truncations -- like real rot."""
+    if rng.random() < 2 / 3:
+        buf = bytearray(data)
+        for _ in range(int(rng.integers(1, 4))):
+            buf[int(rng.integers(0, len(buf)))] ^= 1 << int(rng.integers(0, 8))
+        return bytes(buf)
+    return data[: int(rng.integers(1, len(data)))]
+
+
+def _strict_outcome(data: bytes, decode: str):
+    """(error type name | 'ok', frames) for a strict decode."""
+    try:
+        return "ok", decode_frames(data, decode=decode)
+    except Exception as exc:  # noqa: BLE001 -- the *type* is the assertion
+        return type(exc).__name__, None
+
+
+@pytest.fixture(params=["native", "pure"])
+def scan_mode(request, monkeypatch):
+    if request.param == "native":
+        if not native.available():
+            pytest.skip("native scan kernel unavailable")
+    else:
+        monkeypatch.setattr(native, "available", lambda: False)
+    return request.param
+
+
+class TestDecodeFuzz:
+    def test_strict_errors_match(self, scan_mode):
+        data = _stream()
+        rng = np.random.default_rng(0xFA57)
+        for trial in range(_TRIALS):
+            bad = _damage(data, rng)
+            legacy_kind, legacy_frames = _strict_outcome(bad, "legacy")
+            fast_kind, fast_frames = _strict_outcome(bad, "vectorized")
+            assert fast_kind == legacy_kind, f"trial {trial}: {bad[:16].hex()}"
+            if legacy_kind == "ok":
+                for a, b in zip(legacy_frames, fast_frames):
+                    np.testing.assert_array_equal(a, b)
+
+    def test_conceal_reports_match(self, scan_mode):
+        data = _stream(seed=29)
+        rng = np.random.default_rng(0xC0DEC)
+        concealed_any = False
+        for trial in range(_TRIALS):
+            bad = _damage(data, rng)
+            legacy_frames, legacy_report = decode_frames_with_report(
+                bad, decode="legacy"
+            )
+            fast_frames, fast_report = decode_frames_with_report(
+                bad, decode="vectorized"
+            )
+            assert fast_report.total_slices == legacy_report.total_slices, (
+                f"trial {trial}"
+            )
+            assert fast_report.concealed == legacy_report.concealed, f"trial {trial}"
+            assert len(fast_frames) == len(legacy_frames)
+            for a, b in zip(legacy_frames, fast_frames):
+                np.testing.assert_array_equal(a, b)
+            concealed_any = concealed_any or not legacy_report.clean
+        assert concealed_any  # the fuzz actually exercised concealment
+
+    def test_inter_streams_fuzz(self, scan_mode):
+        data = _stream(seed=37, use_inter=True)
+        rng = np.random.default_rng(0x1E7E4)
+        for trial in range(_TRIALS // 2):
+            bad = _damage(data, rng)
+            legacy_kind, _ = _strict_outcome(bad, "legacy")
+            fast_kind, _ = _strict_outcome(bad, "vectorized")
+            assert fast_kind == legacy_kind, f"trial {trial}"
+
+    def test_typed_errors_surface(self):
+        data = _stream(seed=43)
+        with pytest.raises(TruncatedStreamError):
+            decode_frames(data[: len(data) // 3], decode="vectorized")
+        # Empty and garbage inputs fail identically across paths.
+        for bad in (b"", b"\x00" * 64):
+            legacy_kind, _ = _strict_outcome(bad, "legacy")
+            fast_kind, _ = _strict_outcome(bad, "vectorized")
+            assert fast_kind == legacy_kind

@@ -1,0 +1,386 @@
+"""The fast decode path: two-phase decoder, fused scan, decode ladder.
+
+The contract under test (ISSUE 5 tentpole): the vectorized plan ->
+reconstruct decoder -- through the fused pure-Python scan loop AND the
+optional native scan kernel -- is *byte-identical* to the legacy
+interleaved decoder on every profile, QP, and prediction mode,
+including the decoder state and context probabilities it leaves
+behind.  Plus the dispatch policy around it: parallel decode falls
+back to serial below the slice/byte/CPU thresholds (pinned here), the
+``decode=`` knob plumbs through every public layer, and the
+``decode.*`` telemetry ledger is published.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.telemetry as telemetry
+from repro.codec import decoder as decoder_mod
+from repro.codec import syntax
+from repro.codec.decoder import (
+    DECODES,
+    FrameDecoder,
+    decode_frames,
+    decode_frames_with_report,
+)
+from repro.codec.encoder import EncoderConfig, FrameEncoder
+from repro.codec.entropy import native
+from repro.codec.entropy.arithmetic import BinaryDecoder, BinaryEncoder
+from repro.codec.profiles import AV1_PROFILE, H264_PROFILE, H265_PROFILE
+from repro.codec.syntax import (
+    CodecContexts,
+    decode_coeff_block,
+    decode_coeff_block_scanned,
+    encode_coeff_block,
+)
+from repro.codec.transform import zigzag_unscan
+from repro.parallel import ParallelConfig, pool_stats, warm_pool
+from repro.serving.ladder import DEFAULT_LADDER, Rung
+from repro.serving.service import CodecService
+from repro.telemetry import DECODE_STAGES, DecodeStats
+from repro.tensor.checkpoint import load_checkpoint, save_checkpoint
+from repro.tensor.codec import TensorCodec
+
+
+def _frames(n=4, h=64, w=64, seed=11):
+    rng = np.random.default_rng(seed)
+    base = np.linspace(40, 200, w)[None, :] + np.linspace(-30, 30, h)[:, None]
+    return [
+        np.clip(base + rng.normal(0, 25, (h, w)), 0, 255).astype(np.uint8)
+        for _ in range(n)
+    ]
+
+
+def _tensor(seed=5, edge=64):
+    rng = np.random.default_rng(seed)
+    u = rng.standard_normal((edge, 4))
+    v = rng.standard_normal((4, edge))
+    return (u @ v + 0.2 * rng.standard_normal((edge, edge))).astype(np.float32)
+
+
+def _coeff_stream(seed=3, blocks=12, n=8, spread=9):
+    """Encode `blocks` random coefficient blocks; return (data, levels)."""
+    rng = np.random.default_rng(seed)
+    enc = BinaryEncoder()
+    ctx = CodecContexts()
+    all_levels = []
+    for _ in range(blocks):
+        levels = rng.integers(-spread, spread + 1, size=(n, n))
+        levels[rng.random((n, n)) < 0.6] = 0
+        all_levels.append(levels.astype(np.int64))
+        encode_coeff_block(enc, ctx, all_levels[-1])
+    return enc.finish(), all_levels
+
+
+def _force_pure(monkeypatch):
+    monkeypatch.setattr(native, "available", lambda: False)
+
+
+# -- fused scan loop vs. the primitive sequence ------------------------
+
+
+class TestFusedScan:
+    @pytest.mark.parametrize("force_pure", [True, False])
+    def test_scanned_decode_matches_primitives(self, monkeypatch, force_pure):
+        if force_pure:
+            _force_pure(monkeypatch)
+        elif not native.available():
+            pytest.skip("native scan kernel unavailable")
+        for n in (4, 8, 16):
+            data, all_levels = _coeff_stream(seed=n, n=n)
+            ref = BinaryDecoder(data)
+            ref_ctx = CodecContexts()
+            fast = BinaryDecoder(data)
+            fast_ctx = CodecContexts()
+            for levels in all_levels:
+                a = decode_coeff_block(ref, ref_ctx, n)
+                scanned = decode_coeff_block_scanned(fast, fast_ctx, n)
+                b = (
+                    np.zeros((n, n), dtype=np.int64)
+                    if scanned is None
+                    else zigzag_unscan(scanned, n)
+                )
+                np.testing.assert_array_equal(a, levels)
+                np.testing.assert_array_equal(b, levels)
+                # The coder state and every adapted context must agree
+                # after each block, or later blocks would diverge.
+                assert (fast._pos, fast._range, fast._code) == (
+                    ref._pos,
+                    ref._range,
+                    ref._code,
+                )
+                assert fast_ctx.sig.probs == ref_ctx.sig.probs
+                assert fast_ctx.level.probs == ref_ctx.level.probs
+                assert fast_ctx.last.probs == ref_ctx.last.probs
+
+    def test_scan_bins_counted(self):
+        data, _ = _coeff_stream()
+        dec = BinaryDecoder(data)
+        ctx = CodecContexts()
+        for _ in range(12):
+            decode_coeff_block_scanned(dec, ctx, 8)
+        assert dec.scan_bins > 0
+
+    @pytest.mark.skipif(
+        not native.available(), reason="native scan kernel unavailable"
+    )
+    def test_native_and_pure_loops_agree(self, monkeypatch):
+        data, _ = _coeff_stream(seed=17, blocks=20, spread=40)
+        nat = BinaryDecoder(data)
+        nat_ctx = CodecContexts()
+        nat_blocks = [decode_coeff_block_scanned(nat, nat_ctx, 8) for _ in range(20)]
+        _force_pure(monkeypatch)
+        pure = BinaryDecoder(data)
+        pure_ctx = CodecContexts()
+        pure_blocks = [
+            decode_coeff_block_scanned(pure, pure_ctx, 8) for _ in range(20)
+        ]
+        for a, b in zip(nat_blocks, pure_blocks):
+            np.testing.assert_array_equal(a, b)
+        assert (nat._pos, nat._range, nat._code, nat.scan_bins) == (
+            pure._pos,
+            pure._range,
+            pure._code,
+            pure.scan_bins,
+        )
+        assert nat_ctx.sig.probs == pure_ctx.sig.probs
+        assert nat_ctx.level.probs == pure_ctx.level.probs
+
+
+# -- whole-stream identity ---------------------------------------------
+
+
+class TestVectorizedIdentity:
+    @pytest.mark.parametrize(
+        "profile", [H264_PROFILE, H265_PROFILE, AV1_PROFILE]
+    )
+    @pytest.mark.parametrize("qp", [10.0, 24.0, 38.0])
+    def test_identity_across_profiles_and_qps(self, profile, qp):
+        frames = _frames()
+        data = FrameEncoder(EncoderConfig(profile=profile, qp=qp)).encode(
+            frames
+        ).data
+        legacy = decode_frames(data, decode="legacy")
+        fast = decode_frames(data, decode="vectorized")
+        assert len(legacy) == len(fast)
+        for a, b in zip(legacy, fast):
+            np.testing.assert_array_equal(a, b)
+
+    def test_identity_with_inter_prediction(self):
+        frames = _frames(seed=23)
+        data = FrameEncoder(EncoderConfig(qp=22.0, use_inter=True)).encode(
+            frames
+        ).data
+        for a, b in zip(
+            decode_frames(data, decode="legacy"),
+            decode_frames(data, decode="vectorized"),
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_identity_fractional_qp(self):
+        frames = _frames(seed=31)
+        data = FrameEncoder(EncoderConfig(qp=25.37)).encode(frames).data
+        for a, b in zip(
+            decode_frames(data, decode="legacy"),
+            decode_frames(data, decode="vectorized"),
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_identity_pure_python_fallback(self, monkeypatch):
+        _force_pure(monkeypatch)
+        frames = _frames(seed=41)
+        data = FrameEncoder(EncoderConfig(qp=24.0)).encode(frames).data
+        for a, b in zip(
+            decode_frames(data, decode="legacy"),
+            decode_frames(data, decode="vectorized"),
+        ):
+            np.testing.assert_array_equal(a, b)
+
+    def test_concealment_reports_identical(self):
+        frames = _frames(seed=7)
+        data = bytearray(FrameEncoder(EncoderConfig(qp=24.0)).encode(frames).data)
+        data[len(data) // 2] ^= 0x40  # damage one slice body
+        legacy_frames, legacy_report = decode_frames_with_report(
+            bytes(data), decode="legacy"
+        )
+        fast_frames, fast_report = decode_frames_with_report(
+            bytes(data), decode="vectorized"
+        )
+        assert legacy_report.concealed == fast_report.concealed
+        assert legacy_report.total_slices == fast_report.total_slices
+        assert legacy_report.concealed  # the flip actually hit something
+        for a, b in zip(legacy_frames, fast_frames):
+            np.testing.assert_array_equal(a, b)
+
+
+# -- parallel dispatch policy ------------------------------------------
+
+
+class TestParallelDecodeThresholds:
+    def test_threshold_constants_pinned(self):
+        # Chosen from measurement (docs/PERFORMANCE.md): below 4 slices
+        # or 32 KiB of payload, fan-out overhead beats the decode win.
+        assert decoder_mod._PARALLEL_MIN_SLICES == 4
+        assert decoder_mod._PARALLEL_MIN_BYTES == 32768
+
+    def _big_stream(self):
+        # Noisy frames so the payload clears the 32 KiB byte threshold.
+        rng = np.random.default_rng(5)
+        frames = [
+            rng.integers(0, 256, (128, 128)).astype(np.uint8) for _ in range(4)
+        ]
+        return FrameEncoder(EncoderConfig(qp=18.0)).encode(frames).data
+
+    def test_dispatches_above_thresholds(self, monkeypatch):
+        monkeypatch.setattr(decoder_mod, "_effective_cpus", lambda: 8)
+        data = self._big_stream()
+        pool = ParallelConfig(workers=2, executor="thread")
+        before = pool_stats()["dispatches"]
+        par = decode_frames(data, parallel=pool)
+        assert pool_stats()["dispatches"] == before + 1
+        for a, b in zip(decode_frames(data), par):
+            np.testing.assert_array_equal(a, b)
+
+    def test_small_slice_count_falls_back(self, monkeypatch):
+        monkeypatch.setattr(decoder_mod, "_effective_cpus", lambda: 8)
+        frames = _frames(n=2)
+        data = FrameEncoder(EncoderConfig(qp=24.0)).encode(frames).data
+        pool = ParallelConfig(workers=2, executor="thread")
+        before = pool_stats()["dispatches"]
+        with telemetry.session() as registry:
+            decode_frames(data, parallel=pool)
+        assert pool_stats()["dispatches"] == before
+        assert registry.counters.get("decode.parallel_threshold_fallbacks") == 1
+
+    def test_small_payload_falls_back(self, monkeypatch):
+        monkeypatch.setattr(decoder_mod, "_effective_cpus", lambda: 8)
+        frames = _frames(n=4)  # smooth 64x64 frames: well under 32 KiB
+        data = FrameEncoder(EncoderConfig(qp=30.0)).encode(frames).data
+        assert len(data) < decoder_mod._PARALLEL_MIN_BYTES
+        pool = ParallelConfig(workers=2, executor="thread")
+        before = pool_stats()["dispatches"]
+        with telemetry.session() as registry:
+            decode_frames(data, parallel=pool)
+        assert pool_stats()["dispatches"] == before
+        assert registry.counters.get("decode.parallel_threshold_fallbacks") == 1
+
+    def test_single_cpu_falls_back(self, monkeypatch):
+        monkeypatch.setattr(decoder_mod, "_effective_cpus", lambda: 1)
+        data = self._big_stream()
+        pool = ParallelConfig(workers=2, executor="thread")
+        before = pool_stats()["dispatches"]
+        with telemetry.session() as registry:
+            serial = decode_frames(data)
+            par = decode_frames(data, parallel=pool)
+        assert pool_stats()["dispatches"] == before
+        assert registry.counters.get("decode.parallel_threshold_fallbacks") == 1
+        for a, b in zip(serial, par):
+            np.testing.assert_array_equal(a, b)
+
+    def test_warm_pool_is_idempotent(self):
+        pool = ParallelConfig(workers=2, executor="thread")
+        warm_pool(pool)  # may or may not be the first warm-up this run
+        assert warm_pool(pool) is False  # second call: already warm
+        assert warm_pool(None) is False
+        assert warm_pool(ParallelConfig(workers=4, executor="serial")) is False
+
+
+# -- decode= plumbing ---------------------------------------------------
+
+
+class TestDecodePlumbing:
+    def test_frame_decoder_rejects_unknown_mode(self):
+        data = FrameEncoder(EncoderConfig(qp=24.0)).encode(_frames(n=1)).data
+        with pytest.raises(ValueError, match="decode"):
+            FrameDecoder(data, decode="bogus")
+        with pytest.raises(ValueError, match="decode"):
+            decode_frames(data, decode="bogus")
+
+    def test_tensor_codec_decode_modes_agree(self):
+        tensor = _tensor()
+        for mode in DECODES:
+            codec = TensorCodec(tile=32, decode=mode)
+            assert codec.decode_mode == mode
+        compressed = TensorCodec(tile=32).encode(tensor, qp=24.0)
+        out = {
+            mode: TensorCodec(tile=32, decode=mode).decode(compressed)
+            for mode in DECODES
+        }
+        np.testing.assert_array_equal(out["vectorized"], out["legacy"])
+        with pytest.raises(ValueError, match="decode"):
+            TensorCodec(decode="bogus")
+
+    def test_checkpoint_decode_param(self, tmp_path):
+        path = str(tmp_path / "model.llmckpt")
+        save_checkpoint({"w": _tensor(seed=9)}, path)
+        a = load_checkpoint(path, decode="legacy")
+        b = load_checkpoint(path, decode="vectorized")
+        np.testing.assert_array_equal(a["w"], b["w"])
+
+    def test_rung_decode_field(self):
+        with pytest.raises(ValueError, match="decode"):
+            Rung("x", "turbo", decode="bogus")
+        assert [rung.decode for rung in DEFAULT_LADDER] == [
+            "vectorized",
+            "vectorized",
+            "legacy",
+        ]
+
+    def test_service_builds_per_rung_decoders(self):
+        service = CodecService()
+        for rung in DEFAULT_LADDER:
+            assert service._codecs[rung.name].decode_mode == rung.decode
+        assert service._conceal_codec.decode_mode == "legacy"
+        tensor = _tensor(seed=13, edge=32)
+        encoded = service.encode(tensor, qp=24.0)
+        assert encoded.ok
+        decoded = service.decode(encoded.value.to_bytes())
+        assert decoded.ok and not decoded.degraded
+        np.testing.assert_allclose(decoded.value, tensor, atol=12.0)
+
+
+# -- telemetry ----------------------------------------------------------
+
+
+class TestDecodeTelemetry:
+    def test_vectorized_publishes_stage_ledger(self):
+        frames = _frames()
+        data = FrameEncoder(EncoderConfig(qp=24.0)).encode(frames).data
+        with telemetry.session() as registry:
+            decode_frames(data, decode="vectorized")
+        for stage in DECODE_STAGES:
+            assert registry.counters[f"decode.seconds.{stage}"] >= 0.0
+        assert registry.counters["decode.coeff_bins"] > 0
+        assert registry.counters["decode.frames"] == len(frames)
+        assert registry.counters["decode.batched_blocks"] > 0
+        # Spans nest under the frame span, so match on the leaf name.
+        leaves = {path.rsplit("/", 1)[-1] for path in registry.spans}
+        assert {"decode.entropy", "decode.reconstruct", "decode.predict"} <= leaves
+
+    def test_legacy_publishes_no_stage_ledger(self):
+        frames = _frames()
+        data = FrameEncoder(EncoderConfig(qp=24.0)).encode(frames).data
+        with telemetry.session() as registry:
+            decode_frames(data, decode="legacy")
+        assert registry.counters["decode.frames"] == len(frames)
+        assert "decode.seconds.entropy" not in registry.counters
+
+    def test_decode_stats_ledger(self):
+        stats = DecodeStats()
+        stats.add_count("coeff_bins", 10)
+        stats.add_seconds("entropy", 0.5)
+        other = DecodeStats()
+        other.add_count("coeff_bins", 5)
+        other.add_seconds("entropy", 0.25)
+        other.add_seconds("predict", 0.1)
+        stats.merge(other)
+        snapshot = stats.as_dict()
+        assert snapshot["counts"]["coeff_bins"] == 15
+        assert snapshot["seconds"]["entropy"] == 0.75
+        registry = telemetry.Registry()
+        stats.publish(registry)
+        assert registry.counters["decode.coeff_bins"] == 15
+        assert registry.counters["decode.seconds.predict"] == 0.1
+        stats.publish(None)  # no registry: a no-op, not an error
