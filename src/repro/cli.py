@@ -15,12 +15,16 @@ Subcommands:
   runs a strict decode
 - ``bench``      -- codec throughput ladder (pre-optimisation baseline,
   vectorized RD, slice-parallel) with byte-identity verification; exit
-  2 when any configuration's output diverges
+  2 when any configuration's output diverges.  ``--check`` runs the
+  perf-regression sentinel against the tracked baseline (exit 3 on a
+  regression)
 - ``chaos``      -- seeded chaos soak of the fault-tolerant serving
   layer; exit 2 on any silent corruption, untyped error, or
-  availability below the SLO
+  availability below the SLO, printing the flight-recorder postmortem
+  bundle path on the way out
 - ``serve-bench`` -- healthy-path serving benchmark (sequential
-  latency percentiles + typed-shedding overload burst)
+  latency percentiles + typed-shedding overload burst); ``--check``
+  compares against the tracked serving baseline
 
 A global ``--trace out.json`` flag (before the subcommand) records a
 Chrome trace-event file of the run for ``chrome://tracing`` /
@@ -90,6 +94,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compress a tensor and print the per-stage codec dissection",
     )
     stats.add_argument("input", help=".npy file")
+    stats.add_argument(
+        "--format", default="table",
+        choices=["table", "json", "prometheus"],
+        help="table (human), json (the llm265-metrics-v1 snapshot "
+             "document, same shape as CodecService.stats()), or "
+             "prometheus (text exposition)",
+    )
     _add_rate_arguments(stats)
 
     verify = sub.add_parser(
@@ -120,6 +131,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--output", default=None,
                        help="write the JSON result document here")
+    bench.add_argument(
+        "--check", action="store_true",
+        help="regression sentinel: compare this run against the tracked "
+             "baseline (exit 3 on perf regression, 2 on divergence)",
+    )
+    bench.add_argument("--baseline", default="BENCH_codec.json",
+                       help="baseline document for --check")
+    bench.add_argument("--slack", type=float, default=1.0,
+                       help="tolerance multiplier for --check (CI uses > 1)")
 
     chaos = sub.add_parser(
         "chaos",
@@ -133,6 +153,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--output", default=None,
                        help="merge the report into this JSON file")
+    chaos.add_argument(
+        "--postmortem-dir", default=".",
+        help="where the flight-recorder bundle lands on a contract "
+             "violation (its path is printed before exit 2)",
+    )
+    chaos.add_argument(
+        "--force-violation", action="store_true",
+        help="drill: record one synthetic violation to exercise the "
+             "postmortem path end to end (always exits 2)",
+    )
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -142,6 +172,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--seed", type=int, default=0)
     serve_bench.add_argument("--output", default=None,
                              help="merge the report into this JSON file")
+    serve_bench.add_argument(
+        "--check", action="store_true",
+        help="regression sentinel: compare against the tracked serving "
+             "baseline (exit 3 on regression, 2 on divergence)",
+    )
+    serve_bench.add_argument("--baseline", default="BENCH_serving.json",
+                             help="baseline document for --check")
+    serve_bench.add_argument("--slack", type=float, default=1.0,
+                             help="tolerance multiplier for --check")
+    serve_bench.add_argument(
+        "--chaos-requests", type=int, default=0,
+        help="with --check: also run a chaos soak of this many requests "
+             "so the baseline's chaos section is compared too (0 skips)",
+    )
     return parser
 
 
@@ -244,7 +288,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         compressed = codec.encode(tensor, **_rate_kwargs(args))
         restored = codec.decode(compressed)
         mse = float(np.mean((restored.astype(np.float64) - tensor) ** 2))
-        _print_stats(args.input, tensor, compressed, mse, registry)
+        if args.format == "json":
+            # The same llm265-metrics-v1 document CodecService.stats()
+            # returns, so dashboards need exactly one parser.
+            import json
+
+            snapshot = telemetry.MetricsSnapshot.capture(registry=registry)
+            print(json.dumps(snapshot.to_dict(), indent=2, sort_keys=True))
+        elif args.format == "prometheus":
+            snapshot = telemetry.MetricsSnapshot.capture(registry=registry)
+            print(telemetry.render_prometheus(snapshot), end="")
+        else:
+            _print_stats(args.input, tensor, compressed, mse, registry)
     return 0
 
 
@@ -350,6 +405,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.output:
         write_results(doc, args.output)
         print(f"wrote {args.output}")
+    if args.check:
+        from repro.analysis.regression import (
+            compare_codec_bench,
+            format_comparison,
+            load_baseline,
+        )
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_codec_bench(baseline, doc, slack=args.slack)
+        print(format_comparison(comparison))
+        return comparison["exit_code"]
     return 0 if doc["summary"]["all_identical"] else 2
 
 
@@ -371,7 +442,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.serving.chaos import ChaosConfig, format_report, run_chaos
 
     requests = 120 if args.quick else args.requests
-    report = run_chaos(ChaosConfig(requests=requests, seed=args.seed))
+    report = run_chaos(
+        ChaosConfig(
+            requests=requests,
+            seed=args.seed,
+            postmortem_dir=args.postmortem_dir or None,
+            force_violation=args.force_violation,
+        )
+    )
     print(format_report(report))
     if args.output:
         _merge_json(args.output, "chaos", report)
@@ -397,6 +475,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.output:
         _merge_json(args.output, "serve_bench", report)
         print(f"wrote {args.output}")
+    if args.check:
+        from repro.analysis.regression import (
+            compare_serving_bench,
+            format_comparison,
+            load_baseline,
+        )
+
+        fresh = {"serve_bench": report}
+        if args.chaos_requests > 0:
+            from repro.serving.chaos import ChaosConfig, run_chaos
+
+            fresh["chaos"] = run_chaos(
+                ChaosConfig(requests=args.chaos_requests, seed=args.seed)
+            )
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_serving_bench(baseline, fresh, slack=args.slack)
+        print(format_comparison(comparison))
+        return comparison["exit_code"]
     return 0
 
 

@@ -48,6 +48,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 import repro.telemetry as telemetry
 from repro.resilience.deadline import Deadline, effective_timeout
+from repro.telemetry.propagate import TracedTask, count_lost_deltas, merge_delta
 
 __all__ = [
     "BrokenPoolError",
@@ -261,6 +262,7 @@ def _mapped_with_timeout(
     items: Sequence[T],
     timeout_s: Optional[float],
     deadline: Optional[Deadline],
+    parent=None,
 ) -> List[R]:
     """Submit items individually and bound each wait.
 
@@ -270,14 +272,20 @@ def _mapped_with_timeout(
     still trips the bound.  Earlier items' exceptions surface first
     (futures are drained in submission order), matching the serial
     loop's contract.
+
+    When ``parent`` (the dispatcher's registry) is given, ``fn`` is a
+    :class:`TracedTask` and each drained result carries a telemetry
+    delta, merged as it arrives; items never drained (timeout, earlier
+    failure) are accounted as lost deltas.
     """
     futures = [pool.submit(fn, item) for item in items]
     results: List[R] = []
+    under = parent.current_path() if parent is not None else ""
     try:
         for index, future in enumerate(futures):
             wait_s = effective_timeout(deadline, timeout_s)
             try:
-                results.append(future.result(timeout=wait_s))
+                value = future.result(timeout=wait_s)
             except FuturesTimeoutError:
                 telemetry.count("parallel.worker_timeouts")
                 if deadline is not None and deadline.expired():
@@ -286,9 +294,37 @@ def _mapped_with_timeout(
                     f"item {index} exceeded its {timeout_s}s timeout",
                     index=index,
                 ) from None
+            if parent is not None:
+                merge_delta(parent, value.delta, under=under)
+                value = value.result
+            results.append(value)
     finally:
         for future in futures:
             future.cancel()
+        count_lost_deltas(parent, len(items) - len(results))
+    return results
+
+
+def _drain(mapped, total: int, parent) -> List:
+    """Collect mapped results, merging telemetry deltas as they arrive.
+
+    ``parent is None`` means the batch ran unwrapped (telemetry off at
+    dispatch): just drain.  Otherwise every item is a
+    :class:`TracedOutcome`; merge its delta under the live span path
+    and unwrap.  If draining raises (item exception, broken pool), the
+    deltas of everything not yet drained are unrecoverable and are
+    accounted in ``telemetry.worker_deltas_lost``.
+    """
+    if parent is None:
+        return list(mapped)
+    results: List = []
+    under = parent.current_path()
+    try:
+        for outcome in mapped:
+            merge_delta(parent, outcome.delta, under=under)
+            results.append(outcome.result)
+    finally:
+        count_lost_deltas(parent, total - len(results))
     return results
 
 
@@ -354,16 +390,27 @@ def parallel_map(
     telemetry.observe("parallel.workers", workers)
     with telemetry.span(f"parallel.{label}"):
         pool = _get_pool(config.executor, workers)
+        # With telemetry live on the dispatching thread, wrap the body
+        # so each worker (thread OR process) runs a child registry and
+        # ships its delta back with the result; spans recorded inside
+        # workers then land under this dispatch's span path instead of
+        # vanishing into the worker's thread-local void.
+        parent = telemetry.current()
+        task: Callable = fn
+        if parent is not None:
+            task = TracedTask(fn, ctx=parent.trace_ctx, trace=parent.trace)
         try:
             if timeout_s is not None or deadline is not None:
-                return _mapped_with_timeout(pool, fn, items, timeout_s, deadline)
+                return _mapped_with_timeout(
+                    pool, task, items, timeout_s, deadline, parent
+                )
             if config.executor == "process":
-                results = pool.map(fn, items, chunksize=config.chunk_size)
+                mapped = pool.map(task, items, chunksize=config.chunk_size)
             else:
-                results = pool.map(fn, items)
-            # list() drains in submission order; the first failing item's
-            # exception propagates here, matching the serial loop.
-            return list(results)
+                mapped = pool.map(task, items)
+            # Draining happens in submission order; the first failing
+            # item's exception propagates here, matching the serial loop.
+            return _drain(mapped, len(items), parent)
         except BrokenPoolError:
             # A worker died (SIGKILL, OOM, segfault): the pool is
             # unusable and which items completed is unknowable.

@@ -23,6 +23,7 @@ import time
 from typing import Callable
 
 import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
 
 __all__ = ["CircuitBreaker"]
 
@@ -94,6 +95,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         if self._state == HALF_OPEN:
             telemetry.count("serving.breaker_closes")
+            flightrecorder.record("breaker.close", name=self.name)
         self._state = CLOSED
         self._consecutive_failures = 0
         self._probes_in_flight = 0
@@ -106,6 +108,11 @@ class CircuitBreaker:
             if self._state != OPEN:
                 self.trips += 1
                 telemetry.count("serving.breaker_trips")
+                flightrecorder.record(
+                    "breaker.trip",
+                    name=self.name,
+                    consecutive_failures=self._consecutive_failures,
+                )
             self._state = OPEN
             self._opened_at = self._clock()
             self._probes_in_flight = 0

@@ -26,6 +26,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
 from repro.resilience.deadline import Deadline, effective_timeout
 
 __all__ = ["Overloaded", "RequestBroker"]
@@ -112,6 +113,9 @@ class RequestBroker:
             if self._queued >= self.max_queue:
                 self.shed += 1
                 telemetry.count("serving.shed")
+                flightrecorder.record(
+                    "broker.shed", inflight=self._inflight, queued=self._queued
+                )
                 raise Overloaded(
                     f"service saturated ({self._inflight} in flight, "
                     f"{self._queued} queued)",
@@ -126,10 +130,18 @@ class RequestBroker:
                     wait_s = effective_timeout(deadline, None)
                     if wait_s is not None and wait_s <= 0.0:
                         telemetry.count("serving.queue_deadline_expired")
+                        flightrecorder.record(
+                            "broker.queue_deadline_expired",
+                            inflight=self._inflight, queued=self._queued,
+                        )
                         deadline.check("broker.queue")
                     if not self._slot_free.wait(timeout=wait_s):
                         # Timed out: the deadline expired while queued.
                         telemetry.count("serving.queue_deadline_expired")
+                        flightrecorder.record(
+                            "broker.queue_deadline_expired",
+                            inflight=self._inflight, queued=self._queued,
+                        )
                         deadline.check("broker.queue")
             finally:
                 self._queued -= 1

@@ -33,11 +33,14 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
 from repro.codec.encoder import _HEADER_SIZE
 from repro.resilience.deadline import DeadlineExceeded
 from repro.resilience.errors import CorruptStreamError
@@ -90,6 +93,13 @@ class ChaosConfig:
     truncate_prob: float = 0.02
     #: Availability SLO the run (and the CI gate) must meet.
     availability_slo: float = 0.99
+    #: Where contract-violation postmortem bundles land; ``None``
+    #: disables bundle dumps (the report still lists violations).
+    postmortem_dir: Optional[str] = None
+    #: Drill switch: records one synthetic contract violation so the
+    #: whole postmortem path (ring dump, bundle write, exit 2) can be
+    #: exercised on demand without breaking the codec.
+    force_violation: bool = False
 
 
 class _ReferenceStore:
@@ -187,8 +197,24 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> dict:
     The report's ``invariant`` section is the contract verdict:
     ``silent_corruptions`` and ``untyped_errors`` must be zero and
     ``availability`` must meet the SLO for ``passed`` to be true.
+
+    When the verdict fails and ``config.postmortem_dir`` is set, a
+    flight-recorder postmortem bundle (ring contents, telemetry
+    snapshot, trace tree, seed) is dumped and its path returned under
+    ``report["postmortem"]``.
     """
     config = config or ChaosConfig()
+    # Aggregate telemetry for the whole soak (reusing an already-active
+    # registry, e.g. the CLI's --trace session) so the postmortem
+    # bundle can include a trace tree of what led up to a violation.
+    active = telemetry.current()
+    scope = nullcontext(active) if active is not None else telemetry.session()
+    with scope as registry:
+        report = _run_chaos_instrumented(config, registry)
+    return report
+
+
+def _run_chaos_instrumented(config: ChaosConfig, registry) -> dict:
     rng = np.random.default_rng(config.seed)
     tensors = [
         rng.standard_normal(
@@ -239,7 +265,16 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> dict:
                 "reason": reason,
                 "rung": response.rung,
                 "error_type": response.error_type,
+                "trace_id": response.trace_id,
             }
+        )
+        flightrecorder.record(
+            "chaos.contract_violation",
+            request=index,
+            kind=kind,
+            reason=reason,
+            rung=response.rung,
+            trace=response.trace_id,
         )
 
     started = time.perf_counter()
@@ -267,6 +302,14 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> dict:
             )
     elapsed_s = time.perf_counter() - started
 
+    if config.force_violation:
+        # The drill: a synthetic violation that exercises ring dump,
+        # bundle write, and the CLI's exit-2 path end to end.
+        violation(
+            -1, "drill", "drill: forced contract violation",
+            ServeResponse(ok=False, kind="drill", rung="drill"),
+        )
+
     slo = service.slo.snapshot()
     silent = sum(1 for v in violations if v["reason"].startswith("silent"))
     untyped = sum(1 for v in violations if v["reason"].startswith("untyped"))
@@ -292,6 +335,18 @@ def run_chaos(config: Optional[ChaosConfig] = None) -> dict:
             ),
         },
     }
+    report["postmortem"] = None
+    if not report["invariant"]["passed"] and config.postmortem_dir:
+        report["postmortem"] = flightrecorder.dump_bundle(
+            config.postmortem_dir,
+            reason="chaos-contract-violation",
+            registry=registry,
+            seed=config.seed,
+            extra={
+                "checked": checked,
+                "invariant": report["invariant"],
+            },
+        )
     return report
 
 
@@ -459,4 +514,6 @@ def format_report(report: dict) -> str:
     )
     for violated in inv["violations"][:10]:
         lines.append(f"  violation: {violated}")
+    if report.get("postmortem"):
+        lines.append(f"postmortem bundle: {report['postmortem']}")
     return "\n".join(lines)

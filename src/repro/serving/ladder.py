@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
 from repro.parallel import ParallelConfig
 from repro.serving.breaker import CircuitBreaker
 
@@ -114,6 +115,11 @@ class DegradationLadder:
         step = min(len(self.rungs) - 1, int(pressure))
         if step:
             telemetry.count("serving.pressure_downshifts")
+            flightrecorder.record(
+                "ladder.pressure_downshift",
+                rung=self.rungs[step].name,
+                pressure=round(pressure, 3),
+            )
         return step
 
     def select(self, start: int = 0) -> Tuple[int, Rung]:
@@ -125,6 +131,7 @@ class DegradationLadder:
                 return index, self.rungs[index]
         index = len(self.rungs) - 1
         telemetry.count("serving.all_breakers_open")
+        flightrecorder.record("ladder.all_breakers_open")
         telemetry.count(f"serving.rung.{self.rungs[index].name}")
         return index, self.rungs[index]
 

@@ -34,6 +34,13 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
+from repro.telemetry.metrics import (
+    MetricsSnapshot,
+    PeriodicSnapshotter,
+    render_prometheus,
+)
+from repro.telemetry.propagate import mint_trace, trace_scope
 from repro.parallel import warm_pool
 from repro.resilience.deadline import Deadline, DeadlineExceeded
 from repro.resilience.errors import ConcealmentReport, CorruptStreamError
@@ -74,6 +81,10 @@ class ServiceConfig:
     breaker_cooldown_s: float = 1.0
     #: Seeds supervision backoff jitter (reproducible soak schedules).
     seed: int = 0
+    #: When set, a request that fails non-retryably (every retry and
+    #: ladder rung exhausted) dumps a flight-recorder postmortem bundle
+    #: into this directory (see ``docs/OBSERVABILITY.md``).
+    postmortem_dir: Optional[str] = None
 
 
 @dataclass
@@ -91,6 +102,7 @@ class ServeResponse:
     concealed: int = 0  # tiles patched by concealment (decode only)
     report: Optional[ConcealmentReport] = None
     latency_s: float = 0.0
+    trace_id: str = ""  # request identity; matches span events' args.trace
 
     @property
     def error_type(self) -> str:
@@ -140,6 +152,8 @@ class CodecService:
         # hot request.
         for rung in self.ladder.rungs:
             warm_pool(rung.parallel)
+        #: Path of the most recent postmortem bundle, if any was dumped.
+        self.last_postmortem: Optional[str] = None
 
     # -- public API ----------------------------------------------------
 
@@ -203,14 +217,36 @@ class CodecService:
             "decode", attempt_factory, deadline_s, conceal_fallback
         )
 
+    def snapshot(self) -> MetricsSnapshot:
+        """Versioned :class:`MetricsSnapshot` of the whole service.
+
+        Includes the calling thread's telemetry registry (empty
+        sections when telemetry is disabled) plus the SLO, broker,
+        ladder, and supervisor components.
+        """
+        return MetricsSnapshot.capture(
+            slo=self.slo.snapshot(),
+            broker=self.broker.stats(),
+            ladder=self.ladder.stats(),
+            supervisor=self.supervisor.stats(),
+        )
+
     def stats(self) -> dict:
         """Service-wide SLO + component introspection (JSON-ready)."""
-        return {
-            "slo": self.slo.snapshot(),
-            "broker": self.broker.stats(),
-            "ladder": self.ladder.stats(),
-            "supervisor": self.supervisor.stats(),
-        }
+        return self.snapshot().to_dict()
+
+    def metrics_text(self) -> str:
+        """The service snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.snapshot())
+
+    def start_snapshotter(
+        self, path: str, interval_s: float = 5.0, render: str = "json"
+    ) -> PeriodicSnapshotter:
+        """Start (and return) a periodic metrics snapshotter for this
+        service; the caller owns ``stop()``."""
+        return PeriodicSnapshotter(
+            self.snapshot, path, interval_s=interval_s, render=render
+        ).start()
 
     # -- request machinery ---------------------------------------------
 
@@ -226,16 +262,22 @@ class CodecService:
             deadline_s if deadline_s is not None else self.config.deadline_s,
             label=kind,
         )
-        with telemetry.span(f"serving.{kind}"):
+        # One trace context per request: everything this request does --
+        # broker wait, every supervised attempt, worker-side encode and
+        # decode spans shipped back as deltas -- carries this trace_id.
+        ctx = mint_trace(kind, budget_s=deadline.remaining())
+        with trace_scope(ctx), telemetry.span(f"serving.{kind}"):
             try:
                 self.broker.acquire(deadline)
             except Overloaded as exc:
                 return self._finish(
-                    ServeResponse(ok=False, kind=kind, error=exc), start_time
+                    ServeResponse(ok=False, kind=kind, error=exc),
+                    start_time, ctx.trace_id,
                 )
             except DeadlineExceeded as exc:
                 return self._finish(
-                    ServeResponse(ok=False, kind=kind, error=exc), start_time
+                    ServeResponse(ok=False, kind=kind, error=exc),
+                    start_time, ctx.trace_id,
                 )
             try:
                 response = self._execute(
@@ -243,7 +285,7 @@ class CodecService:
                 )
             finally:
                 self.broker.release()
-        return self._finish(response, start_time)
+        return self._finish(response, start_time, ctx.trace_id)
 
     def _execute(
         self,
@@ -279,9 +321,19 @@ class CodecService:
                 last_error = exc.last_error or exc
                 self.ladder.record(index, False)
                 telemetry.count("serving.rung_failures")
+                flightrecorder.record(
+                    "serving.rung_failure",
+                    kind=kind,
+                    rung=rung.name,
+                    attempts=exc.attempts,
+                    last_error=repr(exc.last_error),
+                )
                 if index + 1 < len(self.ladder):
                     index += 1
                     continue
+                # Non-retryable: the fault outlasted every retry on
+                # every rung.  Leave the evidence behind.
+                self._postmortem(kind, exc)
                 return ServeResponse(
                     ok=False, kind=kind, error=exc, rung=rung.name,
                     retries=retries, ladder_steps=index - start,
@@ -360,8 +412,27 @@ class CodecService:
             report=report,
         )
 
-    def _finish(self, response: ServeResponse, start_time: float) -> ServeResponse:
+    def _postmortem(self, kind: str, error: BaseException) -> None:
+        """Dump a flight-recorder bundle for a non-retryable failure."""
+        if self.config.postmortem_dir is None:
+            return
+        try:
+            self.last_postmortem = flightrecorder.dump_bundle(
+                self.config.postmortem_dir,
+                reason=f"{kind}-retries-exhausted",
+                seed=self.config.seed,
+                extra={"error": repr(error)},
+            )
+            telemetry.count("serving.postmortems")
+        except OSError:
+            # A failing disk must not turn a typed response into a raise.
+            telemetry.count("serving.postmortem_write_failures")
+
+    def _finish(
+        self, response: ServeResponse, start_time: float, trace_id: str = ""
+    ) -> ServeResponse:
         response.latency_s = time.perf_counter() - start_time
+        response.trace_id = trace_id
         if response.ok:
             outcome = "degraded" if response.degraded else "ok"
         elif isinstance(response.error, Overloaded):
@@ -370,6 +441,16 @@ class CodecService:
             outcome = "deadline"
         else:
             outcome = "error"
+        if not response.ok or response.degraded:
+            flightrecorder.record(
+                "serving.request_" + ("degraded" if response.ok else "failed"),
+                kind=response.kind,
+                outcome=outcome,
+                error_type=response.error_type,
+                rung=response.rung,
+                trace=trace_id,
+                latency_ms=round(1e3 * response.latency_s, 3),
+            )
         self.slo.record(
             outcome,
             response.latency_s,

@@ -22,6 +22,7 @@ that got a usable answer.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, List
 
@@ -30,6 +31,23 @@ import repro.telemetry as telemetry
 __all__ = ["OUTCOMES", "SloTracker"]
 
 OUTCOMES = ("ok", "degraded", "shed", "deadline", "error")
+
+
+def _nearest_rank(samples: List[float], p: float) -> float:
+    """Nearest-rank percentile over *sorted* ``samples``.
+
+    The textbook definition: the smallest sample such that at least
+    ``p`` percent of the data is <= it, i.e. index ``ceil(p/100 * n)``
+    (1-based).  ``math.ceil`` rather than ``round`` matters: banker's
+    rounding maps (n=10, p=25) to rank 2 instead of 3, and on tiny
+    samples (n=1, n=2) rounding half-to-even made p50 collapse onto the
+    minimum.  p=0 is pinned to the minimum, and any p > 0 on a single
+    sample returns that sample.
+    """
+    if not samples:
+        return 0.0
+    rank = math.ceil(p / 100.0 * len(samples))
+    return samples[max(0, min(len(samples) - 1, rank - 1))]
 
 #: Reservoir cap: beyond this many samples, new latencies overwrite the
 #: oldest (ring buffer).  Soaks are well under it, so percentiles stay
@@ -101,10 +119,7 @@ class SloTracker:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
             samples = sorted(self._latencies)
-        if not samples:
-            return 0.0
-        rank = max(0, min(len(samples) - 1, round(p / 100.0 * len(samples)) - 1))
-        return samples[rank]
+        return _nearest_rank(samples, p)
 
     def snapshot(self) -> dict:
         """One JSON-ready dict: counts, availability, latency quantiles."""
@@ -116,12 +131,6 @@ class SloTracker:
             concealed = self._concealed
         total = sum(outcomes.values())
 
-        def _rank(p: float) -> float:
-            if not samples:
-                return 0.0
-            index = max(0, min(len(samples) - 1, round(p / 100.0 * len(samples)) - 1))
-            return samples[index]
-
         return {
             "requests": total,
             "outcomes": outcomes,
@@ -132,9 +141,10 @@ class SloTracker:
             "ladder_steps": ladder_steps,
             "concealed_tiles": concealed,
             "latency_ms": {
-                "p50": 1e3 * _rank(50.0),
-                "p90": 1e3 * _rank(90.0),
-                "p99": 1e3 * _rank(99.0),
+                "p50": 1e3 * _nearest_rank(samples, 50.0),
+                "p90": 1e3 * _nearest_rank(samples, 90.0),
+                "p99": 1e3 * _nearest_rank(samples, 99.0),
+                "p999": 1e3 * _nearest_rank(samples, 99.9),
                 "max": 1e3 * samples[-1] if samples else 0.0,
                 "mean": 1e3 * sum(samples) / len(samples) if samples else 0.0,
             },

@@ -32,6 +32,8 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 import numpy as np
 
 import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
+from repro.telemetry.propagate import TracedTask, count_lost_deltas, merge_delta
 from repro.parallel import (
     BrokenPoolError,
     ParallelConfig,
@@ -135,8 +137,16 @@ class Supervisor:
         stops cooperating on its own.  Transient failures (``retryable``)
         are retried with seeded backoff until the retry budget or the
         request deadline runs out; anything else propagates immediately.
+
+        With telemetry live on the calling thread, every attempt runs
+        under a child registry whose delta is merged back as a sibling
+        span (``attempt[0]``, ``attempt[1]``, ...) -- including
+        *failed* attempts, so a trace shows what each retry actually
+        did.  A hung attempt's delta is unrecoverable and is accounted
+        in ``telemetry.worker_deltas_lost``.
         """
         pool = get_executor(self._executor_config)
+        parent = telemetry.current()
         last_error: Optional[BaseException] = None
         attempts = 0
         for attempt in range(self.retry.max_retries + 1):
@@ -148,10 +158,27 @@ class Supervisor:
                 else deadline
             )
             attempts += 1
-            future = pool.submit(work, attempt_deadline)
+            if parent is not None:
+                task = TracedTask(
+                    work,
+                    ctx=parent.trace_ctx,
+                    trace=parent.trace,
+                    capture_error=True,
+                    root=f"attempt[{attempt}]",
+                )
+            else:
+                task = work
+            future = pool.submit(task, attempt_deadline)
             wait_s = effective_timeout(deadline, attempt_timeout_s)
             try:
-                result = future.result(timeout=wait_s)
+                outcome = future.result(timeout=wait_s)
+                if parent is not None:
+                    merge_delta(parent, outcome.delta, under=parent.current_path())
+                    if outcome.error is not None:
+                        raise outcome.error
+                    result = outcome.result
+                else:
+                    result = outcome
                 if attempt:
                     telemetry.count("serving.recovered_after_retry")
                 return result, attempts
@@ -159,15 +186,26 @@ class Supervisor:
                 future.cancel()
                 self.timeouts += 1
                 telemetry.count("serving.worker_timeouts")
+                count_lost_deltas(parent, 1)
                 last_error = WorkerTimeoutError(
                     f"attempt {attempt} exceeded {wait_s:.3f}s"
+                )
+                flightrecorder.record(
+                    "supervisor.timeout", attempt=attempt, wait_s=wait_s
                 )
             except retryable as exc:
                 if isinstance(exc, BrokenPoolError):
                     telemetry.count("serving.worker_crashes")
                 last_error = exc
+                flightrecorder.record(
+                    "supervisor.attempt_failed",
+                    attempt=attempt,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                )
             if attempt < self.retry.max_retries:
                 self.retries += 1
+                flightrecorder.record("supervisor.retry", attempt=attempt + 1)
                 self._backoff(attempt + 1, deadline)
         raise RetriesExhausted(
             f"work failed after {attempts} attempts: {last_error!r}",
@@ -230,6 +268,11 @@ class Supervisor:
                     if discarded or isinstance(exc, BrokenPoolError):
                         self.restarts += 1
                         telemetry.count("serving.pool_restarts")
+                        flightrecorder.record(
+                            "supervisor.pool_restart",
+                            pending=len(pending),
+                            error_type=type(exc).__name__,
+                        )
                 if isinstance(exc, WorkerTimeoutError):
                     self.timeouts += 1
                 continue

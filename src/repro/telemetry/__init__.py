@@ -39,7 +39,29 @@ from repro.telemetry.export import (
     chrome_trace,
     summary_table,
     to_json,
+    trace_tree,
     write_chrome_trace,
+)
+from repro.telemetry.flightrecorder import (
+    FlightRecorder,
+    dump_bundle,
+    get_recorder,
+)
+from repro.telemetry.metrics import (
+    METRICS_SCHEMA,
+    MetricsSnapshot,
+    PeriodicSnapshotter,
+    render_prometheus,
+)
+from repro.telemetry.propagate import (
+    TraceContext,
+    TracedOutcome,
+    TracedTask,
+    current_trace,
+    merge_delta,
+    mint_trace,
+    snapshot_delta,
+    trace_scope,
 )
 
 __all__ = [
@@ -47,20 +69,36 @@ __all__ = [
     "DECODE_STAGES",
     "DecodeStats",
     "EncodeStats",
+    "FlightRecorder",
     "Histogram",
     "MAX_TRACE_EVENTS",
+    "METRICS_SCHEMA",
+    "MetricsSnapshot",
+    "PeriodicSnapshotter",
     "Registry",
     "SpanStat",
+    "TraceContext",
+    "TracedOutcome",
+    "TracedTask",
     "chrome_trace",
     "count",
     "current",
+    "current_trace",
     "disable",
+    "dump_bundle",
     "enable",
     "enabled",
+    "get_recorder",
+    "merge_delta",
+    "mint_trace",
     "observe",
+    "render_prometheus",
     "session",
+    "snapshot_delta",
     "span",
     "summary_table",
     "to_json",
+    "trace_scope",
+    "trace_tree",
     "write_chrome_trace",
 ]

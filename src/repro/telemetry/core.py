@@ -151,6 +151,11 @@ class Registry:
         self.dropped_events = 0
         self.start = time.perf_counter()
         self._stack: List[str] = []
+        #: Active :class:`~repro.telemetry.propagate.TraceContext`, if a
+        #: request identity is being propagated (see ``trace_scope``).
+        #: Span events record its trace_id so cross-process/thread
+        #: merges can attribute work to the owning request.
+        self.trace_ctx = None
 
     # -- recording -----------------------------------------------------
 
@@ -221,6 +226,9 @@ class _Span:
         stat.total_s += duration
         if registry.trace:
             if len(registry.events) < MAX_TRACE_EVENTS:
+                args = {"path": self.path}
+                if registry.trace_ctx is not None:
+                    args["trace"] = registry.trace_ctx.trace_id
                 registry.events.append(
                     {
                         "name": self._name,
@@ -230,7 +238,7 @@ class _Span:
                         "dur": duration * 1e6,
                         "pid": 0,
                         "tid": threading.get_ident() & 0xFFFFFF,
-                        "args": {"path": self.path},
+                        "args": args,
                     }
                 )
             else:

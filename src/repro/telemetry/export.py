@@ -15,12 +15,13 @@ from __future__ import annotations
 import json
 from typing import List
 
-from repro.telemetry.core import Registry
+from repro.telemetry.core import MAX_TRACE_EVENTS, Registry
 
 __all__ = [
     "chrome_trace",
     "summary_table",
     "to_json",
+    "trace_tree",
     "write_chrome_trace",
 ]
 
@@ -33,8 +34,42 @@ def to_json(registry: Registry) -> dict:
             name: hist.to_dict() for name, hist in registry.histograms.items()
         },
         "spans": {path: stat.to_dict() for path, stat in registry.spans.items()},
+        "trace_events": len(registry.events),
         "dropped_events": registry.dropped_events,
+        "max_trace_events": MAX_TRACE_EVENTS,
     }
+
+
+def trace_tree(registry: Registry) -> dict:
+    """The span aggregates as a nested tree (the request trace tree).
+
+    Each node: ``{"name", "calls", "total_s", "children": [...]}``.
+    Paths like ``serving.encode/attempt[0]/frames.encode`` become the
+    obvious nesting; interior nodes that were never themselves a span
+    (only a reparenting point) carry zero calls.
+    """
+    root = {"name": "", "calls": 0, "total_s": 0.0, "children": []}
+    index = {"": root}
+    for path in sorted(registry.spans):
+        stat = registry.spans[path]
+        parts = path.split("/")
+        walked = ""
+        for part in parts:
+            child_path = f"{walked}/{part}" if walked else part
+            node = index.get(child_path)
+            if node is None:
+                node = {
+                    "name": part,
+                    "calls": 0,
+                    "total_s": 0.0,
+                    "children": [],
+                }
+                index[walked]["children"].append(node)
+                index[child_path] = node
+            walked = child_path
+        index[path]["calls"] = stat.calls
+        index[path]["total_s"] = stat.total_s
+    return root
 
 
 def chrome_trace(registry: Registry) -> dict:
@@ -104,8 +139,11 @@ def summary_table(registry: Registry) -> str:
                 f"{(hist.max if hist.count else 0.0):>10.3f}"
             )
 
-    if registry.dropped_events:
+    if registry.trace or registry.dropped_events:
         lines.append("")
-        lines.append(f"(dropped {registry.dropped_events} trace events past the cap)")
+        lines.append(
+            f"-- trace buffer: {len(registry.events)} events stored "
+            f"(cap {MAX_TRACE_EVENTS}), {registry.dropped_events} dropped --"
+        )
 
     return "\n".join(lines) if lines else "(telemetry registry is empty)"

@@ -1,0 +1,248 @@
+"""The perf-regression sentinel behind ``--check``.
+
+Covers the comparison semantics (self-normalized speedups, min-sample
+guards, divergence vs regression classification) and the CLI wiring
+(exit 0 against a freshly regenerated baseline, exit 3 against a
+doctored one, exit 2 on divergence).
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.bench import run_benchmark
+from repro.analysis.regression import (
+    EXIT_DIVERGENCE,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    compare_codec_bench,
+    compare_serving_bench,
+    format_comparison,
+)
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def fresh_doc():
+    """One real (tiny) bench run, reused by every test in the module."""
+    return run_benchmark(size_mb=0.0625, qps=(26.0,), workers=2, repeats=2)
+
+
+def _serving_doc(availability=1.0, requests=500, passed=True,
+                 p50=5.0, p99=50.0, shed=12):
+    slo = {
+        "requests": requests,
+        "availability": availability,
+        "latency_ms": {"p50": p50, "p99": p99},
+    }
+    return {
+        "chaos": {
+            "slo": dict(slo),
+            "invariant": {"passed": passed, "silent_corruptions": 0,
+                          "untyped_errors": 0},
+        },
+        "serve_bench": {
+            "sequential": dict(slo),
+            "burst": {
+                "threads": 8, "per_thread": 6, "elapsed_s": 0.3,
+                "slo": {"availability": 0.75, "requests": 48},
+                "broker": {"shed": shed},
+            },
+            "shed_typed": shed,
+        },
+    }
+
+
+class TestCodecComparison:
+    def test_fresh_vs_itself_passes(self, fresh_doc):
+        report = compare_codec_bench(fresh_doc, fresh_doc)
+        assert report["passed"] and report["exit_code"] == EXIT_OK
+        assert report["regressions"] == 0 and report["divergences"] == 0
+        # With matching config and repeats >= 2 the speedup floors and
+        # byte checks actually ran rather than all guarding out.
+        assert report["checked"] > 1
+
+    def test_doctored_speedup_baseline_regresses(self, fresh_doc):
+        doctored = copy.deepcopy(fresh_doc)
+        doctored["summary"]["mean_encode_speedup"] *= 10
+        report = compare_codec_bench(doctored, fresh_doc)
+        assert not report["passed"]
+        assert report["exit_code"] == EXIT_REGRESSION
+        metrics = [f["metric"] for f in report["findings"]
+                   if f["status"] == "regression"]
+        assert metrics == ["mean_encode_speedup"]
+
+    def test_slack_loosens_the_floor(self, fresh_doc):
+        doctored = copy.deepcopy(fresh_doc)
+        doctored["summary"]["mean_encode_speedup"] = (
+            fresh_doc["summary"]["mean_encode_speedup"] * 1.5
+        )
+        assert compare_codec_bench(
+            doctored, fresh_doc, slack=1.0)["exit_code"] == EXIT_REGRESSION
+        assert compare_codec_bench(
+            doctored, fresh_doc, slack=2.0)["exit_code"] == EXIT_OK
+
+    def test_divergent_fresh_run_is_divergence(self, fresh_doc):
+        broken = copy.deepcopy(fresh_doc)
+        broken["summary"]["all_identical"] = False
+        report = compare_codec_bench(fresh_doc, broken)
+        assert report["exit_code"] == EXIT_DIVERGENCE
+
+    def test_min_repeats_guard_skips_speedups(self, fresh_doc):
+        quick = copy.deepcopy(fresh_doc)
+        quick["config"]["repeats"] = 1
+        report = compare_codec_bench(fresh_doc, quick)
+        assert report["exit_code"] == EXIT_OK
+        skipped = [f for f in report["findings"] if f["status"] == "skipped"]
+        assert any("min-sample guard" in f["detail"] for f in skipped)
+
+    def test_config_mismatch_skips_not_compares(self, fresh_doc):
+        other = copy.deepcopy(fresh_doc)
+        other["config"]["size_mb"] = 99.0
+        other["summary"]["mean_encode_speedup"] = 1e9  # would regress
+        report = compare_codec_bench(other, fresh_doc)
+        assert report["exit_code"] == EXIT_OK
+        assert report["skipped"] >= 2
+
+    def test_grown_bytes_flagged(self, fresh_doc):
+        shrunk = copy.deepcopy(fresh_doc)
+        for row in shrunk["results"]:
+            for enc in row["encode"].values():
+                enc["bytes"] = int(enc["bytes"] * 0.5)
+        report = compare_codec_bench(shrunk, fresh_doc)
+        assert report["exit_code"] == EXIT_REGRESSION
+        assert any(f["metric"].endswith(".bytes")
+                   for f in report["findings"]
+                   if f["status"] == "regression")
+
+    def test_invalid_slack_rejected(self, fresh_doc):
+        with pytest.raises(ValueError):
+            compare_codec_bench(fresh_doc, fresh_doc, slack=0)
+
+    def test_format_names_failures(self, fresh_doc):
+        doctored = copy.deepcopy(fresh_doc)
+        doctored["summary"]["best_decode_speedup"] *= 10
+        text = format_comparison(compare_codec_bench(doctored, fresh_doc))
+        assert "REGRESSION" in text and "best_decode_speedup" in text
+        assert text.endswith("FAIL")
+
+
+class TestServingComparison:
+    def test_identical_docs_pass(self):
+        doc = _serving_doc()
+        report = compare_serving_bench(doc, doc)
+        assert report["passed"]
+
+    def test_availability_drop_regresses(self):
+        report = compare_serving_bench(
+            _serving_doc(availability=1.0), _serving_doc(availability=0.9),
+        )
+        assert report["exit_code"] == EXIT_REGRESSION
+
+    def test_contract_violation_is_divergence(self):
+        report = compare_serving_bench(
+            _serving_doc(), _serving_doc(passed=False),
+        )
+        assert report["exit_code"] == EXIT_DIVERGENCE
+
+    def test_tail_blowup_regresses(self):
+        report = compare_serving_bench(
+            _serving_doc(p50=5.0, p99=25.0),
+            _serving_doc(p50=5.0, p99=500.0),
+        )
+        assert report["exit_code"] == EXIT_REGRESSION
+        assert any(f["metric"].endswith(".tail")
+                   for f in report["findings"]
+                   if f["status"] == "regression")
+
+    def test_small_samples_guard(self):
+        report = compare_serving_bench(
+            _serving_doc(requests=10, availability=1.0),
+            _serving_doc(requests=10, availability=0.5),
+        )
+        assert report["exit_code"] == EXIT_OK
+        assert report["skipped"] >= 2
+
+    def test_missing_sections_skip(self):
+        report = compare_serving_bench({"chaos": None}, _serving_doc())
+        assert report["exit_code"] == EXIT_OK
+        assert report["skipped"] >= 1
+
+    def test_lost_shedding_flagged(self):
+        report = compare_serving_bench(
+            _serving_doc(shed=12), _serving_doc(shed=0),
+        )
+        assert report["exit_code"] == EXIT_REGRESSION
+
+
+class TestCliWiring:
+    """`--check` exit codes, with the expensive run stubbed out."""
+
+    def _patch_bench(self, monkeypatch, doc):
+        import repro.analysis.bench as bench
+
+        monkeypatch.setattr(bench, "run_benchmark",
+                            lambda **kw: copy.deepcopy(doc))
+
+    def test_bench_check_passes_against_fresh_baseline(
+            self, fresh_doc, tmp_path, monkeypatch, capsys):
+        self._patch_bench(monkeypatch, fresh_doc)
+        baseline = tmp_path / "BENCH_codec.json"
+        baseline.write_text(json.dumps(fresh_doc))
+        code = cli_main(["bench", "--check", "--baseline", str(baseline),
+                         "--repeats", "2"])
+        assert code == EXIT_OK
+        assert "verdict: PASS" in capsys.readouterr().out
+
+    def test_bench_check_fails_against_doctored_baseline(
+            self, fresh_doc, tmp_path, monkeypatch, capsys):
+        self._patch_bench(monkeypatch, fresh_doc)
+        doctored = copy.deepcopy(fresh_doc)
+        doctored["summary"]["mean_encode_speedup"] *= 10
+        baseline = tmp_path / "BENCH_codec.json"
+        baseline.write_text(json.dumps(doctored))
+        code = cli_main(["bench", "--check", "--baseline", str(baseline)])
+        assert code == EXIT_REGRESSION
+        assert "verdict: FAIL" in capsys.readouterr().out
+
+    def test_bench_check_divergence_exit(
+            self, fresh_doc, tmp_path, monkeypatch, capsys):
+        broken = copy.deepcopy(fresh_doc)
+        broken["summary"]["all_identical"] = False
+        self._patch_bench(monkeypatch, broken)
+        baseline = tmp_path / "BENCH_codec.json"
+        baseline.write_text(json.dumps(fresh_doc))
+        code = cli_main(["bench", "--check", "--baseline", str(baseline)])
+        assert code == EXIT_DIVERGENCE
+
+    def test_bench_check_missing_baseline(
+            self, fresh_doc, tmp_path, monkeypatch, capsys):
+        self._patch_bench(monkeypatch, fresh_doc)
+        code = cli_main(["bench", "--check",
+                         "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_serve_bench_check(self, tmp_path, monkeypatch, capsys):
+        import repro.serving.chaos as chaos
+
+        doc = _serving_doc()
+        monkeypatch.setattr(chaos, "run_serve_bench",
+                            lambda **kw: copy.deepcopy(doc["serve_bench"]))
+        baseline = tmp_path / "BENCH_serving.json"
+        baseline.write_text(json.dumps(doc))
+        code = cli_main(["serve-bench", "--check",
+                         "--baseline", str(baseline)])
+        assert code == EXIT_OK
+
+        doctored = copy.deepcopy(doc)
+        doctored["serve_bench"]["sequential"]["availability"] = 1.0
+        crippled = copy.deepcopy(doc["serve_bench"])
+        crippled["sequential"]["availability"] = 0.5
+        monkeypatch.setattr(chaos, "run_serve_bench",
+                            lambda **kw: copy.deepcopy(crippled))
+        baseline.write_text(json.dumps(doctored))
+        code = cli_main(["serve-bench", "--check",
+                         "--baseline", str(baseline)])
+        assert code == EXIT_REGRESSION

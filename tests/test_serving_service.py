@@ -214,6 +214,55 @@ class TestDeadlinesAndAdmission:
         service = make_service()
         service.encode(tensor, qp=26.0)
         stats = service.stats()
-        assert set(stats) == {"slo", "broker", "ladder", "supervisor"}
+        # The serving sections survive under their PR 4 keys; the
+        # document is now the llm265-metrics-v1 snapshot, which adds
+        # observability sections on top.
+        assert {"slo", "broker", "ladder", "supervisor"} <= set(stats)
+        assert stats["schema"] == "llm265-metrics-v1"
+        assert "counters" in stats and "recorder" in stats
         assert stats["slo"]["requests"] == 1
         assert stats["broker"]["admitted"] == 1
+
+    def test_worker_spans_land_under_the_request_trace(self, tensor):
+        """The tentpole acceptance check: encode work executed on
+        supervised worker threads shows up in the dispatcher's registry
+        as child spans of the owning request, and its span events carry
+        the request's trace id."""
+        import repro.telemetry as telemetry
+
+        service = make_service()
+        with telemetry.session(trace=True) as registry:
+            encoded = service.encode(tensor, qp=26.0)
+            assert encoded.ok
+            decoded = service.decode(encoded.value.to_bytes())
+            assert decoded.ok
+        assert encoded.trace_id.startswith("encode-")
+        assert decoded.trace_id.startswith("decode-")
+        assert encoded.trace_id != decoded.trace_id
+        # Worker-side codec spans, reparented under the request +
+        # attempt that dispatched them.
+        encode_paths = [p for p in registry.spans
+                        if p.startswith("serving.encode/attempt[")]
+        assert any("frames.encode" in p for p in encode_paths)
+        decode_paths = [p for p in registry.spans
+                        if p.startswith("serving.decode/attempt[")]
+        assert any("decode" in p.split("/", 2)[-1] for p in decode_paths)
+        # Every span event recorded inside the request carries its id.
+        for trace_id, root in ((encoded.trace_id, "serving.encode"),
+                               (decoded.trace_id, "serving.decode")):
+            tagged = [e for e in registry.events
+                      if e["args"].get("trace") == trace_id]
+            assert any(e["args"]["path"] == root for e in tagged)
+            assert any("/" in e["args"]["path"] for e in tagged), (
+                "worker-side events must be tagged too")
+        assert registry.counters["telemetry.worker_deltas_merged"] >= 2
+
+    def test_stats_matches_snapshot_type(self, tensor):
+        service = make_service()
+        service.encode(tensor, qp=26.0)
+        snapshot = service.snapshot()
+        assert snapshot.slo["requests"] == 1
+        assert service.stats().keys() == snapshot.to_dict().keys()
+        text = service.metrics_text()
+        assert 'llm265_slo_requests_total{outcome="ok"} 1' in text
+        assert "llm265_slo_availability 1.0" in text

@@ -217,7 +217,57 @@ class TestSloTracker:
         assert snap["ladder_steps"] == 1
         assert snap["concealed_tiles"] == 3
         assert set(snap["outcomes"]) == set(OUTCOMES)
-        assert set(snap["latency_ms"]) == {"p50", "p90", "p99", "max", "mean"}
+        assert set(snap["latency_ms"]) == {
+            "p50", "p90", "p99", "p999", "max", "mean",
+        }
+
+    def test_percentiles_empty_tracker(self):
+        slo = SloTracker()
+        assert slo.percentile(50.0) == 0.0
+        snap = slo.snapshot()
+        assert snap["latency_ms"]["p50"] == 0.0
+        assert snap["latency_ms"]["p999"] == 0.0
+
+    def test_percentiles_single_sample(self):
+        # n=1: every percentile IS the sample.  The old round()-based
+        # rank mapped p<50 to rank 0 via clamping but p50 itself relied
+        # on banker's rounding (round(0.5) == 0), which happened to
+        # work; ceil makes it principled.
+        slo = SloTracker()
+        slo.record("ok", 0.25)
+        for p in (0.0, 1.0, 50.0, 99.0, 99.9, 100.0):
+            assert slo.percentile(p) == pytest.approx(0.25)
+
+    def test_percentiles_two_samples(self):
+        # n=2: p50 is the lower sample (rank ceil(1)=1), anything
+        # above 50% is the upper.  round() got p75 wrong:
+        # round(1.5)-1 == 1 by luck, but round(2*0.25)=0 made p25
+        # clamp instead of rank.
+        slo = SloTracker()
+        slo.record("ok", 0.1)
+        slo.record("ok", 0.9)
+        assert slo.percentile(25.0) == pytest.approx(0.1)
+        assert slo.percentile(50.0) == pytest.approx(0.1)
+        assert slo.percentile(50.1) == pytest.approx(0.9)
+        assert slo.percentile(99.0) == pytest.approx(0.9)
+
+    def test_percentile_banker_rounding_regression(self):
+        # n=10, p=25 -> nearest-rank index ceil(2.5)=3 -> 3rd smallest.
+        # round(2.5) == 2 (half-to-even) used to return the 2nd.
+        slo = SloTracker()
+        for ms in range(1, 11):
+            slo.record("ok", ms / 1000.0)
+        assert slo.percentile(25.0) == pytest.approx(0.003)
+
+    def test_p999_tracks_the_tail(self):
+        slo = SloTracker()
+        for _ in range(990):
+            slo.record("ok", 0.001)
+        for _ in range(10):
+            slo.record("ok", 5.0)
+        snap = slo.snapshot()["latency_ms"]
+        assert snap["p99"] == pytest.approx(1.0)
+        assert snap["p999"] == pytest.approx(5000.0)
 
     def test_unknown_outcome_rejected(self):
         with pytest.raises(ValueError):
