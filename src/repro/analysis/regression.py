@@ -46,6 +46,7 @@ __all__ = [
     "EXIT_DIVERGENCE",
     "EXIT_OK",
     "EXIT_REGRESSION",
+    "compare_cluster_bench",
     "compare_codec_bench",
     "compare_serving_bench",
     "format_comparison",
@@ -71,6 +72,16 @@ TAIL_RATIO_FACTOR = 3.0
 #: Min-sample guards.
 MIN_REPEATS = 2  # best-of-1 timing is a coin flip
 MIN_REQUESTS = 100  # percentiles/availability need a population
+#: The hedge A/B's tracked statistic is ``p99_ratio`` (no-hedge p99 over
+#: hedged p99).  The *claim* is ratio > 1, but on a loaded single-core
+#: box the ratio swings widely run to run (the p99 of a few hundred
+#: requests moves with scheduler noise), so the sentinel only flags
+#: hedging that made the tail distinctly *worse*: fresh ratio below
+#: ``1 - HEDGE_RATIO_TOL * slack``.  Improvements of any size pass.
+HEDGE_RATIO_TOL = 0.30
+#: A hedge A/B whose hedged run fired fewer backups than this proves
+#: nothing either way; the check is skipped, not passed.
+MIN_HEDGES = 8
 
 
 class _Comparison:
@@ -297,6 +308,125 @@ def compare_serving_bench(baseline: dict, fresh: dict,
         else:
             cmp.ok("shed_typed", "typed shedding engaged (or baseline idle)",
                    bsb.get("shed_typed"), fsb.get("shed_typed"))
+    return cmp.report()
+
+
+# -- cluster bench (BENCH_cluster.json) ------------------------------------
+
+
+def compare_cluster_bench(baseline: dict, fresh: dict,
+                          slack: float = 1.0) -> dict:
+    """Check a fresh ``run_cluster_bench`` document against the baseline.
+
+    Gates, in order of severity:
+
+    - the fresh chaos section's invariant (contract violations through
+      shard kills) -- any violation is a **divergence**, exit 2;
+    - per-shard-count availability floors against the baseline sweep;
+    - per-shard-count tail amplification (p99/p50) ceilings;
+    - the hedge A/B: backups must actually fire, and the tracked
+      ``p99_ratio`` must not show hedging making the tail distinctly
+      worse (see ``HEDGE_RATIO_TOL`` for why the floor is loose).
+    """
+    cmp = _Comparison("cluster", slack)
+
+    if fresh.get("schema") != baseline.get("schema"):
+        cmp.skip("schema", f"schema changed "
+                 f"({baseline.get('schema')} -> {fresh.get('schema')}); "
+                 f"only correctness checked")
+
+    # -- chaos: the robustness claim ------------------------------------
+    bchaos, fchaos = baseline.get("chaos"), fresh.get("chaos")
+    if fchaos is None:
+        cmp.skip("chaos", "chaos section missing from fresh run")
+    else:
+        inv = fchaos.get("invariant", {})
+        violations = fchaos.get("violation_count",
+                                0 if inv.get("passed") else 1)
+        if violations or not inv.get("passed", False):
+            cmp.divergence(
+                "chaos.invariant",
+                "fresh cluster chaos run violated the typed-response "
+                f"contract ({violations} violations, "
+                f"availability {inv.get('availability', 0.0):.4f} vs "
+                f"slo {inv.get('availability_slo', 0.0):.3f})",
+            )
+        else:
+            cmp.ok("chaos.invariant",
+                   "contract held through shard kills "
+                   f"(availability {inv.get('availability', 0.0):.4f})")
+        if bchaos is not None:
+            _availability_check(
+                cmp, "chaos.availability",
+                {"requests": bchaos.get("requests", 0),
+                 "availability": bchaos.get("invariant", {}).get(
+                     "availability")},
+                {"requests": fchaos.get("requests", 0),
+                 "availability": inv.get("availability")},
+            )
+
+    # -- shard sweep: availability + tail shape per shard count ---------
+    bsweep = {p.get("shards"): p for p in baseline.get("shard_sweep", [])}
+    for point in fresh.get("shard_sweep", []):
+        shards = point.get("shards")
+        base_point = bsweep.get(shards)
+        if base_point is None:
+            continue
+        prefix = f"sweep[{shards}]"
+        if base_point.get("replication") != point.get("replication"):
+            cmp.skip(prefix, "replication factor differs between runs")
+            continue
+        _availability_check(cmp, f"{prefix}.availability",
+                            base_point, point)
+        _tail_check(cmp, f"{prefix}.tail", base_point, point)
+
+    # -- hedge A/B: the tail-at-scale claim -----------------------------
+    bhedge, fhedge = baseline.get("hedge"), fresh.get("hedge")
+    if fhedge is None or bhedge is None:
+        cmp.skip("hedge", "hedge section missing from "
+                 + ("fresh" if fhedge is None else "baseline"))
+        return cmp.report()
+
+    hedged_point = fhedge.get("hedged", {})
+    fired = hedged_point.get("router", {}).get("hedges", 0)
+    requests = min(hedged_point.get("requests", 0),
+                   fhedge.get("no_hedge", {}).get("requests", 0))
+    if requests < MIN_REQUESTS:
+        cmp.skip("hedge.p99_ratio",
+                 f"min-sample guard: requests={requests} < {MIN_REQUESTS}")
+    elif fired < MIN_HEDGES:
+        if bhedge.get("hedged", {}).get("router", {}).get(
+                "hedges", 0) >= MIN_HEDGES:
+            # Baseline fired plenty under the same workload: zero/few
+            # fresh hedges means the mechanism disengaged, not that the
+            # tail got quiet.
+            cmp.regression(
+                "hedge.fired",
+                f"only {fired} hedges fired (baseline "
+                f"{bhedge['hedged']['router']['hedges']}); "
+                "hedging appears disengaged",
+                bhedge["hedged"]["router"]["hedges"], fired,
+            )
+        else:
+            cmp.skip("hedge.p99_ratio",
+                     f"min-sample guard: hedges={fired} < {MIN_HEDGES}")
+    else:
+        ratio = fhedge.get("p99_ratio", 0.0)
+        floor = 1.0 - HEDGE_RATIO_TOL * slack
+        if ratio < floor:
+            cmp.regression(
+                "hedge.p99_ratio",
+                f"no-hedge/hedged p99 ratio {ratio:.2f} below floor "
+                f"{floor:.2f}: hedging made the tail distinctly worse",
+                bhedge.get("p99_ratio"), ratio,
+            )
+        else:
+            cmp.ok("hedge.p99_ratio",
+                   f"ratio {ratio:.2f} >= floor {floor:.2f} "
+                   f"({fired} hedges, "
+                   f"{hedged_point.get('router', {}).get('hedge_wins', 0)} "
+                   f"wins)",
+                   bhedge.get("p99_ratio"), ratio)
     return cmp.report()
 
 

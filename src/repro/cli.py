@@ -21,10 +21,14 @@ Subcommands:
 - ``chaos``      -- seeded chaos soak of the fault-tolerant serving
   layer; exit 2 on any silent corruption, untyped error, or
   availability below the SLO, printing the flight-recorder postmortem
-  bundle path on the way out
+  bundle path on the way out.  ``--cluster`` soaks the sharded cluster
+  instead, SIGKILL-style shard kills and hangs included
 - ``serve-bench`` -- healthy-path serving benchmark (sequential
   latency percentiles + typed-shedding overload burst); ``--check``
   compares against the tracked serving baseline
+- ``cluster-bench`` -- sharded-cluster ladder (shard sweep, hedge
+  on/off tail A/B, chaos verdict); ``--check`` compares against the
+  tracked ``BENCH_cluster.json`` baseline
 
 A global ``--trace out.json`` flag (before the subcommand) records a
 Chrome trace-event file of the run for ``chrome://tracing`` /
@@ -163,6 +167,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="drill: record one synthetic violation to exercise the "
              "postmortem path end to end (always exits 2)",
     )
+    chaos.add_argument(
+        "--cluster", action="store_true",
+        help="soak the sharded cluster instead of a single service "
+             "(shard kills + hangs mid-soak; same exit contract)",
+    )
+    chaos.add_argument("--shards", type=int, default=4,
+                       help="cluster shard count (with --cluster)")
+    chaos.add_argument("--kills", type=int, default=2,
+                       help="mid-soak shard kills (with --cluster)")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -186,6 +199,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --check: also run a chaos soak of this many requests "
              "so the baseline's chaos section is compared too (0 skips)",
     )
+
+    cluster_bench = sub.add_parser(
+        "cluster-bench",
+        help="sharded-cluster benchmark: shard sweep + hedge A/B + "
+             "chaos verdict",
+    )
+    cluster_bench.add_argument(
+        "--shard-counts", default="2,4,8",
+        help="comma-separated shard counts for the sweep",
+    )
+    cluster_bench.add_argument("--requests", type=int, default=1200,
+                               help="open-loop requests per sweep point")
+    cluster_bench.add_argument("--chaos-requests", type=int, default=2000,
+                               help="requests in the chaos section "
+                                    "(0 skips it)")
+    cluster_bench.add_argument("--seed", type=int, default=0)
+    cluster_bench.add_argument(
+        "--quick", action="store_true",
+        help="small sweep (2,4 shards x 300 requests, 400-request "
+             "chaos; CI smoke mode)",
+    )
+    cluster_bench.add_argument("--output", default=None,
+                               help="write the JSON result document here")
+    cluster_bench.add_argument(
+        "--check", action="store_true",
+        help="regression sentinel: compare against the tracked cluster "
+             "baseline (exit 3 on regression, 2 on divergence)",
+    )
+    cluster_bench.add_argument("--baseline", default="BENCH_cluster.json",
+                               help="baseline document for --check")
+    cluster_bench.add_argument("--slack", type=float, default=1.0,
+                               help="tolerance multiplier for --check")
     return parser
 
 
@@ -439,6 +484,30 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Exit 0 on a clean soak, 2 on any serving-contract violation."""
+    if args.cluster:
+        from repro.cluster.chaos import (
+            ClusterChaosConfig,
+            format_cluster_report,
+            run_cluster_chaos,
+        )
+
+        requests = 400 if args.quick else max(args.requests, 400)
+        report = run_cluster_chaos(
+            ClusterChaosConfig(
+                shards=args.shards,
+                requests=requests,
+                seed=args.seed,
+                kills=args.kills,
+                postmortem_dir=args.postmortem_dir or None,
+                force_violation=args.force_violation,
+            )
+        )
+        print(format_cluster_report(report))
+        if args.output:
+            _merge_json(args.output, "cluster_chaos", report)
+            print(f"wrote {args.output}")
+        return 0 if report["invariant"]["passed"] else 2
+
     from repro.serving.chaos import ChaosConfig, format_report, run_chaos
 
     requests = 120 if args.quick else args.requests
@@ -501,6 +570,58 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from repro.cluster.bench import format_cluster_bench, run_cluster_bench
+
+    if args.quick:
+        shard_counts = [2, 4]
+        requests = 300
+        chaos_requests = min(args.chaos_requests, 400)
+        hedge_trials = 1
+    else:
+        shard_counts = [int(v) for v in args.shard_counts.split(",")]
+        requests = args.requests
+        chaos_requests = args.chaos_requests
+        hedge_trials = 3
+    doc = run_cluster_bench(
+        shard_counts=shard_counts,
+        requests=requests,
+        seed=args.seed,
+        hedge_trials=hedge_trials,
+        include_chaos=chaos_requests > 0,
+        chaos_requests=chaos_requests,
+        progress=lambda message: print(f"... {message}", flush=True),
+    )
+    print(format_cluster_bench(doc))
+    if args.output:
+        import json
+
+        with open(args.output, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        from repro.analysis.regression import (
+            compare_cluster_bench,
+            format_comparison,
+            load_baseline,
+        )
+
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        comparison = compare_cluster_bench(baseline, doc, slack=args.slack)
+        print(format_comparison(comparison))
+        return comparison["exit_code"]
+    chaos = doc.get("chaos")
+    if chaos is not None and not chaos["invariant"]["passed"]:
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -512,6 +633,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
     "serve-bench": _cmd_serve_bench,
+    "cluster-bench": _cmd_cluster_bench,
 }
 
 

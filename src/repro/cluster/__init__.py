@@ -1,0 +1,43 @@
+"""Sharded cluster serving for the codec.
+
+One :class:`~repro.cluster.router.ClusterRouter` fronts N
+:class:`~repro.cluster.shard.ClusterShard` instances (each a full
+:class:`~repro.serving.service.CodecService`):
+
+- :mod:`repro.cluster.ring` -- consistent-hash routing with virtual
+  nodes; ``tensor_id`` picks the replica set, membership changes move
+  only the departed shard's key range.
+- :mod:`repro.cluster.health` -- per-shard breaker + failure-rate
+  EWMA; unhealthy shards are drained from the ring and re-admitted by
+  bounded probes.
+- :mod:`repro.cluster.router` -- replication with failover, hedged
+  requests (p99-derived delay, commit-once dedupe), the typed cluster
+  response contract.
+- :mod:`repro.cluster.traffic` -- open-loop workload generation
+  (bursty/diurnal arrivals, session affinity, mixed tensor sizes).
+- :mod:`repro.cluster.chaos` -- shard-kill/hang soak asserting the
+  typed-response contract and the availability SLO.
+- :mod:`repro.cluster.bench` -- the tracked ``BENCH_cluster.json``
+  ladder (shard sweep, hedge-on/off tail comparison, chaos verdict).
+"""
+
+from repro.cluster.health import ShardHealth
+from repro.cluster.ring import HashRing
+from repro.cluster.router import (
+    ClusterConfig,
+    ClusterResponse,
+    ClusterRouter,
+    ClusterUnavailable,
+)
+from repro.cluster.shard import ClusterShard, ShardDown
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterResponse",
+    "ClusterRouter",
+    "ClusterShard",
+    "ClusterUnavailable",
+    "HashRing",
+    "ShardDown",
+    "ShardHealth",
+]

@@ -1,0 +1,143 @@
+"""Consistent-hash ring: tensor-id -> shard, stable under membership churn.
+
+The router places every shard on a hash circle at ``vnodes`` points
+(virtual nodes), and a key is served by the first shard clockwise from
+the key's own hash point.  The property the cluster layer buys with
+this -- and the property the rebalancing tests pin -- is **bounded
+churn**: removing one shard reassigns *only* the keys that shard
+owned (they slide to their next-clockwise neighbour), and re-adding it
+restores the exact original assignment.  A modulo-N table would
+instead reshuffle nearly every key on every membership change, which
+under replication means a cluster-wide cold start each time a shard
+is drained.
+
+Virtual nodes smooth the ring: with one point per shard the arc
+lengths (and so the load split) are wildly uneven; with 64 points per
+shard the per-shard key share concentrates near 1/N.  Hashing is
+``blake2b`` over the printable token, so the placement is
+deterministic across processes and platforms -- a requirement for
+seeded chaos runs to replay bit-for-bit.
+
+Replication reads the same circle: the R replicas of a key are the
+first R *distinct* shards clockwise from the key point, so replica
+sets stay as stable under churn as primaries do.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _point(token: str) -> int:
+    """Deterministic 64-bit ring position of ``token``."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Sorted-circle consistent hashing with virtual nodes.
+
+    Not thread-safe by itself; the router serialises membership
+    changes and lookups under its own lock (lookups are a ``bisect``
+    over a tuple, so holding the lock is cheap).
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[int] = []  # sorted ring positions
+        self._owners: List[str] = []  # shard id at each position
+        self._shards: Dict[str, List[int]] = {}  # shard -> its positions
+
+    # -- membership ----------------------------------------------------
+
+    def add(self, shard_id: str) -> None:
+        """Place ``shard_id`` on the ring (idempotent)."""
+        if shard_id in self._shards:
+            return
+        positions = []
+        for vnode in range(self.vnodes):
+            point = _point(f"{shard_id}#{vnode}")
+            index = bisect.bisect_left(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard_id)
+            positions.append(point)
+        self._shards[shard_id] = positions
+
+    def remove(self, shard_id: str) -> None:
+        """Take ``shard_id`` off the ring (idempotent)."""
+        if shard_id not in self._shards:
+            return
+        for point in self._shards.pop(shard_id):
+            index = bisect.bisect_left(self._points, point)
+            # Hash collisions between distinct tokens are possible in
+            # principle; scan forward to the entry this shard owns.
+            while self._owners[index] != shard_id:
+                index += 1
+            del self._points[index]
+            del self._owners[index]
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    # -- lookup --------------------------------------------------------
+
+    def replicas(self, key: str, r: int = 1) -> Tuple[str, ...]:
+        """First ``r`` distinct shards clockwise from ``key``'s point.
+
+        Returns fewer than ``r`` entries when the ring holds fewer
+        shards, and ``()`` on an empty ring -- the router turns that
+        into a typed cluster-unavailable error rather than raising
+        here.
+        """
+        if r < 1:
+            raise ValueError("r must be >= 1")
+        if not self._points:
+            return ()
+        found: List[str] = []
+        start = bisect.bisect_right(self._points, _point(key))
+        total = len(self._points)
+        for step in range(total):
+            owner = self._owners[(start + step) % total]
+            if owner not in found:
+                found.append(owner)
+                if len(found) == r or len(found) == len(self._shards):
+                    break
+        return tuple(found)
+
+    def primary(self, key: str) -> str:
+        """The single owning shard of ``key`` (ring must be non-empty)."""
+        owners = self.replicas(key, 1)
+        if not owners:
+            raise LookupError("hash ring is empty")
+        return owners[0]
+
+    def assignment(
+        self, keys: Iterable[str], r: int = 1
+    ) -> Dict[str, Tuple[str, ...]]:
+        """Replica sets for many keys at once (for churn accounting)."""
+        return {key: self.replicas(key, r) for key in keys}
+
+    def load_split(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each shard owns as primary."""
+        split = {shard: 0 for shard in self._shards}
+        for key in keys:
+            split[self.primary(key)] += 1
+        return split
+
+    def __repr__(self) -> str:
+        return (
+            f"HashRing({len(self._shards)} shards x {self.vnodes} vnodes)"
+        )

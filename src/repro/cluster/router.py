@@ -1,0 +1,829 @@
+"""`ClusterRouter`: consistent-hash routing, replication, hedging, health.
+
+The router is the cluster's single client-facing entry point.  One
+request flows through four mechanisms, each bounded and observable:
+
+1. **Routing.**  ``tensor_id`` hashes onto the ring
+   (:mod:`repro.cluster.ring`); the first R distinct shards clockwise
+   are the request's replica set.  Unhealthy shards are *not on the
+   ring* (see 4), so routing never has to ask "is this target up" --
+   membership is the health statement.
+
+2. **Replication & failover.**  The primary replica is dispatched
+   first.  A shard-level failure (:class:`ShardDown`, exhausted
+   retries, overload) fails over to the next replica *inside the same
+   request*; deterministic failures (corrupt payload, malformed
+   request) commit immediately -- they would fail identically
+   everywhere, and retrying them against more shards is how retry
+   storms start.
+
+3. **Hedging.**  If the primary has not answered within the hedge
+   delay -- the router's own observed p99, floored and refreshed as
+   latency moves -- a backup of the same request fires at the next
+   replica.  First *success* wins; at most one result is ever
+   committed per request id (the commit cell is the dedupe point: a
+   supervisor-retried primary and its hedge can both complete, and the
+   loser is cancelled if still queued, or discarded and counted if it
+   already ran).
+
+4. **Health.**  Every attempt outcome feeds the shard's
+   :class:`~repro.cluster.health.ShardHealth` (breaker +
+   failure-rate EWMA).  An unhealthy shard is drained from the ring
+   (bounded churn: only its key range moves) and re-admitted by a
+   bounded probe request once its breaker half-opens -- the probe
+   carries a short child deadline so a hung shard costs
+   ``probe_timeout_s``, never a wedged probe path.
+
+Work executes on a router-owned thread pool; every dispatch is wrapped
+in a :class:`~repro.telemetry.propagate.TracedTask` carrying the
+request's trace context, so shard-side spans merge back under the
+router's trace id (the winner's delta is merged; losers are accounted
+in ``telemetry.worker_deltas_lost``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
+from repro.telemetry.propagate import (
+    TracedTask,
+    count_lost_deltas,
+    merge_delta,
+    mint_trace,
+    trace_scope,
+)
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.resilience.errors import ConcealmentReport, CorruptStreamError
+from repro.serving.broker import Overloaded
+from repro.serving.service import ServeResponse, ServiceConfig
+from repro.serving.slo import SloTracker, _nearest_rank
+from repro.cluster.health import ShardHealth
+from repro.cluster.ring import HashRing
+from repro.cluster.shard import ClusterShard, ShardDown
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterResponse",
+    "ClusterRouter",
+    "ClusterUnavailable",
+]
+
+FaultGate = Callable[[str], None]
+
+#: Failures that are the *request's* fault, not the shard's: they fail
+#: identically on every replica, so the router commits them instead of
+#: failing over (and they teach shard health nothing).
+DETERMINISTIC_ERRORS = (CorruptStreamError, ValueError)
+
+
+class ClusterUnavailable(RuntimeError):
+    """Typed cluster-level rejection: no shard exists to serve the key."""
+
+
+@dataclass
+class ClusterConfig:
+    """Operating envelope of one :class:`ClusterRouter`."""
+
+    shards: int = 4
+    #: Replica-set size R: how many distinct shards can serve each key.
+    replication: int = 2
+    #: Virtual nodes per shard (ring smoothness / churn bound).
+    vnodes: int = 32
+    #: End-to-end request budget (overridable per request).
+    deadline_s: float = 2.0
+    # -- hedging ------------------------------------------------------
+    hedge: bool = True
+    #: Fixed hedge delay; ``None`` derives it from the router's own
+    #: achieved latency distribution at :attr:`hedge_quantile`.
+    hedge_delay_s: Optional[float] = None
+    #: Quantile of achieved (committed) latency the backup fires at.
+    #: 95 is the Dean & Barroso tail-at-scale policy: firing at p95
+    #: costs ~5% extra load and is what *cuts* p99 -- firing at p99
+    #: itself can only improve quantiles above p99, and an estimator
+    #: fed by requests the hedge failed to rescue drifts up into the
+    #: very tail it should beat.
+    hedge_quantile: float = 95.0
+    #: Floor for the derived delay (never hedge into the median).
+    hedge_min_delay_s: float = 0.005
+    #: Delay used until enough latency samples exist for the quantile.
+    hedge_initial_delay_s: float = 0.05
+    #: Cap on hedges as a fraction of requests (plus a small burst
+    #: allowance).  Hedging amplifies load at exactly the wrong moment:
+    #: during a congestion burst the quantile estimator lags, "slow"
+    #: requests are suddenly everywhere, and unbudgeted hedges double
+    #: the offered work against an already saturated cluster -- the
+    #: storm then *creates* the tail it was meant to cut.  The budget
+    #: bounds that amplification; denials are counted.
+    hedge_budget: float = 0.1
+    #: Extra hedges allowed beyond the fraction (startup / short bursts).
+    hedge_budget_burst: int = 8
+    # -- health -------------------------------------------------------
+    failure_threshold: int = 3
+    cooldown_s: float = 0.5
+    ewma_alpha: float = 0.2
+    ewma_unhealthy: float = 0.5
+    #: Budget of one half-open probe (the child deadline a probe
+    #: carries so a hung shard cannot wedge the re-admission path).
+    probe_timeout_s: float = 0.25
+    # -- per-shard service envelope -----------------------------------
+    tile: int = 32
+    default_qp: float = 26.0
+    #: Longer than the single-service default: the in-process shards
+    #: share one GIL, so a healthy-but-contended attempt easily runs
+    #: several times its solo latency -- a short timeout here turns
+    #: load into a retry spiral instead of a queue.
+    attempt_timeout_s: float = 1.0
+    shard_max_inflight: int = 4
+    #: Deep enough to absorb open-loop bursts; the deadline, not the
+    #: queue bound, is what limits worst-case latency.
+    shard_max_queue: int = 64
+    supervisor_workers: int = 16
+    # -- plumbing -----------------------------------------------------
+    #: Dispatch-pool size; 0 sizes it from the shard envelope.
+    io_workers: int = 0
+    seed: int = 0
+
+    def resolved_io_workers(self) -> int:
+        if self.io_workers > 0:
+            return self.io_workers
+        return max(8, self.shards * (self.shard_max_inflight + 1))
+
+    def service_config(self, shard_index: int) -> ServiceConfig:
+        return ServiceConfig(
+            tile=self.tile,
+            default_qp=self.default_qp,
+            deadline_s=self.deadline_s,
+            attempt_timeout_s=self.attempt_timeout_s,
+            max_inflight=self.shard_max_inflight,
+            max_queue=self.shard_max_queue,
+            supervisor_workers=self.supervisor_workers,
+            seed=self.seed + shard_index,
+        )
+
+
+@dataclass
+class ClusterResponse:
+    """The one shape every cluster request resolves to."""
+
+    ok: bool
+    kind: str  # "encode" | "decode"
+    request_id: int = 0
+    value: object = None
+    degraded: bool = False
+    error: Optional[BaseException] = None
+    shard: str = ""  # shard whose result was committed
+    rung: str = ""  # ladder rung the committed shard served from
+    hedged: bool = False  # a backup dispatch fired
+    hedge_won: bool = False  # ...and its result was the one committed
+    failovers: int = 0  # replica-to-replica failover dispatches
+    concealed: int = 0
+    report: Optional[ConcealmentReport] = None
+    latency_s: float = 0.0
+    trace_id: str = ""
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__ if self.error is not None else ""
+
+    def summary(self) -> str:
+        if self.ok:
+            flags = "".join(
+                flag
+                for flag, on in (
+                    (" DEGRADED", self.degraded),
+                    (" hedged", self.hedged),
+                    (" hedge-won", self.hedge_won),
+                )
+                if on
+            )
+            return (
+                f"{self.kind} ok shard={self.shard} rung={self.rung}{flags} "
+                f"failovers={self.failovers} {1e3 * self.latency_s:.1f}ms"
+            )
+        return (
+            f"{self.kind} {self.error_type}: {self.error} "
+            f"({1e3 * self.latency_s:.1f}ms)"
+        )
+
+
+class _Request:
+    """Per-request dispatch state; the commit cell is the dedupe point."""
+
+    __slots__ = (
+        "request_id", "kind", "ctx", "deadline", "candidates", "call",
+        "lock", "event", "tried", "pending", "futures", "committed",
+        "winner_shard", "winner_hedge", "winner_delta", "failovers",
+        "hedged", "dispatched", "cancelled", "last_error",
+    )
+
+    def __init__(self, request_id, kind, ctx, deadline, candidates, call):
+        self.request_id = request_id
+        self.kind = kind
+        self.ctx = ctx
+        self.deadline = deadline
+        self.candidates: Tuple[str, ...] = candidates
+        self.call = call
+        self.lock = threading.Lock()
+        self.event = threading.Event()
+        self.tried: set = set()
+        self.pending = 0
+        self.futures: List[Future] = []
+        self.committed: Optional[ServeResponse] = None
+        self.winner_shard = ""
+        self.winner_hedge = False
+        self.winner_delta: Optional[dict] = None
+        self.failovers = 0
+        self.hedged = False
+        self.dispatched = 0
+        self.cancelled = 0
+        self.last_error: Optional[BaseException] = None
+
+
+class ClusterRouter:
+    """N codec shards behind one hashed, replicated, hedged front door."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        shards: Optional[List[ClusterShard]] = None,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        if shards is None:
+            shards = [
+                ClusterShard(f"shard-{i}", cfg.service_config(i))
+                for i in range(cfg.shards)
+            ]
+        if not shards:
+            raise ValueError("need at least one shard")
+        self._shards: Dict[str, ClusterShard] = {
+            shard.shard_id: shard for shard in shards
+        }
+        self._lock = threading.Lock()
+        self.ring = HashRing(vnodes=cfg.vnodes)
+        self.health: Dict[str, ShardHealth] = {}
+        for shard_id in self._shards:
+            self.ring.add(shard_id)
+            self.health[shard_id] = ShardHealth(
+                shard_id,
+                failure_threshold=cfg.failure_threshold,
+                cooldown_s=cfg.cooldown_s,
+                ewma_alpha=cfg.ewma_alpha,
+                ewma_unhealthy=cfg.ewma_unhealthy,
+            )
+        self.slo = SloTracker()
+        self._executor = ThreadPoolExecutor(
+            max_workers=cfg.resolved_io_workers(),
+            thread_name_prefix="cluster-io",
+        )
+        self._request_ids = itertools.count(1)
+        # Latency reservoir feeding the derived hedge delay.
+        self._latencies: deque = deque(maxlen=512)
+        self._hedge_cache: Tuple[int, float] = (-1, cfg.hedge_initial_delay_s)
+        # Router-level counters, lock-protected so executor threads (no
+        # thread-local telemetry registry) never lose an event.
+        self.counters: Dict[str, int] = {
+            name: 0
+            for name in (
+                "requests", "hedges", "hedge_wins",
+                "hedges_denied_budget", "failovers",
+                "losers_cancelled", "losers_discarded",
+                "duplicate_results_dropped", "probes", "probe_timeouts",
+                "shard_drained", "shard_readmitted", "no_healthy_shards",
+            )
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def shard(self, shard_id: str) -> ClusterShard:
+        return self._shards[shard_id]
+
+    @property
+    def shard_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._shards))
+
+    # -- public API ----------------------------------------------------
+
+    def encode(
+        self,
+        tensor: np.ndarray,
+        tensor_id: str,
+        qp: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+    ) -> ClusterResponse:
+        """Route one encode; never raises, always a :class:`ClusterResponse`."""
+
+        def call(shard: ClusterShard, budget_s: float, ctx) -> ServeResponse:
+            return shard.encode(
+                tensor, qp=qp, deadline_s=budget_s,
+                fault_gate=fault_gate, trace_ctx=ctx,
+            )
+
+        return self._route("encode", tensor_id, call, deadline_s)
+
+    def decode(
+        self,
+        blob: bytes,
+        tensor_id: str,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+    ) -> ClusterResponse:
+        """Route one decode; replicas fan in via hedging on the same key."""
+
+        def call(shard: ClusterShard, budget_s: float, ctx) -> ServeResponse:
+            return shard.decode(
+                blob, deadline_s=budget_s,
+                fault_gate=fault_gate, trace_ctx=ctx,
+            )
+
+        return self._route("decode", tensor_id, call, deadline_s)
+
+    # -- request machinery ---------------------------------------------
+
+    def _route(
+        self,
+        kind: str,
+        key: str,
+        call: Callable[[ClusterShard, float, object], ServeResponse],
+        deadline_s: Optional[float],
+    ) -> ClusterResponse:
+        cfg = self.config
+        start_time = time.perf_counter()
+        deadline = Deadline.after(
+            deadline_s if deadline_s is not None else cfg.deadline_s,
+            label=f"cluster.{kind}",
+        )
+        ctx = mint_trace(f"cluster-{kind}", budget_s=deadline.remaining())
+        request_id = next(self._request_ids)
+        self._count("requests")
+        with trace_scope(ctx), telemetry.span(f"cluster.{kind}"):
+            self._maybe_probe(deadline)
+            candidates = self._candidates(key)
+            if not candidates:
+                response = ClusterResponse(
+                    ok=False, kind=kind, request_id=request_id,
+                    error=ClusterUnavailable("no shards configured"),
+                )
+                return self._finish(response, start_time, ctx.trace_id)
+            req = _Request(request_id, kind, ctx, deadline, candidates, call)
+            self._dispatch(req, candidates[0], is_hedge=False)
+            self._await(req)
+            response = self._resolve(req)
+            if req.winner_delta is not None:
+                parent = telemetry.current()
+                if parent is not None:
+                    merge_delta(
+                        parent, req.winner_delta,
+                        under=parent.current_path(),
+                        trace_id=ctx.trace_id,
+                    )
+            with req.lock:
+                lost = req.dispatched - req.cancelled - (
+                    1 if req.winner_delta is not None else 0
+                )
+            count_lost_deltas(telemetry.current(), lost)
+        return self._finish(response, start_time, ctx.trace_id)
+
+    def _await(self, req: _Request) -> None:
+        """Block until commit, firing the hedge when its delay elapses."""
+        cfg = self.config
+        hedge_possible = cfg.hedge and len(req.candidates) > 1
+        if hedge_possible:
+            delay = min(self._hedge_delay(), req.deadline.remaining())
+            if not req.event.wait(timeout=delay):
+                self._fire_hedge(req)
+        if not req.event.wait(timeout=req.deadline.remaining()):
+            # Request-level budget gone with results still in flight.
+            self._offer(
+                req, "", ServeResponse(
+                    ok=False, kind=req.kind,
+                    error=DeadlineExceeded(
+                        f"cluster.{req.kind} deadline exceeded with "
+                        f"{len(req.tried)} dispatch(es) in flight"
+                    ),
+                ),
+                delta=None, is_hedge=False,
+            )
+
+    def _fire_hedge(self, req: _Request) -> None:
+        cfg = self.config
+        with self._lock:
+            budget = (
+                cfg.hedge_budget * self.counters["requests"]
+                + cfg.hedge_budget_burst
+            )
+            if self.counters["hedges"] >= budget:
+                self._count_locked("hedges_denied_budget")
+                return
+        with req.lock:
+            if req.committed is not None:
+                return
+            target = next(
+                (sid for sid in req.candidates if sid not in req.tried), None
+            )
+            if target is None:
+                return
+            req.hedged = True
+        self._count("hedges")
+        telemetry.count("cluster.hedges")
+        flightrecorder.record(
+            "cluster.hedge_fired",
+            request=req.request_id, kind=req.kind, shard=target,
+            trace=req.ctx.trace_id,
+        )
+        self._dispatch(req, target, is_hedge=True)
+
+    def _candidates(self, key: str) -> Tuple[str, ...]:
+        cfg = self.config
+        with self._lock:
+            found = self.ring.replicas(key, cfg.replication)
+            if found:
+                return found
+            # Every shard is drained: last resort is trying *somebody*
+            # (the broker refuses on load; the router never refuses on
+            # health alone -- a wrong guess costs one failover).
+            self._count_locked("no_healthy_shards")
+            flightrecorder.record("cluster.no_healthy_shards")
+            return tuple(sorted(self._shards))[: cfg.replication]
+
+    def _dispatch(self, req: _Request, shard_id: str, is_hedge: bool) -> bool:
+        """Send ``req`` to ``shard_id`` (at most once per shard per request)."""
+        with req.lock:
+            if req.committed is not None or shard_id in req.tried:
+                return False
+            req.tried.add(shard_id)
+            req.pending += 1
+            req.dispatched += 1
+        parent = telemetry.current()
+        trace = bool(parent is not None and parent.trace)
+
+        def work() -> ServeResponse:
+            shard = self._shards[shard_id]
+            return req.call(shard, req.deadline.remaining(), req.ctx)
+
+        root = f"shard[{shard_id}]" + ("/hedge" if is_hedge else "")
+        task = TracedTask(
+            work, ctx=req.ctx, trace=trace, capture_error=True, root=root
+        )
+        future = self._executor.submit(self._run_dispatch, req, shard_id,
+                                       task, is_hedge)
+        with req.lock:
+            req.futures.append(future)
+        return True
+
+    def _run_dispatch(
+        self, req: _Request, shard_id: str, task: TracedTask, is_hedge: bool
+    ) -> None:
+        outcome = task()
+        if outcome.error is not None:
+            # The shard wrapper never raises; anything here is a router
+            # bug surfacing -- treat it as a shard-level failure so the
+            # request still resolves typed.
+            response = ServeResponse(
+                ok=False, kind=req.kind,
+                error=RuntimeError(f"dispatch failed: {outcome.error!r}"),
+            )
+        else:
+            response = outcome.result
+        self._on_result(req, shard_id, response, outcome.delta, is_hedge)
+
+    def _on_result(
+        self,
+        req: _Request,
+        shard_id: str,
+        response: ServeResponse,
+        delta: Optional[dict],
+        is_hedge: bool,
+    ) -> None:
+        shard_failure = self._record_health(shard_id, response)
+        if response.ok or isinstance(response.error, DETERMINISTIC_ERRORS):
+            self._offer(req, shard_id, response, delta, is_hedge)
+        elif isinstance(response.error, DeadlineExceeded):
+            # The shard ran out of the *request's* budget; another
+            # replica has no more time than this one did.
+            self._offer(req, shard_id, response, delta, is_hedge)
+        else:
+            with req.lock:
+                req.last_error = response.error
+            if shard_failure:
+                self._failover(req, shard_id)
+        with req.lock:
+            req.pending -= 1
+            exhausted = (
+                req.committed is None
+                and req.pending == 0
+                and all(sid in req.tried for sid in req.candidates)
+            )
+        if exhausted:
+            self._offer(
+                req, shard_id, ServeResponse(
+                    ok=False, kind=req.kind,
+                    error=req.last_error
+                    or ClusterUnavailable("all replicas failed"),
+                ),
+                delta=None, is_hedge=is_hedge,
+            )
+
+    def _failover(self, req: _Request, failed_shard: str) -> None:
+        if req.deadline.expired():
+            return
+        with req.lock:
+            if req.committed is not None:
+                return
+            target = next(
+                (sid for sid in req.candidates if sid not in req.tried), None
+            )
+        if target is None:
+            return
+        self._count("failovers")
+        telemetry.count("cluster.failovers")
+        flightrecorder.record(
+            "cluster.failover",
+            request=req.request_id, kind=req.kind,
+            failed=failed_shard, target=target, trace=req.ctx.trace_id,
+        )
+        with req.lock:
+            req.failovers += 1
+        self._dispatch(req, target, is_hedge=False)
+
+    def _offer(
+        self,
+        req: _Request,
+        shard_id: str,
+        response: ServeResponse,
+        delta: Optional[dict],
+        is_hedge: bool,
+    ) -> None:
+        """Commit at most one result per request id (the dedupe point)."""
+        with req.lock:
+            if req.committed is not None:
+                # A loser arrived after the commit: drop it, loudly.
+                self._count("losers_discarded")
+                if response.ok:
+                    self._count("duplicate_results_dropped")
+                flightrecorder.record(
+                    "cluster.duplicate_result_dropped",
+                    request=req.request_id, shard=shard_id,
+                    ok=response.ok, hedge=is_hedge,
+                    trace=req.ctx.trace_id,
+                )
+                return
+            req.committed = response
+            req.winner_shard = shard_id
+            req.winner_hedge = is_hedge
+            req.winner_delta = delta
+            pending = [f for f in req.futures if not f.done()]
+        # Cancel losers still queued; the ones already running are
+        # discarded (and counted) when they complete.
+        cancelled = sum(1 for future in pending if future.cancel())
+        if cancelled:
+            self._count("losers_cancelled", cancelled)
+            flightrecorder.record(
+                "cluster.losers_cancelled",
+                request=req.request_id, cancelled=cancelled,
+                trace=req.ctx.trace_id,
+            )
+            with req.lock:
+                req.cancelled += cancelled
+        if is_hedge and response.ok:
+            self._count("hedge_wins")
+            flightrecorder.record(
+                "cluster.hedge_win",
+                request=req.request_id, shard=shard_id,
+                trace=req.ctx.trace_id,
+            )
+        req.event.set()
+
+    def _resolve(self, req: _Request) -> ClusterResponse:
+        committed = req.committed
+        assert committed is not None  # _await always offers something
+        return ClusterResponse(
+            ok=committed.ok,
+            kind=req.kind,
+            request_id=req.request_id,
+            value=committed.value,
+            degraded=committed.degraded,
+            error=committed.error,
+            shard=req.winner_shard,
+            rung=committed.rung,
+            hedged=req.hedged,
+            hedge_won=req.winner_hedge and req.hedged,
+            failovers=req.failovers,
+            concealed=committed.concealed,
+            report=committed.report,
+            trace_id=req.ctx.trace_id,
+        )
+
+    # -- health / ring maintenance -------------------------------------
+
+    def _record_health(
+        self, shard_id: str, response: ServeResponse
+    ) -> bool:
+        """Fold one outcome into shard health; True if a shard failure."""
+        if not shard_id:
+            return False
+        with self._lock:
+            health = self.health[shard_id]
+            if response.ok:
+                health.record(True)
+                self._sync_ring_locked(shard_id)
+                return False
+            if isinstance(response.error, DETERMINISTIC_ERRORS):
+                health.record(False, infrastructure=False)
+                return False
+            if isinstance(response.error, DeadlineExceeded):
+                # Budget expiry is usually the request's problem, but
+                # it is weak evidence of slowness: EWMA only.
+                health.record_load_failure()
+                self._sync_ring_locked(shard_id)
+                return False
+            if isinstance(response.error, Overloaded):
+                health.record_load_failure()
+                self._sync_ring_locked(shard_id)
+                return True  # spill to a replica, but don't trip the breaker
+            health.record(False)
+            self._sync_ring_locked(shard_id)
+            return True
+
+    def _sync_ring_locked(self, shard_id: str) -> None:
+        """Make ring membership agree with health (caller holds lock)."""
+        healthy = self.health[shard_id].healthy
+        if healthy and shard_id not in self.ring:
+            self.ring.add(shard_id)
+            self._count_locked("shard_readmitted")
+            telemetry.count("cluster.shard_readmitted")
+            flightrecorder.record("cluster.shard_readmitted", shard=shard_id)
+        elif not healthy and shard_id in self.ring:
+            self.ring.remove(shard_id)
+            self._count_locked("shard_drained")
+            telemetry.count("cluster.shard_drained")
+            flightrecorder.record("cluster.shard_drained", shard=shard_id)
+
+    def _maybe_probe(self, deadline: Optional[Deadline] = None) -> None:
+        """Send one bounded probe to a drained shard whose cooldown is up."""
+        cfg = self.config
+        with self._lock:
+            target = None
+            for shard_id, health in self.health.items():
+                if shard_id in self.ring:
+                    continue
+                if health.admit() == "probe":
+                    target = shard_id
+                    break
+        if target is None:
+            return
+        # The probe's budget is a short *child* of the live deadline:
+        # a hung shard costs probe_timeout_s, never a wedged probe path
+        # (satellite fix; timeouts land in serving.breaker_probe_timeouts).
+        budget_s = cfg.probe_timeout_s
+        if deadline is not None:
+            budget_s = min(budget_s, max(deadline.remaining(), 1e-3))
+        self._count("probes")
+        telemetry.count("cluster.probes")
+        flightrecorder.record("cluster.probe_fired", shard=target)
+        ctx = mint_trace("cluster-probe", budget_s=budget_s)
+        self._executor.submit(self._run_probe, target, budget_s, ctx)
+
+    def _run_probe(self, shard_id: str, budget_s: float, ctx) -> None:
+        shard = self._shards[shard_id]
+        response = shard.probe(budget_s, trace_ctx=ctx)
+        with self._lock:
+            health = self.health[shard_id]
+            if response.ok:
+                health.reset()
+                self._sync_ring_locked(shard_id)
+                return
+            if self._probe_timed_out(response):
+                health.record_probe_timeout()
+                self._count_locked("probe_timeouts")
+            else:
+                health.record(False)
+            self._sync_ring_locked(shard_id)
+        flightrecorder.record(
+            "cluster.probe_failed", shard=shard_id,
+            error_type=response.error_type,
+        )
+
+    @staticmethod
+    def _probe_timed_out(response: ServeResponse) -> bool:
+        if isinstance(response.error, DeadlineExceeded):
+            return True
+        last = getattr(response.error, "last_error", None)
+        return isinstance(last, TimeoutError)
+
+    # -- hedging -------------------------------------------------------
+
+    def _hedge_delay(self) -> float:
+        """The backup-fire delay: configured, or quantile of achieved latency.
+
+        The reservoir holds end-to-end latencies of *committed* ok
+        responses, so the estimator sees the distribution hedging
+        actually delivers: if hedges over-fire, latency (and with it
+        the derived delay) rises and they back off; if the tail grows,
+        the delay follows it down-quantile and hedges re-engage.
+        """
+        cfg = self.config
+        if cfg.hedge_delay_s is not None:
+            return cfg.hedge_delay_s
+        with self._lock:
+            n = len(self._latencies)
+            if n < 32:
+                return cfg.hedge_initial_delay_s
+            cached_at, cached = self._hedge_cache
+            if cached_at == n:
+                return cached
+            samples = sorted(self._latencies)
+        delay = max(
+            cfg.hedge_min_delay_s, _nearest_rank(samples, cfg.hedge_quantile)
+        )
+        with self._lock:
+            self._hedge_cache = (n, delay)
+        return delay
+
+    # -- accounting ----------------------------------------------------
+
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._count_locked(name, value)
+
+    def _count_locked(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def _finish(
+        self, response: ClusterResponse, start_time: float, trace_id: str
+    ) -> ClusterResponse:
+        response.latency_s = time.perf_counter() - start_time
+        response.trace_id = trace_id
+        if response.ok and not response.degraded:
+            with self._lock:
+                self._latencies.append(response.latency_s)
+        if response.ok:
+            outcome = "degraded" if response.degraded else "ok"
+        elif isinstance(response.error, Overloaded):
+            outcome = "shed"
+        elif isinstance(response.error, DeadlineExceeded):
+            outcome = "deadline"
+        else:
+            outcome = "error"
+        if not response.ok:
+            flightrecorder.record(
+                "cluster.request_failed",
+                kind=response.kind,
+                outcome=outcome,
+                error_type=response.error_type,
+                shard=response.shard,
+                trace=trace_id,
+                latency_ms=round(1e3 * response.latency_s, 3),
+            )
+        self.slo.record(
+            outcome,
+            response.latency_s,
+            retries=response.failovers,
+            concealed=response.concealed,
+        )
+        return response
+
+    def stats(self) -> dict:
+        """Cluster-wide introspection document (JSON-ready)."""
+        with self._lock:
+            counters = dict(self.counters)
+            ring_members = self.ring.shard_ids
+            health = {
+                shard_id: h.stats() for shard_id, h in self.health.items()
+            }
+        return {
+            "config": {
+                "shards": len(self._shards),
+                "replication": self.config.replication,
+                "vnodes": self.config.vnodes,
+                "hedge": self.config.hedge,
+            },
+            "slo": self.slo.snapshot(),
+            "router": counters,
+            "ring": {"members": list(ring_members)},
+            "health": health,
+            "shards": {
+                shard_id: shard.stats()
+                for shard_id, shard in sorted(self._shards.items())
+            },
+        }

@@ -1,0 +1,202 @@
+"""One cluster shard: a :class:`CodecService` plus whole-shard fault modes.
+
+The serving layer's chaos kills *workers inside* a service; the
+cluster layer needs the next failure domain up: the whole shard
+process dying (SIGKILL) or wedging (hung event loop).  A
+:class:`ClusterShard` wraps one service with that lifecycle:
+
+- :meth:`kill` -- the shard is gone *now*.  New requests fail
+  immediately with the typed :class:`ShardDown` (connection refused),
+  requests already executing have their next fault-gate check raise it
+  (the process took the work down with it), and a request that manages
+  to finish after the kill is still answered :class:`ShardDown` -- a
+  SIGKILLed process cannot have sent the response, and pretending
+  otherwise would hide exactly the ambiguity failover must handle.
+- :meth:`hang` -- requests stall inside the supervised attempt until
+  the hang lifts.  From the shard's own view the stall is unbounded;
+  the service's attempt timeout and the router's hedge/probe deadlines
+  are what bound it, which is the point.
+- :meth:`revive` -- the "process restarted" transition.  The shard
+  serves again, but the router only returns traffic after its health
+  probe succeeds.
+
+:class:`ShardDown` deliberately subclasses :class:`Exception`, not
+``RuntimeError``: the supervisor retries ``RETRYABLE`` (RuntimeError)
+faults *within* the shard, and retrying against a dead process from
+inside it is wasted budget -- failover to a replica is the router's
+job and needs the error surfaced immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
+from repro.telemetry.propagate import TraceContext
+from repro.serving.service import CodecService, ServeResponse, ServiceConfig
+
+__all__ = ["ClusterShard", "ShardDown"]
+
+FaultGate = Callable[[str], None]
+
+
+class ShardDown(Exception):
+    """Typed connection-level failure: the target shard is not serving."""
+
+    def __init__(self, shard_id: str, message: str = "") -> None:
+        super().__init__(message or f"shard {shard_id} is down")
+        self.shard_id = shard_id
+
+
+class ClusterShard:
+    """A :class:`CodecService` with a kill/hang/revive lifecycle."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.service = CodecService(config)
+        self._alive = True
+        self._hang_until = 0.0
+        self.kills = 0
+        self.served = 0
+        self.refused = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def kill(self) -> None:
+        """SIGKILL the shard: everything in flight dies with it."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.kills += 1
+        telemetry.count("cluster.shard_kills")
+        flightrecorder.record("cluster.shard_killed", shard=self.shard_id)
+
+    def hang(self, duration_s: float) -> None:
+        """Wedge the shard: requests stall until ``duration_s`` elapses."""
+        self._hang_until = max(
+            self._hang_until, time.monotonic() + duration_s
+        )
+        telemetry.count("cluster.shard_hangs")
+        flightrecorder.record(
+            "cluster.shard_hung", shard=self.shard_id, duration_s=duration_s
+        )
+
+    def revive(self) -> None:
+        """The process is back; traffic returns via the router's probe."""
+        if self._alive:
+            return
+        self._alive = True
+        self._hang_until = 0.0
+        flightrecorder.record("cluster.shard_revived", shard=self.shard_id)
+
+    # -- request path --------------------------------------------------
+
+    def encode(
+        self,
+        tensor: np.ndarray,
+        qp: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+        trace_ctx: Optional[TraceContext] = None,
+    ) -> ServeResponse:
+        return self._call(
+            "encode",
+            lambda gate: self.service.encode(
+                tensor, qp=qp, deadline_s=deadline_s,
+                fault_gate=gate, trace_ctx=trace_ctx,
+            ),
+            fault_gate,
+        )
+
+    def decode(
+        self,
+        blob: bytes,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+        trace_ctx: Optional[TraceContext] = None,
+    ) -> ServeResponse:
+        return self._call(
+            "decode",
+            lambda gate: self.service.decode(
+                blob, deadline_s=deadline_s,
+                fault_gate=gate, trace_ctx=trace_ctx,
+            ),
+            fault_gate,
+        )
+
+    def probe(
+        self, deadline_s: float, trace_ctx: Optional[TraceContext] = None
+    ) -> ServeResponse:
+        """One bounded synthetic request (tiny encode) for health checks."""
+        tensor = np.zeros((8, 8), dtype=np.float32)
+        return self.encode(
+            tensor, qp=32.0, deadline_s=deadline_s, trace_ctx=trace_ctx
+        )
+
+    def _call(
+        self,
+        kind: str,
+        run: Callable[[Optional[FaultGate]], ServeResponse],
+        extra_gate: Optional[FaultGate],
+    ) -> ServeResponse:
+        if not self._alive:
+            self.refused += 1
+            return ServeResponse(
+                ok=False, kind=kind, error=ShardDown(self.shard_id)
+            )
+
+        def gate(gate_kind: str) -> None:
+            # Shard-level faults first (the process hosts the worker)...
+            if not self._alive:
+                raise ShardDown(self.shard_id, "shard died mid-request")
+            stall = self._hang_until - time.monotonic()
+            if stall > 0:
+                time.sleep(stall)
+            # ...then whatever worker-level chaos the caller injects.
+            if extra_gate is not None:
+                extra_gate(gate_kind)
+
+        try:
+            response = run(gate)
+        except ShardDown as exc:
+            # The gate fired mid-request; everything in flight died.
+            response = ServeResponse(ok=False, kind=kind, error=exc)
+        if not self._alive and response.ok:
+            # Finished after the kill: the response never left the
+            # process.  Surfacing it would be resurrecting lost work.
+            response = ServeResponse(
+                ok=False, kind=kind,
+                error=ShardDown(self.shard_id, "shard died before replying"),
+            )
+        if response.ok:
+            self.served += 1
+        return response
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "alive": self._alive,
+            "kills": self.kills,
+            "served": self.served,
+            "refused": self.refused,
+            "slo": self.service.slo.snapshot(),
+            "breakers": self.service.ladder.stats()["breakers"],
+        }
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "down"
+        return f"ClusterShard({self.shard_id!r}, {state})"

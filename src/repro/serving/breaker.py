@@ -76,9 +76,22 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """Whether a request may be sent to this backend right now."""
+        return self.admit() != "rejected"
+
+    def admit(self) -> str:
+        """Admission verdict: ``"ok"``, ``"probe"``, or ``"rejected"``.
+
+        ``"probe"`` means this request is a half-open probe: it is the
+        breaker's only evidence about a possibly-still-sick backend, so
+        the caller must bound it (a short child
+        :class:`~repro.resilience.deadline.Deadline`) -- a hung backend
+        would otherwise wedge the probe slot and with it the whole
+        re-admission path.  Callers that cannot probe specially may
+        keep using :meth:`allow`.
+        """
         state = self.state
         if state == CLOSED:
-            return True
+            return "ok"
         if state == HALF_OPEN:
             if self._state == OPEN:
                 # Cooldown just elapsed; materialise the transition.
@@ -87,10 +100,32 @@ class CircuitBreaker:
             if self._probes_in_flight < self.half_open_probes:
                 self._probes_in_flight += 1
                 telemetry.count("serving.breaker_probes")
-                return True
-            return False
+                return "probe"
+            return "rejected"
         telemetry.count("serving.breaker_rejections")
-        return False
+        return "rejected"
+
+    def trip(self, reason: str = "forced") -> None:
+        """Open the breaker directly (e.g. failure-rate EWMA crossed).
+
+        Consecutive-failure counting is the default trip condition, but
+        router-level health also drains a shard whose *rate* of failure
+        is unhealthy even without a long consecutive streak; that path
+        needs an explicit trip so re-admission still flows through the
+        one half-open probe mechanism.
+        """
+        if self._state != OPEN:
+            self.trips += 1
+            telemetry.count("serving.breaker_trips")
+            flightrecorder.record(
+                "breaker.trip",
+                name=self.name,
+                consecutive_failures=self._consecutive_failures,
+                reason=reason,
+            )
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
 
     def record_success(self) -> None:
         if self._state == HALF_OPEN:
@@ -105,17 +140,7 @@ class CircuitBreaker:
         if self._state == HALF_OPEN or (
             self._consecutive_failures >= self.failure_threshold
         ):
-            if self._state != OPEN:
-                self.trips += 1
-                telemetry.count("serving.breaker_trips")
-                flightrecorder.record(
-                    "breaker.trip",
-                    name=self.name,
-                    consecutive_failures=self._consecutive_failures,
-                )
-            self._state = OPEN
-            self._opened_at = self._clock()
-            self._probes_in_flight = 0
+            self.trip(reason="consecutive-failures")
 
     def stats(self) -> dict:
         return {

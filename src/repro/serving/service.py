@@ -40,8 +40,8 @@ from repro.telemetry.metrics import (
     PeriodicSnapshotter,
     render_prometheus,
 )
-from repro.telemetry.propagate import mint_trace, trace_scope
-from repro.parallel import warm_pool
+from repro.telemetry.propagate import TraceContext, mint_trace, trace_scope
+from repro.parallel import ParallelConfig, warm_pool
 from repro.resilience.deadline import Deadline, DeadlineExceeded
 from repro.resilience.errors import ConcealmentReport, CorruptStreamError
 from repro.resilience.faults import RetryPolicy
@@ -81,6 +81,12 @@ class ServiceConfig:
     breaker_cooldown_s: float = 1.0
     #: Seeds supervision backoff jitter (reproducible soak schedules).
     seed: int = 0
+    #: Thread count of the supervision pool that bounds attempt waits.
+    #: Pools are shared per (kind, workers), so a cluster of in-process
+    #: shards sizes this for headroom: a hung attempt parks a thread
+    #: for its whole stall, and a starved pool turns queueing delay
+    #: into spurious attempt timeouts.
+    supervisor_workers: int = 8
     #: When set, a request that fails non-retryably (every retry and
     #: ladder rung exhausted) dumps a flight-recorder postmortem bundle
     #: into this directory (see ``docs/OBSERVABILITY.md``).
@@ -129,7 +135,13 @@ class CodecService:
         cfg = self.config
         self.broker = RequestBroker(cfg.max_inflight, cfg.max_queue)
         self.slo = SloTracker()
-        self.supervisor = Supervisor(retry=cfg.retry, seed=cfg.seed)
+        self.supervisor = Supervisor(
+            retry=cfg.retry,
+            seed=cfg.seed,
+            executor=ParallelConfig(
+                workers=cfg.supervisor_workers, executor="thread"
+            ),
+        )
         self.ladder = DegradationLadder(
             cfg.rungs,
             failure_threshold=cfg.breaker_failure_threshold,
@@ -165,6 +177,7 @@ class CodecService:
         target_mse: Optional[float] = None,
         deadline_s: Optional[float] = None,
         fault_gate: Optional[FaultGate] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> ServeResponse:
         """Compress ``tensor``; never raises, always a :class:`ServeResponse`."""
         targets = dict(qp=qp, bits_per_value=bits_per_value, target_mse=target_mse)
@@ -181,13 +194,15 @@ class CodecService:
 
             return work
 
-        return self._serve("encode", attempt_factory, deadline_s)
+        return self._serve("encode", attempt_factory, deadline_s,
+                           trace_ctx=trace_ctx)
 
     def decode(
         self,
         blob: bytes,
         deadline_s: Optional[float] = None,
         fault_gate: Optional[FaultGate] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> ServeResponse:
         """Decompress ``blob``; damaged payloads degrade to concealment."""
 
@@ -214,7 +229,8 @@ class CodecService:
             )
 
         return self._serve(
-            "decode", attempt_factory, deadline_s, conceal_fallback
+            "decode", attempt_factory, deadline_s, conceal_fallback,
+            trace_ctx=trace_ctx,
         )
 
     def snapshot(self) -> MetricsSnapshot:
@@ -256,6 +272,7 @@ class CodecService:
         attempt_factory: Callable[[Rung], Callable],
         deadline_s: Optional[float],
         conceal_fallback: Optional[Callable] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> ServeResponse:
         start_time = time.perf_counter()
         deadline = Deadline.after(
@@ -265,7 +282,11 @@ class CodecService:
         # One trace context per request: everything this request does --
         # broker wait, every supervised attempt, worker-side encode and
         # decode spans shipped back as deltas -- carries this trace_id.
-        ctx = mint_trace(kind, budget_s=deadline.remaining())
+        # A caller that already owns the request identity (the cluster
+        # router, one hop up) passes its context in, so shard-side
+        # spans land under the *router's* trace id instead of minting a
+        # second, unlinked one.
+        ctx = trace_ctx or mint_trace(kind, budget_s=deadline.remaining())
         with trace_scope(ctx), telemetry.span(f"serving.{kind}"):
             try:
                 self.broker.acquire(deadline)

@@ -1,0 +1,220 @@
+"""Hedged requests (satellite 3): fire-after-delay, first-success-wins,
+loser accounting, and the typed contract under injected stragglers."""
+
+import random
+import time
+
+import numpy as np
+
+from repro.cluster.chaos import CLUSTER_TYPED_ERRORS
+from repro.cluster.router import ClusterConfig, ClusterRouter
+from repro.serving.service import ServeResponse
+from repro.serving.slo import _nearest_rank
+
+TENSOR = np.zeros((8, 8), dtype=np.float32)
+
+
+class FakeShard:
+    """Minimal scriptable shard (see test_cluster_router for the full one)."""
+
+    def __init__(self, shard_id, delay_s=0.0):
+        self.shard_id = shard_id
+        self.delay_s = delay_s
+        self.calls = 0
+
+    def _answer(self, kind):
+        self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return ServeResponse(
+            ok=True, kind=kind, value=self.shard_id.encode(), rung="fake"
+        )
+
+    def encode(self, tensor, qp=None, deadline_s=None,
+               fault_gate=None, trace_ctx=None):
+        return self._answer("encode")
+
+    def decode(self, blob, deadline_s=None, fault_gate=None, trace_ctx=None):
+        return self._answer("decode")
+
+    def probe(self, deadline_s, trace_ctx=None):
+        return self._answer("probe")
+
+    def stats(self):
+        return {"shard": self.shard_id}
+
+
+def make_router(delay_a=0.0, delay_b=0.0, **overrides):
+    defaults = dict(
+        replication=2, hedge=True, hedge_delay_s=0.06, deadline_s=3.0,
+    )
+    defaults.update(overrides)
+    return ClusterRouter(
+        ClusterConfig(**defaults),
+        shards=[FakeShard("a", delay_a), FakeShard("b", delay_b)],
+    )
+
+
+def key_with_primary(router, shard_id):
+    for index in range(2048):
+        key = f"k{index}"
+        if router.ring.replicas(key, 2)[0] == shard_id:
+            return key
+    raise AssertionError(f"no key routes to {shard_id} first")
+
+
+def wait_until(predicate, timeout_s=3.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestHedgeFiring:
+    def test_fast_primary_never_hedges(self):
+        with make_router(hedge_delay_s=0.25) as router:
+            key = key_with_primary(router, "a")
+            for _ in range(5):
+                response = router.encode(TENSOR, key)
+                assert response.ok and not response.hedged
+            assert router.counters["hedges"] == 0
+            assert router.shard("b").calls == 0
+
+    def test_backup_fires_only_after_the_delay(self):
+        with make_router(delay_a=0.7, hedge_delay_s=0.1) as router:
+            key = key_with_primary(router, "a")
+            started = time.perf_counter()
+            response = router.encode(TENSOR, key)
+            assert response.ok and response.hedged
+            # The backup cannot have answered before the hedge delay
+            # elapsed, so end-to-end latency is bounded below by it.
+            assert time.perf_counter() - started >= 0.1
+            assert router.counters["hedges"] == 1
+
+    def test_hedge_disabled_never_fires(self):
+        with make_router(delay_a=0.3, hedge=False) as router:
+            key = key_with_primary(router, "a")
+            response = router.encode(TENSOR, key)
+            assert response.ok and not response.hedged
+            assert router.counters["hedges"] == 0
+            assert router.shard("b").calls == 0
+
+
+class TestFirstSuccessWins:
+    def test_fast_backup_beats_slow_primary(self):
+        with make_router(delay_a=0.8) as router:
+            key = key_with_primary(router, "a")
+            response = router.encode(TENSOR, key)
+            assert response.ok
+            assert response.shard == "b" and response.hedge_won
+            assert response.value == b"b"
+            # Well under the primary's 0.8s stall.
+            assert response.latency_s < 0.6
+            assert router.counters["hedge_wins"] == 1
+
+    def test_primary_win_keeps_hedged_flag_without_hedge_won(self):
+        # Backup is much slower than the primary: the hedge fires but
+        # loses, and the response says so.
+        with make_router(delay_a=0.15, delay_b=0.8,
+                         hedge_delay_s=0.03) as router:
+            key = key_with_primary(router, "a")
+            response = router.encode(TENSOR, key)
+            assert response.ok and response.shard == "a"
+            assert response.hedged and not response.hedge_won
+            assert router.counters["hedge_wins"] == 0
+
+    def test_loser_is_discarded_and_counted(self):
+        with make_router(delay_a=0.4) as router:
+            key = key_with_primary(router, "a")
+            response = router.encode(TENSOR, key)
+            assert response.hedge_won
+            # The slow primary finishes after the commit; its result is
+            # dropped at the commit cell and accounted, never surfaced.
+            assert wait_until(
+                lambda: router.counters["losers_discarded"] >= 1
+            )
+            assert router.counters["duplicate_results_dropped"] >= 1
+
+
+class TestDerivedDelay:
+    def test_initial_delay_until_enough_samples(self):
+        with make_router(hedge_delay_s=None,
+                         hedge_initial_delay_s=0.07) as router:
+            assert router._hedge_delay() == 0.07
+
+    def test_delay_tracks_the_configured_quantile(self):
+        with make_router(hedge_delay_s=None) as router:
+            samples = [0.01 + 0.001 * i for i in range(100)]
+            router._latencies.extend(samples)
+            expected = _nearest_rank(sorted(samples), 95.0)
+            assert abs(router._hedge_delay() - expected) < 1e-12
+
+    def test_delay_floors_at_min_delay(self):
+        with make_router(hedge_delay_s=None,
+                         hedge_min_delay_s=0.02) as router:
+            router._latencies.extend([0.001] * 100)
+            assert router._hedge_delay() == 0.02
+
+
+class TestHedgeBudget:
+    def test_zero_budget_denies_every_hedge(self):
+        with make_router(delay_a=0.3, hedge_delay_s=0.05,
+                         hedge_budget=0.0, hedge_budget_burst=0) as router:
+            key = key_with_primary(router, "a")
+            response = router.encode(TENSOR, key)
+            # The slow primary still answers; the hedge was denied, not
+            # the request.
+            assert response.ok and not response.hedged
+            assert router.counters["hedges"] == 0
+            assert router.counters["hedges_denied_budget"] >= 1
+            assert router.shard("b").calls == 0
+
+    def test_burst_allowance_then_denial(self):
+        with make_router(delay_a=0.2, hedge_delay_s=0.03,
+                         hedge_budget=0.0, hedge_budget_burst=2) as router:
+            key = key_with_primary(router, "a")
+            for _ in range(4):
+                assert router.encode(TENSOR, key).ok
+            # Exactly the burst allowance fires; the rest are denied so
+            # a storm cannot amplify load past the budget.
+            assert router.counters["hedges"] == 2
+            assert router.counters["hedges_denied_budget"] >= 2
+
+    def test_budget_scales_with_request_count(self):
+        with make_router(delay_a=0.0, hedge_budget=0.5,
+                         hedge_budget_burst=0) as router:
+            key = key_with_primary(router, "a")
+            for _ in range(20):
+                assert router.encode(TENSOR, key).ok
+            router.shard("a").delay_s = 0.2
+            response = router.encode(TENSOR, key)
+            # 0 hedges so far against a budget of 0.5 * 21: allowed.
+            assert response.ok and response.hedged
+            assert router.counters["hedges"] == 1
+            assert router.counters["hedges_denied_budget"] == 0
+
+
+class TestContractUnderStragglers:
+    def test_every_response_ok_or_typed(self):
+        rng = random.Random(7)
+        with make_router(hedge_delay_s=0.05, deadline_s=1.5) as router:
+            shards = [router.shard("a"), router.shard("b")]
+
+            responses = []
+            for index in range(40):
+                # A third of requests hit a straggling shard; the
+                # straggle moves between shards so hedges matter.
+                for shard in shards:
+                    shard.delay_s = 0.0
+                if rng.random() < 0.35:
+                    rng.choice(shards).delay_s = 0.25
+                responses.append(router.encode(TENSOR, f"k{index}"))
+            for response in responses:
+                assert response.ok or isinstance(
+                    response.error, CLUSTER_TYPED_ERRORS
+                )
+            # Exactly one commit per request, no silent duplicates.
+            assert router.counters["requests"] == len(responses)
+            assert router.counters["hedges"] >= 1

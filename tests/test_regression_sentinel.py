@@ -16,6 +16,7 @@ from repro.analysis.regression import (
     EXIT_DIVERGENCE,
     EXIT_OK,
     EXIT_REGRESSION,
+    compare_cluster_bench,
     compare_codec_bench,
     compare_serving_bench,
     format_comparison,
@@ -176,6 +177,121 @@ class TestServingComparison:
         assert report["exit_code"] == EXIT_REGRESSION
 
 
+def _cluster_doc(availability=1.0, requests=1200, p50=10.0, p99=80.0,
+                 ratio=1.8, hedges=30, wins=20, violations=0,
+                 chaos_availability=0.9995, chaos_passed=True):
+    def point(shards):
+        return {
+            "shards": shards, "replication": 2, "requests": requests,
+            "availability": availability,
+            "latency_ms": {"p50": p50, "p99": p99, "p999": 3 * p99,
+                           "max": 5 * p99},
+            "router": {"hedges": hedges, "hedge_wins": wins},
+        }
+
+    return {
+        "schema": "llm265-cluster-bench-v1",
+        "shard_sweep": [point(2), point(4)],
+        "hedge": {
+            "shards": 4, "straggler_prob": 0.05,
+            "straggler_delay_ms": 250.0,
+            "no_hedge": point(4), "hedged": point(4),
+            "p99_ratio": ratio,
+        },
+        "chaos": {
+            "requests": requests,
+            "invariant": {
+                "availability": chaos_availability,
+                "availability_slo": 0.999,
+                "passed": chaos_passed,
+            },
+            "violation_count": violations,
+        },
+    }
+
+
+class TestClusterComparison:
+    def test_identical_docs_pass(self):
+        doc = _cluster_doc()
+        report = compare_cluster_bench(doc, doc)
+        assert report["passed"] and report["exit_code"] == EXIT_OK
+        assert report["checked"] >= 4
+
+    def test_contract_violation_is_divergence(self):
+        report = compare_cluster_bench(
+            _cluster_doc(),
+            _cluster_doc(violations=2, chaos_passed=False),
+        )
+        assert report["exit_code"] == EXIT_DIVERGENCE
+
+    def test_sweep_availability_drop_regresses(self):
+        report = compare_cluster_bench(
+            _cluster_doc(availability=1.0), _cluster_doc(availability=0.9),
+        )
+        assert report["exit_code"] == EXIT_REGRESSION
+        assert any(f["metric"].endswith(".availability")
+                   for f in report["findings"]
+                   if f["status"] == "regression")
+
+    def test_tail_blowup_regresses(self):
+        report = compare_cluster_bench(
+            _cluster_doc(p50=10.0, p99=50.0),
+            _cluster_doc(p50=10.0, p99=2000.0),
+        )
+        assert report["exit_code"] == EXIT_REGRESSION
+
+    def test_hedge_ratio_is_gated_loosely(self):
+        # Mild run-to-run wobble (ratio 1.8 -> 1.1, even 0.9) passes;
+        # hedging making the tail distinctly worse does not.
+        assert compare_cluster_bench(
+            _cluster_doc(ratio=1.8), _cluster_doc(ratio=1.1),
+        )["exit_code"] == EXIT_OK
+        assert compare_cluster_bench(
+            _cluster_doc(ratio=1.8), _cluster_doc(ratio=0.9),
+        )["exit_code"] == EXIT_OK
+        report = compare_cluster_bench(
+            _cluster_doc(ratio=1.8), _cluster_doc(ratio=0.4),
+        )
+        assert report["exit_code"] == EXIT_REGRESSION
+        assert any(f["metric"] == "hedge.p99_ratio"
+                   for f in report["findings"]
+                   if f["status"] == "regression")
+
+    def test_disengaged_hedging_regresses(self):
+        report = compare_cluster_bench(
+            _cluster_doc(hedges=30), _cluster_doc(hedges=0),
+        )
+        assert report["exit_code"] == EXIT_REGRESSION
+        assert any(f["metric"] == "hedge.fired"
+                   for f in report["findings"]
+                   if f["status"] == "regression")
+
+    def test_few_hedges_on_both_sides_skips(self):
+        report = compare_cluster_bench(
+            _cluster_doc(hedges=2), _cluster_doc(hedges=1, ratio=0.1),
+        )
+        assert report["exit_code"] == EXIT_OK
+        assert any("min-sample guard" in f["detail"]
+                   for f in report["findings"]
+                   if f["status"] == "skipped")
+
+    def test_small_population_skips_hedge_gate(self):
+        report = compare_cluster_bench(
+            _cluster_doc(requests=50), _cluster_doc(requests=50, ratio=0.1),
+        )
+        # Availability/tail checks also guard out below MIN_REQUESTS.
+        assert report["exit_code"] == EXIT_OK
+
+    def test_missing_chaos_section_skips(self):
+        fresh = _cluster_doc()
+        fresh["chaos"] = None
+        report = compare_cluster_bench(_cluster_doc(), fresh)
+        assert report["exit_code"] == EXIT_OK
+        assert any(f["metric"] == "chaos"
+                   for f in report["findings"]
+                   if f["status"] == "skipped")
+
+
 class TestCliWiring:
     """`--check` exit codes, with the expensive run stubbed out."""
 
@@ -246,3 +362,33 @@ class TestCliWiring:
         code = cli_main(["serve-bench", "--check",
                          "--baseline", str(baseline)])
         assert code == EXIT_REGRESSION
+
+    def test_cluster_bench_check(self, tmp_path, monkeypatch, capsys):
+        import repro.cluster.bench as cluster_bench
+
+        doc = _cluster_doc()
+        monkeypatch.setattr(cluster_bench, "run_cluster_bench",
+                            lambda **kw: copy.deepcopy(doc))
+        baseline = tmp_path / "BENCH_cluster.json"
+        baseline.write_text(json.dumps(doc))
+        code = cli_main(["cluster-bench", "--check",
+                         "--baseline", str(baseline)])
+        assert code == EXIT_OK
+        assert "verdict: PASS" in capsys.readouterr().out
+
+        broken = _cluster_doc(violations=1, chaos_passed=False)
+        monkeypatch.setattr(cluster_bench, "run_cluster_bench",
+                            lambda **kw: copy.deepcopy(broken))
+        code = cli_main(["cluster-bench", "--check",
+                         "--baseline", str(baseline)])
+        assert code == EXIT_DIVERGENCE
+
+    def test_cluster_bench_writes_output(self, tmp_path, monkeypatch):
+        import repro.cluster.bench as cluster_bench
+
+        doc = _cluster_doc()
+        monkeypatch.setattr(cluster_bench, "run_cluster_bench",
+                            lambda **kw: copy.deepcopy(doc))
+        out = tmp_path / "out.json"
+        assert cli_main(["cluster-bench", "--output", str(out)]) == EXIT_OK
+        assert json.loads(out.read_text())["schema"] == doc["schema"]
