@@ -11,8 +11,9 @@ Subcommands:
   full per-stage dissection (wall time, bits per syntax element class,
   rate-control convergence)
 - ``verify``     -- integrity-check a container / stream / checkpoint
-  via its CRC32 framing (exit 0 clean, 2 damaged); ``--deep`` also
-  runs a strict decode
+  via its CRC32 framing, or a shard-store directory (journal +
+  segments); exit 0 clean, 2 corrupt, 3 torn journal tail only.
+  ``--deep`` also runs a strict decode / full segment CRC re-read
 - ``bench``      -- codec throughput ladder (pre-optimisation baseline,
   vectorized RD, slice-parallel) with byte-identity verification; exit
   2 when any configuration's output diverges.  ``--check`` runs the
@@ -22,7 +23,10 @@ Subcommands:
   layer; exit 2 on any silent corruption, untyped error, or
   availability below the SLO, printing the flight-recorder postmortem
   bundle path on the way out.  ``--cluster`` soaks the sharded cluster
-  instead, SIGKILL-style shard kills and hangs included
+  instead, SIGKILL-style shard kills and hangs included;
+  ``--durability`` soaks the durable store layer (SIGKILL mid-write +
+  on-disk corruption; passes only if every acknowledged write survives
+  bit-exact and anti-entropy restores full replication)
 - ``serve-bench`` -- healthy-path serving benchmark (sequential
   latency percentiles + typed-shedding overload burst); ``--check``
   compares against the tracked serving baseline
@@ -109,13 +113,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
     verify = sub.add_parser(
         "verify",
-        help="integrity-check a .lv265 container, raw stream, or checkpoint",
+        help="integrity-check a .lv265 container, raw stream, checkpoint, "
+             "or shard-store directory (exit 2 corrupt, 3 torn tail only)",
     )
-    verify.add_argument("input", nargs="+", help="file(s) to verify")
+    verify.add_argument("input", nargs="+",
+                        help="file(s) or store director(ies) to verify")
     verify.add_argument(
         "--deep",
         action="store_true",
-        help="also run a strict decode (slower; catches damage CRCs cannot)",
+        help="also run a strict decode (files) or full segment CRC "
+             "re-read (store dirs); slower, catches damage fast "
+             "checks cannot",
     )
 
     bench = sub.add_parser(
@@ -173,9 +181,19 @@ def _build_parser() -> argparse.ArgumentParser:
              "(shard kills + hangs mid-soak; same exit contract)",
     )
     chaos.add_argument("--shards", type=int, default=4,
-                       help="cluster shard count (with --cluster)")
-    chaos.add_argument("--kills", type=int, default=2,
-                       help="mid-soak shard kills (with --cluster)")
+                       help="cluster shard count (with --cluster or "
+                            "--durability)")
+    chaos.add_argument("--kills", type=int, default=None,
+                       help="mid-soak shard kills (default 2 with "
+                            "--cluster, 3 with --durability, where they "
+                            "are armed mid-write)")
+    chaos.add_argument(
+        "--durability", action="store_true",
+        help="soak the durable store layer: SIGKILL mid-write + disk "
+             "bit-flips/truncation/unlinks; passes only if every acked "
+             "write survives bit-exact and replication heals (exit 2 "
+             "with a postmortem bundle otherwise)",
+    )
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -470,20 +488,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    """Exit 0 when every file verifies clean, 2 when any is damaged."""
+    """Exit 0 all clean, 2 if anything is corrupt, 3 if only torn tails.
+
+    A torn tail (store journals: an append interrupted by a crash) is
+    recoverable damage -- the store's next recovery truncates it losing
+    only the unacknowledged write -- so it gets its own exit code,
+    distinct from corruption that loses or falsifies data.
+    """
     from repro.resilience.verify import verify_path
 
-    damaged = 0
+    corrupt = 0
+    torn = 0
     for path in args.input:
         report = verify_path(path, deep=args.deep)
         print(report.summary())
-        if not report.ok:
-            damaged += 1
-    return 2 if damaged else 0
+        if report.ok:
+            continue
+        if report.torn_only:
+            torn += 1
+        else:
+            corrupt += 1
+    if corrupt:
+        return 2
+    return 3 if torn else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Exit 0 on a clean soak, 2 on any serving-contract violation."""
+    if args.durability:
+        from repro.cluster.durability import (
+            DurabilityChaosConfig,
+            format_durability_report,
+            run_durability_chaos,
+        )
+
+        config = DurabilityChaosConfig(
+            shards=args.shards,
+            seed=args.seed,
+            kills=args.kills if args.kills is not None else 3,
+            postmortem_dir=args.postmortem_dir or None,
+            force_violation=args.force_violation,
+        )
+        if args.quick:
+            config.ops = 240
+            config.base_rate_rps = 120.0
+            config.revive_after_s = 0.35
+            config.disk_faults = 4
+            config.client_threads = 8
+        report = run_durability_chaos(config)
+        print(format_durability_report(report))
+        if args.output:
+            _merge_json(args.output, "durability_chaos", report)
+            print(f"wrote {args.output}")
+        return 0 if report["invariant"]["passed"] else 2
+
     if args.cluster:
         from repro.cluster.chaos import (
             ClusterChaosConfig,
@@ -497,7 +555,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 requests=requests,
                 seed=args.seed,
-                kills=args.kills,
+                kills=args.kills if args.kills is not None else 2,
                 postmortem_dir=args.postmortem_dir or None,
                 force_violation=args.force_violation,
             )

@@ -12,11 +12,22 @@ One :class:`~repro.cluster.router.ClusterRouter` fronts N
   bounded probes.
 - :mod:`repro.cluster.router` -- replication with failover, hedged
   requests (p99-derived delay, commit-once dedupe), the typed cluster
-  response contract.
+  response contract; quorum-acknowledged durable ``put``/``get`` when
+  the shards carry stores.
+- :mod:`repro.cluster.store` -- per-shard write-ahead-journaled,
+  content-addressed segment store: an acknowledged write is fsynced
+  and survives SIGKILL; every read is CRC-verified or a typed error;
+  crash recovery truncates torn journal tails and quarantines damage.
+- :mod:`repro.cluster.repair` -- anti-entropy: per-shard key digests,
+  (version, hash) winner election, re-replication until the ring's
+  R-way invariant holds again after death/revive.
 - :mod:`repro.cluster.traffic` -- open-loop workload generation
   (bursty/diurnal arrivals, session affinity, mixed tensor sizes).
 - :mod:`repro.cluster.chaos` -- shard-kill/hang soak asserting the
   typed-response contract and the availability SLO.
+- :mod:`repro.cluster.durability` -- durability soak: SIGKILL
+  mid-write + on-disk bit rot; acknowledged-write durability 100%,
+  no silent corruption, replication healed by anti-entropy.
 - :mod:`repro.cluster.bench` -- the tracked ``BENCH_cluster.json``
   ladder (shard sweep, hedge-on/off tail comparison, chaos verdict).
 """
@@ -28,8 +39,17 @@ from repro.cluster.router import (
     ClusterResponse,
     ClusterRouter,
     ClusterUnavailable,
+    WriteQuorumFailed,
 )
 from repro.cluster.shard import ClusterShard, ShardDown
+from repro.cluster.store import (
+    NotFound,
+    Quarantined,
+    ShardStore,
+    StoreClosed,
+    StoreError,
+)
+from repro.cluster.repair import RepairReport, repair_until_converged, run_anti_entropy
 
 __all__ = [
     "ClusterConfig",
@@ -38,6 +58,15 @@ __all__ = [
     "ClusterShard",
     "ClusterUnavailable",
     "HashRing",
+    "NotFound",
+    "Quarantined",
+    "RepairReport",
     "ShardDown",
     "ShardHealth",
+    "ShardStore",
+    "StoreClosed",
+    "StoreError",
+    "WriteQuorumFailed",
+    "repair_until_converged",
+    "run_anti_entropy",
 ]

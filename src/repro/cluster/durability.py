@@ -1,0 +1,613 @@
+"""Durability chaos soak: SIGKILL mid-write, disk rot, healed replicas.
+
+The cluster chaos soak (:mod:`repro.cluster.chaos`) proves the
+*stateless* contract survives shard kills.  This one proves the
+*durable* contract -- the two promises a storage system is actually
+for, under the two failure modes that actually break storage systems:
+
+- **SIGKILL mid-write** (torn writes).  Kills are armed at precise
+  store write stages (:data:`~repro.cluster.store.PUT_STAGES`) so the
+  process dies *inside* a put -- after the segment is staged, halfway
+  through the journal append, or just after the fsync whose ack never
+  reached the client.  Each stage leaves different wreckage for
+  recovery to clean up.
+- **Disk corruption at rest.**  :class:`FaultInjector` bit-flips,
+  truncates, and unlinks segment files behind the running store's
+  back; the scrubber and the verified read path must surface every
+  damaged byte as quarantine + failover, never as served garbage.
+  (Each content hash is damaged at most once -- the model is
+  independent disk failures, not a byzantine adversary erasing every
+  replica of a key, which no R-way design can survive.)
+
+The soak drives an open-loop put/get workload through the router
+while a controller thread runs the kill/revive/corruption schedule
+and a scrubber thread sweeps CRCs.  The invariant, checked during the
+soak and settled after a final scrub + converging anti-entropy run:
+
+1. **Acknowledged-write durability 100%**: every put the router acked
+   (write-quorum fsyncs) reads back bit-exact at the end, through >= 3
+   mid-write SIGKILLs and every injected disk fault.
+2. **No silent corruption**: every read during the soak is bit-exact
+   or a typed error (:data:`DURABILITY_TYPED_ERRORS`).
+3. **Replication healed**: after anti-entropy converges, every acked
+   key's winning copy is held by min(R, alive shards) replicas.
+
+Any breach -> ``passed=False``, exit 2 in the CLI, and a flight-recorder
+postmortem bundle when ``postmortem_dir`` is set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+import repro.telemetry as telemetry
+from repro.telemetry import flightrecorder
+from repro.resilience.faults import FaultInjector
+from repro.cluster.chaos import CLUSTER_TYPED_ERRORS
+from repro.cluster.repair import collect_digests, repair_until_converged
+from repro.cluster.router import ClusterConfig, ClusterRouter
+from repro.cluster.store import PUT_STAGES, StoreError
+from repro.cluster.traffic import Arrival, OpenLoopDriver
+
+__all__ = [
+    "DURABILITY_TYPED_ERRORS",
+    "DurabilityChaosConfig",
+    "format_durability_report",
+    "run_durability_chaos",
+]
+
+#: The failure vocabulary of the durable path: everything the stateless
+#: cluster may answer, plus the store's typed errors (miss, quarantined
+#: copy, recovering store) -- note ``WriteQuorumFailed`` subclasses
+#: ``ClusterUnavailable`` and is already covered.
+DURABILITY_TYPED_ERRORS = CLUSTER_TYPED_ERRORS + (StoreError,)
+
+#: Mid-write kill stages cycled across the schedule: before the journal
+#: record exists, torn inside it, and after the fsync whose ack the
+#: client never saw (the classic unacknowledged-but-durable ambiguity).
+_KILL_STAGES = ("segment_staged", "journal_partial", "journal_synced")
+
+
+@dataclass
+class DurabilityChaosConfig:
+    """Knobs of one durability soak (seeded, bounded, reproducible)."""
+
+    shards: int = 4
+    replication: int = 2
+    ops: int = 600
+    seed: int = 0
+    #: Fraction of operations that are puts (each under a fresh key).
+    write_fraction: float = 0.55
+    payload_min: int = 256
+    payload_max: int = 4096
+    deadline_s: float = 3.0
+    base_rate_rps: float = 150.0
+    client_threads: int = 12
+    # -- crash schedule -----------------------------------------------
+    #: Mid-write SIGKILLs (armed at cycled store write stages).
+    kills: int = 3
+    revive_after_s: float = 0.5
+    #: How long an armed kill may wait for a put to reach its stage
+    #: before the controller falls back to a plain kill.
+    arm_timeout_s: float = 1.5
+    # -- disk corruption ----------------------------------------------
+    disk_faults: int = 5
+    # -- scrubber -----------------------------------------------------
+    scrub_interval_s: float = 0.2
+    scrub_budget: int = 32
+    # -- repair -------------------------------------------------------
+    repair_passes: int = 6
+    # -- reporting ----------------------------------------------------
+    postmortem_dir: Optional[str] = None
+    #: Drill switch: one synthetic violation to exercise the postmortem
+    #: and exit-2 paths without breaking the store.
+    force_violation: bool = False
+    #: Store root; ``None`` creates (and cleans up) a temp directory.
+    store_root: Optional[str] = None
+
+    def cluster_config(self, store_root: str) -> ClusterConfig:
+        return ClusterConfig(
+            shards=self.shards,
+            replication=self.replication,
+            deadline_s=self.deadline_s,
+            store_root=store_root,
+            seed=self.seed,
+            # The durable path does its own replica fan-out; encode/
+            # decode hedging is irrelevant to this soak.
+            hedge=False,
+        )
+
+
+def _payload_for(seed: int, index: int, size: int) -> bytes:
+    rng = np.random.default_rng((seed, 0xD15C, index))
+    return rng.bytes(size)
+
+
+def _build_ops(config: DurabilityChaosConfig) -> List[dict]:
+    """Seeded operation schedule: puts mint fresh keys, gets replay them.
+
+    Arrival times come from a plain seeded Poisson process (the diurnal
+    /burst machinery of :mod:`repro.cluster.traffic` models *serving*
+    load; storage soaks want steady pressure so kills land on a busy
+    write path, not in a lull).
+    """
+    rng = np.random.default_rng(config.seed + 0x57)
+    ops: List[dict] = []
+    put_indices: List[int] = []
+    at_s = 0.0
+    for index in range(config.ops):
+        at_s += float(rng.exponential(1.0 / config.base_rate_rps))
+        if not put_indices or float(rng.random()) < config.write_fraction:
+            size = int(
+                rng.integers(config.payload_min, config.payload_max + 1)
+            )
+            ops.append({
+                "at_s": at_s, "op": "put", "key": f"k-{index:05d}",
+                "payload": _payload_for(config.seed, index, size),
+            })
+            put_indices.append(index)
+        else:
+            target = int(
+                put_indices[int(rng.integers(0, len(put_indices)))]
+            )
+            ops.append({
+                "at_s": at_s, "op": "get", "key": f"k-{target:05d}",
+                "payload": None,
+            })
+    return ops
+
+
+def _build_schedule(
+    config: DurabilityChaosConfig,
+    rng: np.random.Generator,
+    shard_ids: Tuple[str, ...],
+    duration_s: float,
+) -> List[dict]:
+    """Seeded kill + disk-fault schedule through the middle of the soak."""
+    events: List[dict] = []
+    # Gaps are revive-window sized (armed kills usually fire within a
+    # few writes); the whole kill train must land well inside the
+    # traffic window -- an armed kill with no traffic left never fires.
+    min_gap = config.revive_after_s + 0.3
+    at = -min_gap
+    for index in range(config.kills):
+        lo = duration_s * (0.1 + 0.5 * index / max(config.kills, 1))
+        at = max(at + min_gap, lo)
+        victim = shard_ids[int(rng.integers(0, len(shard_ids)))]
+        events.append({
+            "at_s": at, "action": "kill", "shard": victim,
+            "stage": _KILL_STAGES[index % len(_KILL_STAGES)],
+        })
+        events.append({
+            "at_s": at + config.revive_after_s,
+            "action": "revive", "shard": victim,
+        })
+    for _ in range(config.disk_faults):
+        at_f = float(rng.uniform(duration_s * 0.1, duration_s * 0.9))
+        victim = shard_ids[int(rng.integers(0, len(shard_ids)))]
+        events.append({"at_s": at_f, "action": "disk", "shard": victim})
+    events.sort(key=lambda event: event["at_s"])
+    return events
+
+
+class _Controller:
+    """Runs the chaos schedule on its own thread."""
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        config: DurabilityChaosConfig,
+        schedule: List[dict],
+        injector: FaultInjector,
+        stop: threading.Event,
+    ) -> None:
+        self.router = router
+        self.config = config
+        self.schedule = schedule
+        self.injector = injector
+        self.stop = stop
+        self.kills_mid_write = 0
+        self.kills_fallback = 0
+        self.disk_faults_applied: List[dict] = []
+        self._damaged_hashes: set = set()
+
+    def run(self, start: float) -> None:
+        for event in self.schedule:
+            lag = start + event["at_s"] - time.perf_counter()
+            if lag > 0 and self.stop.wait(timeout=lag):
+                return
+            if event["action"] == "kill":
+                self._kill(event)
+            elif event["action"] == "revive":
+                self.router.shard(event["shard"]).revive()
+            elif event["action"] == "disk":
+                self._disk_fault(event)
+
+    def _kill(self, event: dict) -> None:
+        shard = self.router.shard(event["shard"])
+        if not shard._alive:
+            # Victim already down (back-to-back schedule slip): pick
+            # any alive shard so the kill count still holds.
+            alive = [
+                self.router.shard(sid) for sid in self.router.shard_ids
+                if self.router.shard(sid)._alive
+            ]
+            if not alive:
+                return
+            shard = alive[0]
+        shard.arm_kill(event["stage"])
+        deadline = time.perf_counter() + self.config.arm_timeout_s
+        while time.perf_counter() < deadline and shard._alive:
+            if self.stop.wait(timeout=0.005):
+                # Soak over with the kill still armed: disarm and bail
+                # (a kill after the settle phase would corrupt the
+                # audit, not the store).
+                shard._armed_kill_stage = None
+                return
+        mid_write = not shard._alive
+        if mid_write:
+            self.kills_mid_write += 1
+            telemetry.count("chaos.durability.mid_write_kills")
+        else:
+            # No put reached the armed stage in time (traffic lull):
+            # plain SIGKILL so the schedule still exercises recovery.
+            shard.kill()
+            self.kills_fallback += 1
+        self.injector._record("faults.shard_kills")
+        flightrecorder.record(
+            "durability_chaos.kill", shard=shard.shard_id,
+            stage=event["stage"], mid_write=mid_write,
+        )
+
+    def _disk_fault(self, event: dict) -> None:
+        shard = self.router.shard(event["shard"])
+        store = shard.store
+        if store is None:
+            return
+        try:
+            names = sorted(
+                name for name in os.listdir(store.segments_dir)
+                if name.endswith(".seg")
+            )
+        except OSError:
+            return
+        rng = self.injector.rng
+        candidates = [
+            name for name in names
+            if name.split(".")[0] not in self._damaged_hashes
+        ]
+        if not candidates:
+            return
+        chosen = candidates[int(rng.integers(0, len(candidates)))]
+        self._damaged_hashes.add(chosen.split(".")[0])
+        mode = self.injector.damage_file(
+            os.path.join(store.segments_dir, chosen)
+        )
+        if mode:
+            self.disk_faults_applied.append({
+                "shard": shard.shard_id, "segment": chosen, "mode": mode,
+            })
+            flightrecorder.record(
+                "durability_chaos.disk_fault",
+                shard=shard.shard_id, segment=chosen, mode=mode,
+            )
+
+
+def _scrub_loop(
+    router: ClusterRouter,
+    config: DurabilityChaosConfig,
+    stop: threading.Event,
+    totals: Dict[str, int],
+) -> None:
+    while not stop.wait(timeout=config.scrub_interval_s):
+        for shard_id in router.shard_ids:
+            shard = router.shard(shard_id)
+            store = shard.store
+            if store is None or not shard.alive or not store.open:
+                continue
+            try:
+                outcome = store.scrub(config.scrub_budget)
+            except StoreError:
+                continue  # crashed between the check and the scrub
+            totals["checked"] += outcome["checked"]
+            totals["quarantined"] += len(outcome["corrupt"])
+
+
+def run_durability_chaos(
+    config: Optional[DurabilityChaosConfig] = None,
+) -> dict:
+    """Run the durability soak; returns the JSON-ready report.
+
+    The ``invariant`` section is the verdict; ``passed`` requires 100%
+    acked-write durability, zero silent corruption, a healed
+    replication factor, and the scheduled mid-write kill count.
+    """
+    config = config or DurabilityChaosConfig()
+    active = telemetry.current()
+    scope = nullcontext(active) if active is not None else telemetry.session()
+    with scope as registry:
+        if config.store_root is not None:
+            return _run_instrumented(config, registry, config.store_root)
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="llm265-durability-") as root:
+            return _run_instrumented(config, registry, root)
+
+
+def _run_instrumented(
+    config: DurabilityChaosConfig, registry, store_root: str
+) -> dict:
+    ops = _build_ops(config)
+    duration_s = ops[-1]["at_s"] if ops else 0.0
+    payloads = {
+        op["key"]: op["payload"] for op in ops if op["op"] == "put"
+    }
+
+    router = ClusterRouter(config.cluster_config(store_root))
+    injector = FaultInjector(seed=config.seed + 23)
+    schedule = _build_schedule(
+        config, injector.rng, router.shard_ids, duration_s
+    )
+
+    acked: Dict[str, Tuple[int, bytes]] = {}
+    acked_lock = threading.Lock()
+    violations: List[dict] = []
+    violations_lock = threading.Lock()
+    checked = {"put": 0, "get": 0}
+
+    def violation(op: dict, reason: str, response) -> None:
+        entry = {
+            "op": op["op"], "key": op["key"], "reason": reason,
+            "error_type": response.error_type if response else "",
+            "shard": response.shard if response else "",
+        }
+        with violations_lock:
+            violations.append(entry)
+        flightrecorder.record(
+            "durability_chaos.violation", **entry
+        )
+
+    ops_by_index = {index: op for index, op in enumerate(ops)}
+
+    def send(arrival: Arrival):
+        op = ops_by_index[arrival.index]
+        if op["op"] == "put":
+            response = router.put(op["payload"], op["key"])
+            if response.ok:
+                with acked_lock:
+                    acked[op["key"]] = (response.version, op["payload"])
+            elif not isinstance(response.error, DURABILITY_TYPED_ERRORS):
+                violation(
+                    op, f"untyped put error {response.error_type}", response
+                )
+        else:
+            response = router.get(op["key"])
+            if response.ok:
+                if response.value != payloads[op["key"]]:
+                    violation(
+                        op,
+                        "silent corruption: served bytes differ from "
+                        "written payload",
+                        response,
+                    )
+            elif not isinstance(response.error, DURABILITY_TYPED_ERRORS):
+                violation(
+                    op, f"untyped get error {response.error_type}", response
+                )
+        with violations_lock:
+            checked[op["op"]] += 1
+        return response
+
+    arrivals = [
+        Arrival(
+            at_s=op["at_s"], index=index, session=0,
+            tensor_id=op["key"], side=0, kind=op["op"],
+        )
+        for index, op in enumerate(ops)
+    ]
+
+    stop = threading.Event()
+    controller = _Controller(router, config, schedule, injector, stop)
+    scrub_totals = {"checked": 0, "quarantined": 0}
+    started = time.perf_counter()
+    controller_thread = threading.Thread(
+        target=controller.run, args=(started,),
+        name="durability-chaos-controller", daemon=True,
+    )
+    scrubber_thread = threading.Thread(
+        target=_scrub_loop, args=(router, config, stop, scrub_totals),
+        name="durability-scrubber", daemon=True,
+    )
+    controller_thread.start()
+    scrubber_thread.start()
+    driver = OpenLoopDriver(send, client_threads=config.client_threads)
+    repair_report = None
+    try:
+        driver.run(arrivals)
+    finally:
+        # The chaos must be fully over before the settle phase: a kill
+        # or disk fault landing mid-audit would invalidate the verdict
+        # (and model nothing -- the soak window has closed).
+        stop.set()
+        controller_thread.join(timeout=5.0)
+        scrubber_thread.join(timeout=5.0)
+    # -- settle: revive everything, heal, then judge ------------------
+    for shard_id in router.shard_ids:
+        shard = router.shard(shard_id)
+        if not shard._alive:
+            shard.revive()
+    # Re-admit every healthy shard directly (the probe path needs
+    # live traffic to fire; the soak is over).
+    with router._lock:
+        for shard_id, health in router.health.items():
+            health.reset()
+            router._sync_ring_locked(shard_id)
+    # Full scrub: force every latent disk fault to surface as
+    # quarantine *before* repair, so repair has something to heal.
+    for shard_id in router.shard_ids:
+        store = router.shard(shard_id).store
+        if store is not None and store.open:
+            outcome = store.scrub(None)
+            scrub_totals["checked"] += outcome["checked"]
+            scrub_totals["quarantined"] += len(outcome["corrupt"])
+    repair_report = repair_until_converged(
+        router, max_passes=config.repair_passes
+    )
+    elapsed_s = time.perf_counter() - started
+
+    # -- final durability audit: every acked write, bit-exact ---------
+    acked_lost: List[dict] = []
+    for key, (version, payload) in sorted(acked.items()):
+        response = router.get(key)
+        if not response.ok:
+            acked_lost.append({
+                "key": key, "version": version,
+                "error_type": response.error_type,
+            })
+            violation(
+                {"op": "audit", "key": key},
+                f"acked write lost: final read failed "
+                f"({response.error_type})",
+                response,
+            )
+        elif response.value != payload:
+            acked_lost.append({
+                "key": key, "version": version, "error_type": "mismatch",
+            })
+            violation(
+                {"op": "audit", "key": key},
+                "acked write corrupted: final read not bit-exact",
+                response,
+            )
+
+    # -- replication census: winner held by min(R, alive) owners ------
+    digests = collect_digests(router)
+    required = min(config.replication, max(len(digests), 1))
+    under_replicated: List[dict] = []
+    for key, (version, payload) in sorted(acked.items()):
+        expected = (
+            version,
+            hashlib.blake2b(payload, digest_size=16).hexdigest(),
+        )
+        holders = sum(
+            1 for digest in digests.values()
+            if digest.get(key) == expected
+        )
+        if holders < required:
+            under_replicated.append({
+                "key": key, "holders": holders, "required": required,
+            })
+            violation(
+                {"op": "census", "key": key},
+                f"replication not restored: {holders}/{required} holders",
+                None,
+            )
+
+    if config.force_violation:
+        violation(
+            {"op": "drill", "key": "drill"},
+            "drill: forced durability violation", None,
+        )
+
+    router.close()
+
+    kills_done = controller.kills_mid_write + controller.kills_fallback
+    silent = sum(
+        1 for v in violations if v["reason"].startswith(
+            ("silent", "acked write corrupted")
+        )
+    )
+    report = {
+        "config": asdict(config),
+        "elapsed_s": elapsed_s,
+        "offered_duration_s": duration_s,
+        "checked": dict(checked),
+        "acked_writes": len(acked),
+        "schedule": schedule,
+        "disk_faults_applied": controller.disk_faults_applied,
+        "scrub": dict(scrub_totals),
+        "repair": repair_report.to_dict() if repair_report else None,
+        "cluster": router.stats(),
+        "invariant": {
+            "acked_writes": len(acked),
+            "acked_lost": acked_lost,
+            "silent_corruptions": silent,
+            "under_replicated": under_replicated,
+            "mid_write_kills": controller.kills_mid_write,
+            "fallback_kills": controller.kills_fallback,
+            "kills_required": config.kills,
+            "repair_converged": bool(
+                repair_report and repair_report.converged
+            ),
+            "violations": violations,
+            "passed": (
+                not violations
+                and not acked_lost
+                and not under_replicated
+                and kills_done >= config.kills
+                and bool(repair_report and repair_report.converged)
+            ),
+        },
+    }
+    report["postmortem"] = None
+    if not report["invariant"]["passed"] and config.postmortem_dir:
+        report["postmortem"] = flightrecorder.dump_bundle(
+            config.postmortem_dir,
+            reason="durability-chaos-violation",
+            registry=registry,
+            seed=config.seed,
+            extra={
+                "invariant": {
+                    k: v for k, v in report["invariant"].items()
+                },
+                "schedule": schedule,
+                "disk_faults": controller.disk_faults_applied,
+            },
+        )
+    return report
+
+
+def format_durability_report(report: dict) -> str:
+    """Human-readable durability soak verdict for the CLI."""
+    inv = report["invariant"]
+    cfg = report["config"]
+    lines = [
+        f"durability chaos: {report['checked']['put']} puts / "
+        f"{report['checked']['get']} gets across {cfg['shards']} shards "
+        f"(R={cfg['replication']}) in {report['elapsed_s']:.1f}s",
+        f"schedule: {inv['mid_write_kills']} mid-write kills "
+        f"(+{inv['fallback_kills']} fallback, {inv['kills_required']} "
+        f"required), {len(report['disk_faults_applied'])} disk faults "
+        f"({', '.join(sorted({f['mode'] for f in report['disk_faults_applied']})) or 'none'})",
+        f"scrub: {report['scrub']['checked']} segments checked, "
+        f"{report['scrub']['quarantined']} quarantined",
+    ]
+    repair = report.get("repair")
+    if repair:
+        lines.append(
+            f"repair: {repair['passes']} pass(es), "
+            f"{repair['copies_made']} copies, "
+            f"converged={repair['converged']}"
+        )
+    lines.append(
+        f"durability: {inv['acked_writes']} acked writes, "
+        f"{len(inv['acked_lost'])} lost, "
+        f"{inv['silent_corruptions']} silent corruptions, "
+        f"{len(inv['under_replicated'])} under-replicated"
+    )
+    lines.append(
+        "invariant: " + ("PASS" if inv["passed"] else "FAIL")
+    )
+    for violated in inv["violations"][:10]:
+        lines.append(f"  violation: {violated}")
+    if report.get("postmortem"):
+        lines.append(f"postmortem bundle: {report['postmortem']}")
+    return "\n".join(lines)

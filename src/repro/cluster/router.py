@@ -44,6 +44,7 @@ in ``telemetry.worker_deltas_lost``).
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from collections import deque
@@ -70,12 +71,14 @@ from repro.serving.slo import SloTracker, _nearest_rank
 from repro.cluster.health import ShardHealth
 from repro.cluster.ring import HashRing
 from repro.cluster.shard import ClusterShard, ShardDown
+from repro.cluster.store import NotFound, StoreError
 
 __all__ = [
     "ClusterConfig",
     "ClusterResponse",
     "ClusterRouter",
     "ClusterUnavailable",
+    "WriteQuorumFailed",
 ]
 
 FaultGate = Callable[[str], None]
@@ -88,6 +91,23 @@ DETERMINISTIC_ERRORS = (CorruptStreamError, ValueError)
 
 class ClusterUnavailable(RuntimeError):
     """Typed cluster-level rejection: no shard exists to serve the key."""
+
+
+class WriteQuorumFailed(ClusterUnavailable):
+    """A durable put reached fewer than ``write_quorum`` replicas.
+
+    The write is **not acknowledged**: the caller must treat it as
+    lost (any partial copies that did land are harmless -- a retry
+    under a new version, or anti-entropy, supersedes them).
+    """
+
+    def __init__(self, key: str, acked: int, quorum: int) -> None:
+        super().__init__(
+            f"put {key!r} acked by {acked}/{quorum} required replicas"
+        )
+        self.key = key
+        self.acked = acked
+        self.quorum = quorum
 
 
 @dataclass
@@ -148,6 +168,19 @@ class ClusterConfig:
     #: queue bound, is what limits worst-case latency.
     shard_max_queue: int = 64
     supervisor_workers: int = 16
+    # -- durable storage ----------------------------------------------
+    #: Root directory for per-shard stores; ``None`` leaves the cluster
+    #: stateless (PR 7 behaviour).  Each shard gets
+    #: ``<store_root>/<shard_id>/``.
+    store_root: Optional[str] = None
+    #: Replica acks required before a put is acknowledged; 0 means all
+    #: R replicas (strongest durability the ring can offer).
+    write_quorum: int = 0
+    #: fsync journal + segments on the ack path (tests may disable).
+    store_fsync: bool = True
+    #: Run an anti-entropy pass whenever a drained shard is re-admitted
+    #: (the death/revive healing loop).
+    repair_on_readmit: bool = True
     # -- plumbing -----------------------------------------------------
     #: Dispatch-pool size; 0 sizes it from the shard envelope.
     io_workers: int = 0
@@ -157,6 +190,11 @@ class ClusterConfig:
         if self.io_workers > 0:
             return self.io_workers
         return max(8, self.shards * (self.shard_max_inflight + 1))
+
+    def resolved_write_quorum(self) -> int:
+        if self.write_quorum > 0:
+            return min(self.write_quorum, self.replication)
+        return self.replication
 
     def service_config(self, shard_index: int) -> ServiceConfig:
         return ServiceConfig(
@@ -176,7 +214,7 @@ class ClusterResponse:
     """The one shape every cluster request resolves to."""
 
     ok: bool
-    kind: str  # "encode" | "decode"
+    kind: str  # "encode" | "decode" | "put" | "get"
     request_id: int = 0
     value: object = None
     degraded: bool = False
@@ -186,6 +224,8 @@ class ClusterResponse:
     hedged: bool = False  # a backup dispatch fired
     hedge_won: bool = False  # ...and its result was the one committed
     failovers: int = 0  # replica-to-replica failover dispatches
+    replicas_acked: int = 0  # durable puts: replicas that fsynced the write
+    version: int = 0  # durable puts: the version this write committed as
     concealed: int = 0
     report: Optional[ConcealmentReport] = None
     latency_s: float = 0.0
@@ -261,7 +301,16 @@ class ClusterRouter:
         cfg = self.config
         if shards is None:
             shards = [
-                ClusterShard(f"shard-{i}", cfg.service_config(i))
+                ClusterShard(
+                    f"shard-{i}",
+                    cfg.service_config(i),
+                    store_dir=(
+                        os.path.join(cfg.store_root, f"shard-{i}")
+                        if cfg.store_root is not None
+                        else None
+                    ),
+                    store_fsync=cfg.store_fsync,
+                )
                 for i in range(cfg.shards)
             ]
         if not shards:
@@ -287,6 +336,10 @@ class ClusterRouter:
             thread_name_prefix="cluster-io",
         )
         self._request_ids = itertools.count(1)
+        # Durable-put version clock: one total order across the router,
+        # so anti-entropy's (version, hash) winner rule is unambiguous.
+        self._versions = itertools.count(1)
+        self._repair_inflight = False
         # Latency reservoir feeding the derived hedge delay.
         self._latencies: deque = deque(maxlen=512)
         self._hedge_cache: Tuple[int, float] = (-1, cfg.hedge_initial_delay_s)
@@ -300,6 +353,10 @@ class ClusterRouter:
                 "losers_cancelled", "losers_discarded",
                 "duplicate_results_dropped", "probes", "probe_timeouts",
                 "shard_drained", "shard_readmitted", "no_healthy_shards",
+                "store_puts", "store_put_acks",
+                "store_put_quorum_failures", "store_gets",
+                "store_get_failovers", "store_get_misses",
+                "repair_passes", "repair_copies",
             )
         }
 
@@ -357,6 +414,179 @@ class ClusterRouter:
             )
 
         return self._route("decode", tensor_id, call, deadline_s)
+
+    # -- durable key/value API -----------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        """True when the shards carry :class:`ShardStore` backends."""
+        return any(
+            shard.store is not None for shard in self._shards.values()
+        )
+
+    def put(
+        self,
+        payload: bytes,
+        tensor_id: str,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+    ) -> ClusterResponse:
+        """Durably store ``payload`` on the key's replica set.
+
+        The write fans out to every replica and is **acknowledged only
+        when at least ``write_quorum`` of them have journaled and
+        fsynced it** -- an ok response is a durability promise the
+        soak holds the cluster to.  Below quorum the response is the
+        typed :class:`WriteQuorumFailed` and the caller must treat the
+        write as lost (partial copies are superseded by any retry).
+        """
+        cfg = self.config
+        start_time = time.perf_counter()
+        deadline = Deadline.after(
+            deadline_s if deadline_s is not None else cfg.deadline_s,
+            label="cluster.put",
+        )
+        ctx = mint_trace("cluster-put", budget_s=deadline.remaining())
+        request_id = next(self._request_ids)
+        version = next(self._versions)
+        self._count("requests")
+        self._count("store_puts")
+        telemetry.count("cluster.store_puts")
+        with trace_scope(ctx), telemetry.span("cluster.put"):
+            self._maybe_probe(deadline)
+            candidates = self._candidates(tensor_id)
+            if not candidates:
+                response = ClusterResponse(
+                    ok=False, kind="put", request_id=request_id,
+                    error=ClusterUnavailable("no shards configured"),
+                    version=version,
+                )
+                return self._finish(response, start_time, ctx.trace_id)
+            quorum = min(cfg.resolved_write_quorum(), len(candidates))
+            futures = {
+                shard_id: self._executor.submit(
+                    self._shards[shard_id].put,
+                    tensor_id, payload, version, fault_gate,
+                )
+                for shard_id in candidates
+            }
+            acked: List[str] = []
+            last_error: Optional[BaseException] = None
+            for shard_id, future in futures.items():
+                try:
+                    outcome = future.result(
+                        timeout=max(deadline.remaining(), 1e-3)
+                    )
+                except Exception:  # pragma: no cover - pool shutdown race
+                    outcome = ServeResponse(
+                        ok=False, kind="put",
+                        error=DeadlineExceeded(
+                            f"put replica {shard_id} timed out"
+                        ),
+                    )
+                self._record_store_health(shard_id, outcome)
+                if outcome.ok:
+                    acked.append(shard_id)
+                    self._count("store_put_acks")
+                else:
+                    last_error = outcome.error
+            if len(acked) >= quorum:
+                response = ClusterResponse(
+                    ok=True, kind="put", request_id=request_id,
+                    value=version, shard=acked[0],
+                    replicas_acked=len(acked), version=version,
+                )
+            else:
+                self._count("store_put_quorum_failures")
+                telemetry.count("cluster.store_put_quorum_failures")
+                error = WriteQuorumFailed(tensor_id, len(acked), quorum)
+                if last_error is not None:
+                    error.__cause__ = last_error
+                flightrecorder.record(
+                    "cluster.put_quorum_failed",
+                    key=tensor_id, acked=len(acked), quorum=quorum,
+                    trace=ctx.trace_id,
+                )
+                response = ClusterResponse(
+                    ok=False, kind="put", request_id=request_id,
+                    error=error, replicas_acked=len(acked), version=version,
+                )
+        return self._finish(response, start_time, ctx.trace_id)
+
+    def get(
+        self,
+        tensor_id: str,
+        deadline_s: Optional[float] = None,
+        fault_gate: Optional[FaultGate] = None,
+    ) -> ClusterResponse:
+        """Verified read: bit-exact acknowledged bytes or a typed error.
+
+        Replicas are tried in ring order; a miss, quarantined segment,
+        or dead shard fails over to the next.  Every served payload was
+        CRC-verified by the shard's store, so a successful response is
+        bit-exact by construction -- corruption surfaces as failover,
+        and only as a typed error once every replica is exhausted.
+        """
+        cfg = self.config
+        start_time = time.perf_counter()
+        deadline = Deadline.after(
+            deadline_s if deadline_s is not None else cfg.deadline_s,
+            label="cluster.get",
+        )
+        ctx = mint_trace("cluster-get", budget_s=deadline.remaining())
+        request_id = next(self._request_ids)
+        self._count("requests")
+        self._count("store_gets")
+        telemetry.count("cluster.store_gets")
+        with trace_scope(ctx), telemetry.span("cluster.get"):
+            self._maybe_probe(deadline)
+            candidates = self._candidates(tensor_id)
+            last_error: Optional[BaseException] = None
+            all_missing = bool(candidates)
+            failovers = 0
+            for position, shard_id in enumerate(candidates):
+                if deadline.expired():
+                    last_error = DeadlineExceeded(
+                        "cluster.get deadline exceeded mid-failover"
+                    )
+                    all_missing = False
+                    break
+                outcome = self._shards[shard_id].get(
+                    tensor_id, fault_gate=fault_gate
+                )
+                self._record_store_health(shard_id, outcome)
+                if outcome.ok:
+                    response = ClusterResponse(
+                        ok=True, kind="get", request_id=request_id,
+                        value=outcome.value, shard=shard_id,
+                        failovers=failovers,
+                    )
+                    return self._finish(response, start_time, ctx.trace_id)
+                last_error = outcome.error
+                if not isinstance(outcome.error, NotFound):
+                    all_missing = False
+                if position + 1 < len(candidates):
+                    failovers += 1
+                    self._count("store_get_failovers")
+                    telemetry.count("cluster.store_get_failovers")
+            if all_missing:
+                self._count("store_get_misses")
+                last_error = NotFound(
+                    tensor_id, f"key {tensor_id!r} on no replica"
+                )
+            response = ClusterResponse(
+                ok=False, kind="get", request_id=request_id,
+                error=last_error
+                or ClusterUnavailable("no shards configured"),
+                failovers=failovers,
+            )
+        return self._finish(response, start_time, ctx.trace_id)
+
+    def run_repair(self, max_passes: int = 4):
+        """Run anti-entropy until the R-way invariant holds (or passes cap)."""
+        from repro.cluster.repair import repair_until_converged
+
+        return repair_until_converged(self, max_passes=max_passes)
 
     # -- request machinery ---------------------------------------------
 
@@ -665,6 +895,24 @@ class ClusterRouter:
             self._sync_ring_locked(shard_id)
             return True
 
+    def _record_store_health(
+        self, shard_id: str, response: ServeResponse
+    ) -> None:
+        """Health accounting for the durable path.
+
+        A typed :class:`StoreError` (miss, quarantined key) is a
+        *healthy* interaction -- the shard answered correctly about
+        data it does not hold; punishing it would drain shards for
+        corruption that repair, not routing, fixes.  Everything else
+        flows through the standard taxonomy.
+        """
+        if response.ok or isinstance(response.error, StoreError):
+            with self._lock:
+                self.health[shard_id].record(True)
+                self._sync_ring_locked(shard_id)
+            return
+        self._record_health(shard_id, response)
+
     def _sync_ring_locked(self, shard_id: str) -> None:
         """Make ring membership agree with health (caller holds lock)."""
         healthy = self.health[shard_id].healthy
@@ -673,11 +921,39 @@ class ClusterRouter:
             self._count_locked("shard_readmitted")
             telemetry.count("cluster.shard_readmitted")
             flightrecorder.record("cluster.shard_readmitted", shard=shard_id)
+            self._schedule_repair_locked(shard_id)
         elif not healthy and shard_id in self.ring:
             self.ring.remove(shard_id)
             self._count_locked("shard_drained")
             telemetry.count("cluster.shard_drained")
             flightrecorder.record("cluster.shard_drained", shard=shard_id)
+
+    def _schedule_repair_locked(self, shard_id: str) -> None:
+        """Kick anti-entropy after a re-admission (caller holds lock).
+
+        A shard that was drained -- killed, hung, or breaker-tripped --
+        re-enters the ring owning key ranges it may have missed writes
+        for (or, post-crash, lost journal-tail records of).  One
+        background repair pass restores the R-way invariant; the
+        in-flight flag collapses a re-admission burst into one pass.
+        """
+        cfg = self.config
+        if not cfg.repair_on_readmit or self._repair_inflight:
+            return
+        if not any(s.store is not None for s in self._shards.values()):
+            return
+        self._repair_inflight = True
+        flightrecorder.record("cluster.repair_scheduled", shard=shard_id)
+        self._executor.submit(self._repair_task)
+
+    def _repair_task(self) -> None:
+        try:
+            self.run_repair()
+        except Exception:  # pragma: no cover - repair must never crash IO
+            flightrecorder.record("cluster.repair_crashed")
+        finally:
+            with self._lock:
+                self._repair_inflight = False
 
     def _maybe_probe(self, deadline: Optional[Deadline] = None) -> None:
         """Send one bounded probe to a drained shard whose cooldown is up."""

@@ -17,14 +17,26 @@ process dying (SIGKILL) or wedging (hung event loop).  A
   the service's attempt timeout and the router's hedge/probe deadlines
   are what bound it, which is the point.
 - :meth:`revive` -- the "process restarted" transition.  The shard
-  serves again, but the router only returns traffic after its health
-  probe succeeds.
+  first runs crash-consistent recovery on its durable store (journal
+  replay, torn-tail truncation -- see :mod:`repro.cluster.store`) and
+  only *then* reports :attr:`alive`; a reviving shard mid-replay
+  refuses requests with :class:`ShardDown` exactly like a dead one, so
+  the router's health probe cannot re-admit it before its index is
+  trustworthy.  Traffic returns after that probe succeeds.
 
 :class:`ShardDown` deliberately subclasses :class:`Exception`, not
 ``RuntimeError``: the supervisor retries ``RETRYABLE`` (RuntimeError)
 faults *within* the shard, and retrying against a dead process from
 inside it is wasted budget -- failover to a replica is the router's
 job and needs the error surfaced immediately.
+
+When constructed with a ``store_dir``, the shard also exposes the
+durable key/value surface (:meth:`put` / :meth:`get`) over a
+:class:`~repro.cluster.store.ShardStore`; :meth:`kill` crashes the
+store with the process (volatile index gone, disk keeps only what was
+flushed), and :meth:`arm_kill` lets the chaos harness schedule the
+kill at a precise mid-write stage (``"journal_partial"`` et al.) to
+manufacture genuinely torn writes.
 """
 
 from __future__ import annotations
@@ -38,6 +50,7 @@ import repro.telemetry as telemetry
 from repro.telemetry import flightrecorder
 from repro.telemetry.propagate import TraceContext
 from repro.serving.service import CodecService, ServeResponse, ServiceConfig
+from repro.cluster.store import PUT_STAGES, ShardStore, StoreError
 
 __all__ = ["ClusterShard", "ShardDown"]
 
@@ -59,29 +72,58 @@ class ClusterShard:
         self,
         shard_id: str,
         config: Optional[ServiceConfig] = None,
+        store_dir: Optional[str] = None,
+        store_fsync: bool = True,
     ) -> None:
         self.shard_id = shard_id
         self.service = CodecService(config)
+        self.store: Optional[ShardStore] = (
+            ShardStore(store_dir, shard_id=shard_id, fsync=store_fsync)
+            if store_dir is not None
+            else None
+        )
         self._alive = True
+        self._recovering = False
         self._hang_until = 0.0
+        self._armed_kill_stage: Optional[str] = None
         self.kills = 0
         self.served = 0
         self.refused = 0
+        self.recovery_hook: Optional[Callable[[], None]] = None
 
     # -- lifecycle -----------------------------------------------------
 
     @property
     def alive(self) -> bool:
-        return self._alive
+        # A reviving shard is *up* but not *serving*: its journal replay
+        # has not finished, so its index cannot be trusted yet.
+        return self._alive and not self._recovering
 
     def kill(self) -> None:
         """SIGKILL the shard: everything in flight dies with it."""
         if not self._alive:
             return
         self._alive = False
+        self._armed_kill_stage = None
+        if self.store is not None:
+            self.store.crash()
         self.kills += 1
         telemetry.count("cluster.shard_kills")
         flightrecorder.record("cluster.shard_killed", shard=self.shard_id)
+
+    def arm_kill(self, stage: str) -> None:
+        """Schedule :meth:`kill` to fire at the next store-write ``stage``.
+
+        ``stage`` must be one of :data:`~repro.cluster.store.PUT_STAGES`;
+        the kill lands inside the next :meth:`put` that reaches it,
+        which is how the durability soak manufactures deterministic
+        SIGKILL-mid-write crashes (torn journal tails included).
+        """
+        if stage not in PUT_STAGES:
+            raise ValueError(
+                f"unknown put stage {stage!r}; expected one of {PUT_STAGES}"
+            )
+        self._armed_kill_stage = stage
 
     def hang(self, duration_s: float) -> None:
         """Wedge the shard: requests stall until ``duration_s`` elapses."""
@@ -94,11 +136,25 @@ class ClusterShard:
         )
 
     def revive(self) -> None:
-        """The process is back; traffic returns via the router's probe."""
+        """The process is back; traffic returns via the router's probe.
+
+        Recovery runs *before* the shard reports :attr:`alive`: while
+        the journal replays, requests (including health probes) are
+        refused with :class:`ShardDown`, so the router cannot re-admit
+        a shard whose index is still being rebuilt.
+        """
         if self._alive:
             return
+        self._recovering = True
         self._alive = True
         self._hang_until = 0.0
+        try:
+            if self.recovery_hook is not None:
+                self.recovery_hook()
+            if self.store is not None:
+                self.store.recover()
+        finally:
+            self._recovering = False
         flightrecorder.record("cluster.shard_revived", shard=self.shard_id)
 
     # -- request path --------------------------------------------------
@@ -145,21 +201,94 @@ class ClusterShard:
             tensor, qp=32.0, deadline_s=deadline_s, trace_ctx=trace_ctx
         )
 
+    # -- durable key/value surface -------------------------------------
+
+    def put(
+        self,
+        key: str,
+        payload: bytes,
+        version: int,
+        fault_gate: Optional[FaultGate] = None,
+    ) -> ServeResponse:
+        """Durably store ``payload`` on this shard's :class:`ShardStore`.
+
+        The store's write-stage gates flow through the shard's fault
+        gate, so an armed kill (or a kill from another thread) lands
+        mid-write with the same semantics as any other request: the
+        response is :class:`ShardDown` even if the bytes made it to
+        disk -- the caller cannot know, which is exactly the ambiguity
+        anti-entropy resolves later.
+        """
+        if self.store is None:
+            raise RuntimeError(f"shard {self.shard_id} has no store")
+        started = time.monotonic()
+
+        def run(gate: Optional[FaultGate]) -> ServeResponse:
+            try:
+                entry = self.store.put(key, payload, version, gate=gate)
+            except StoreError as exc:
+                return ServeResponse(
+                    ok=False, kind="put", error=exc,
+                    latency_s=time.monotonic() - started,
+                )
+            return ServeResponse(
+                ok=True, kind="put", value=entry,
+                latency_s=time.monotonic() - started,
+            )
+
+        return self._call("put", run, fault_gate)
+
+    def get(
+        self, key: str, fault_gate: Optional[FaultGate] = None
+    ) -> ServeResponse:
+        """Verified read from this shard's store (bytes, or typed error)."""
+        if self.store is None:
+            raise RuntimeError(f"shard {self.shard_id} has no store")
+        started = time.monotonic()
+
+        def run(gate: Optional[FaultGate]) -> ServeResponse:
+            if gate is not None:
+                gate("get")
+            try:
+                payload = self.store.get(key)
+            except StoreError as exc:
+                return ServeResponse(
+                    ok=False, kind="get", error=exc,
+                    latency_s=time.monotonic() - started,
+                )
+            return ServeResponse(
+                ok=True, kind="get", value=payload,
+                latency_s=time.monotonic() - started,
+            )
+
+        return self._call("get", run, fault_gate)
+
     def _call(
         self,
         kind: str,
         run: Callable[[Optional[FaultGate]], ServeResponse],
         extra_gate: Optional[FaultGate],
     ) -> ServeResponse:
-        if not self._alive:
+        if not self.alive:
             self.refused += 1
+            reason = (
+                "shard is recovering" if self._recovering else ""
+            )
             return ServeResponse(
-                ok=False, kind=kind, error=ShardDown(self.shard_id)
+                ok=False, kind=kind,
+                error=ShardDown(self.shard_id, reason),
             )
 
         def gate(gate_kind: str) -> None:
             # Shard-level faults first (the process hosts the worker)...
             if not self._alive:
+                raise ShardDown(self.shard_id, "shard died mid-request")
+            if self._armed_kill_stage is not None and (
+                gate_kind == self._armed_kill_stage
+            ):
+                # The scheduled SIGKILL: the process dies at exactly
+                # this write stage, taking this request with it.
+                self.kill()
                 raise ShardDown(self.shard_id, "shard died mid-request")
             stall = self._hang_until - time.monotonic()
             if stall > 0:
@@ -187,15 +316,19 @@ class ClusterShard:
     # -- introspection -------------------------------------------------
 
     def stats(self) -> dict:
-        return {
+        info = {
             "shard": self.shard_id,
             "alive": self._alive,
+            "recovering": self._recovering,
             "kills": self.kills,
             "served": self.served,
             "refused": self.refused,
             "slo": self.service.slo.snapshot(),
             "breakers": self.service.ladder.stats()["breakers"],
         }
+        if self.store is not None:
+            info["store"] = self.store.stats()
+        return info
 
     def __repr__(self) -> str:
         state = "alive" if self._alive else "down"

@@ -11,10 +11,19 @@ calls :meth:`corrupt` on each transmission attempt, the data-parallel
 trainer consults :meth:`worker_crashes`, and anything byte-shaped can
 be damaged directly (checkpoint files, containers, frame streams) for
 fuzzing.
+
+Beyond in-flight bytes, the injector also damages bytes *at rest*:
+:meth:`file_bit_flip`, :meth:`file_truncate`, and :meth:`file_unlink`
+model latent sector corruption, a lost write (torn file tail), and a
+vanished file respectively -- the three disk failure modes the durable
+store's scrubber and recovery path must turn into typed errors, never
+silent wrong answers.  :meth:`damage_file` picks one at random
+(seeded) for soak-style chaos.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -22,7 +31,10 @@ import numpy as np
 
 import repro.telemetry as telemetry
 
-__all__ = ["FaultConfig", "FaultInjector", "RetryPolicy"]
+__all__ = ["DISK_FAULT_MODES", "FaultConfig", "FaultInjector", "RetryPolicy"]
+
+#: On-disk fault modes :meth:`FaultInjector.damage_file` chooses among.
+DISK_FAULT_MODES = ("bit_flip", "truncate", "unlink")
 
 
 @dataclass
@@ -128,6 +140,83 @@ class FaultInjector:
         if not payload:
             return payload
         return payload[: int(self.rng.integers(0, len(payload)))]
+
+    # -- at-rest (on-disk) faults --------------------------------------
+
+    def file_bit_flip(self, path: str, flips: int = 1) -> int:
+        """Flip ``flips`` random bits in the file at ``path``, in place.
+
+        Models latent sector corruption (bit rot): the file keeps its
+        size and mtime-ish plausibility, only the payload is wrong --
+        exactly what only a CRC re-verification can catch.  Returns the
+        number of bits flipped (0 for an empty or missing file).
+        """
+        try:
+            with open(path, "r+b") as handle:
+                blob = handle.read()
+                if not blob:
+                    return 0
+                handle.seek(0)
+                handle.write(self.flip_bits(blob, flips))
+        except OSError:
+            return 0
+        self._record("faults.disk.bit_flips")
+        return flips
+
+    def file_truncate(self, path: str, at: Optional[int] = None) -> int:
+        """Truncate the file at ``at`` (random offset if ``None``).
+
+        Models a lost write / torn tail: everything past the cut is
+        gone, everything before it is intact.  Returns the number of
+        bytes removed.
+        """
+        try:
+            size = os.path.getsize(path)
+            if size == 0:
+                return 0
+            cut = (
+                int(self.rng.integers(0, size)) if at is None
+                else max(0, min(int(at), size))
+            )
+            with open(path, "r+b") as handle:
+                handle.truncate(cut)
+        except OSError:
+            return 0
+        self._record("faults.disk.truncations")
+        return size - cut
+
+    def file_unlink(self, path: str) -> bool:
+        """Delete the file outright (vanished segment / fat-finger rm)."""
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        self._record("faults.disk.unlinks")
+        return True
+
+    def damage_file(self, path: str, mode: Optional[str] = None) -> str:
+        """Apply one seeded on-disk fault to ``path``; returns the mode used.
+
+        ``mode`` pins the fault kind; otherwise one of
+        :data:`DISK_FAULT_MODES` is drawn from the injector's generator
+        so a soak's disk carnage is as reproducible as its link faults.
+        Returns ``""`` when the fault could not be applied (missing or
+        empty file).
+        """
+        if mode is None:
+            mode = DISK_FAULT_MODES[
+                int(self.rng.integers(0, len(DISK_FAULT_MODES)))
+            ]
+        if mode == "bit_flip":
+            flips = int(self.rng.integers(1, self.config.max_flips + 1))
+            return mode if self.file_bit_flip(path, flips) else ""
+        if mode == "truncate":
+            return mode if self.file_truncate(path) else ""
+        if mode == "unlink":
+            return mode if self.file_unlink(path) else ""
+        raise ValueError(
+            f"unknown disk fault mode {mode!r}; expected {DISK_FAULT_MODES}"
+        )
 
     # -- timing / liveness faults --------------------------------------
 

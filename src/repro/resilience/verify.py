@@ -29,9 +29,14 @@ class VerifyIssue:
 
     location: str  # e.g. "slice 3", "entry 'blocks.0.w'", "header"
     reason: str
+    #: ``"corrupt"`` -- data is lost or falsified; ``"torn"`` -- an
+    #: interrupted append that crash recovery would cleanly truncate
+    #: (store journals only).  The CLI maps these to distinct exit codes.
+    category: str = "corrupt"
 
     def __str__(self) -> str:
-        return f"{self.location}: {self.reason}"
+        tag = f" [{self.category}]" if self.category != "corrupt" else ""
+        return f"{self.location}: {self.reason}{tag}"
 
 
 @dataclass
@@ -39,7 +44,7 @@ class VerifyReport:
     """Outcome of one integrity check."""
 
     path: str
-    kind: str  # "container" | "stream" | "checkpoint" | "unknown"
+    kind: str  # "container" | "stream" | "checkpoint" | "store" | "unknown"
     checked: int = 0  # CRC-protected regions inspected
     issues: List[VerifyIssue] = field(default_factory=list)
     deep: bool = False
@@ -48,8 +53,15 @@ class VerifyReport:
     def ok(self) -> bool:
         return not self.issues
 
-    def add(self, location: str, reason: str) -> None:
-        self.issues.append(VerifyIssue(location, reason))
+    @property
+    def torn_only(self) -> bool:
+        """Every issue is a recoverable torn tail (no data corruption)."""
+        return bool(self.issues) and all(
+            issue.category == "torn" for issue in self.issues
+        )
+
+    def add(self, location: str, reason: str, category: str = "corrupt") -> None:
+        self.issues.append(VerifyIssue(location, reason, category))
 
     def summary(self) -> str:
         mode = "deep" if self.deep else "fast"
@@ -58,8 +70,9 @@ class VerifyReport:
                 f"{self.path}: OK ({self.kind}, {self.checked} regions "
                 f"verified, {mode} check)"
             )
+        verdict = "TORN" if self.torn_only else "DAMAGED"
         lines = [
-            f"{self.path}: DAMAGED ({self.kind}, {len(self.issues)} issue(s), "
+            f"{self.path}: {verdict} ({self.kind}, {len(self.issues)} issue(s), "
             f"{mode} check)"
         ]
         lines.extend(f"  - {issue}" for issue in self.issues)
@@ -155,8 +168,36 @@ def verify_bytes(raw: bytes, path: str = "<bytes>", deep: bool = False) -> Verif
     return report
 
 
+def _verify_store_dir(path: str, deep: bool) -> VerifyReport:
+    """A shard store directory: journal records + segment inventory.
+
+    Read-only -- unlike the store's own recovery this truncates and
+    quarantines nothing.  A torn journal tail is reported with
+    category ``"torn"`` (recovery would fix it losing only the
+    unacknowledged write); everything else is ``"corrupt"``.
+    """
+    from repro.cluster.store import scan_store
+
+    report = VerifyReport(path=str(path), kind="store", deep=deep)
+    scan = scan_store(path, deep=deep)
+    report.checked = (
+        scan["journal_records"] + scan["segments_checked"]
+    )
+    for category, location, reason in scan["issues"]:
+        report.add(location, reason, category=category)
+    return report
+
+
 def verify_path(path: str, deep: bool = False) -> VerifyReport:
-    """Verify a file on disk; never raises on damaged *content*."""
+    """Verify a file (any LLM.265 format) or a store directory on disk.
+
+    Never raises on damaged *content*; a directory is dispatched to the
+    shard-store scanner (``journal.log`` + ``segments/``).
+    """
+    import os
+
+    if os.path.isdir(path):
+        return _verify_store_dir(path, deep)
     with open(path, "rb") as handle:
         raw = handle.read()
     return verify_bytes(raw, path=str(path), deep=deep)

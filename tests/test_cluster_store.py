@@ -1,0 +1,435 @@
+"""Tests for the per-shard durable store (`repro.cluster.store`).
+
+Covers the two promises everything else stands on: an acknowledged
+write survives any crash (journal replay, torn-tail truncation), and a
+damaged byte is never served silently (CRC verification, quarantine,
+typed errors chained onto the checksum taxonomy) -- plus the
+concurrent-writer discipline mirrored from the checkpoint writer's
+racing suite.
+"""
+
+import os
+import struct
+import threading
+
+import pytest
+
+from repro.resilience.errors import ChecksumError
+from repro.resilience.faults import FaultInjector
+from repro.resilience.framing import crc32
+from repro.cluster.store import (
+    PUT_STAGES,
+    NotFound,
+    Quarantined,
+    ShardStore,
+    StoreClosed,
+    StoreError,
+    scan_store,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ShardStore(str(tmp_path / "s0"), shard_id="s0")
+
+
+class TestPutGet:
+    def test_round_trip_bit_exact(self, store):
+        payload = os.urandom(4096)
+        entry = store.put("key", payload, 1)
+        assert entry.length == len(payload)
+        assert store.get("key") == payload
+
+    def test_missing_key_is_typed_not_found(self, store):
+        with pytest.raises(NotFound):
+            store.get("ghost")
+        assert isinstance(NotFound("x"), StoreError)
+
+    def test_content_addressing_dedupes_identical_payloads(self, store):
+        payload = b"shared-bytes" * 100
+        a = store.put("a", payload, 1)
+        b = store.put("b", payload, 2)
+        assert a.hash_hex == b.hash_hex
+        segments = [
+            name for name in os.listdir(store.segments_dir)
+            if name.endswith(".seg")
+        ]
+        assert len(segments) == 1
+
+    def test_higher_version_wins_lower_is_ignored(self, store):
+        store.put("k", b"new", 5)
+        store.put("k", b"old", 3)  # stale write, e.g. a repair loser
+        assert store.get("k") == b"new"
+
+    def test_delete_tombstone_survives_recovery(self, store):
+        store.put("k", b"data", 1)
+        store.delete("k", 2)
+        with pytest.raises(NotFound):
+            store.get("k")
+        store.crash()
+        store.recover()
+        with pytest.raises(NotFound):
+            store.get("k")
+
+    def test_closed_store_refuses_typed(self, store):
+        store.crash()
+        with pytest.raises(StoreClosed):
+            store.put("k", b"x", 1)
+        with pytest.raises(StoreClosed):
+            store.get("k")
+
+    def test_put_stage_order(self, store):
+        stages = []
+        store.put("k", b"x" * 100, 1, gate=stages.append)
+        assert tuple(stages) == PUT_STAGES
+
+
+class TestCrashRecovery:
+    """A kill at every write stage; the ack point divides the outcomes."""
+
+    class _Die(Exception):
+        pass
+
+    def _crash_at(self, store, stage, key, payload, version):
+        def gate(reached):
+            if reached == stage:
+                raise self._Die()
+
+        with pytest.raises(self._Die):
+            store.put(key, payload, version, gate=gate)
+        store.crash()
+        return store.recover()
+
+    @pytest.mark.parametrize(
+        "stage", ["put_begin", "segment_staged", "segment_linked",
+                  "journal_partial"]
+    )
+    def test_crash_before_ack_loses_only_that_write(self, store, stage):
+        store.put("durable", b"must-survive", 1)
+        report = self._crash_at(store, stage, "doomed", b"lost", 2)
+        assert store.get("durable") == b"must-survive"
+        with pytest.raises(NotFound):
+            store.get("doomed")
+        if stage == "journal_partial":
+            # The kill landed inside the journal append: recovery must
+            # have truncated a genuinely torn record.
+            assert report.torn_tail
+            assert report.truncated_bytes > 0
+
+    def test_crash_at_ack_point_keeps_the_write(self, store):
+        # journal_synced fires *after* the fsync: the client never saw
+        # the ack, but the bytes are durable -- recovery must keep them.
+        report = self._crash_at(store, "journal_synced", "k", b"kept", 1)
+        assert report.keys == 1
+        assert store.get("k") == b"kept"
+
+    def test_torn_tail_truncation_allows_clean_appends(self, store):
+        store.put("a", b"one", 1)
+        self._crash_at(store, "journal_partial", "b", b"two", 2)
+        store.put("c", b"three", 3)
+        store.crash()
+        report = store.recover()
+        assert not report.torn_tail
+        assert store.get("a") == b"one"
+        assert store.get("c") == b"three"
+
+    def test_orphan_tmp_files_removed_on_recovery(self, store):
+        orphan = os.path.join(store.segments_dir, ".tmp.999.1.0")
+        with open(orphan, "wb") as handle:
+            handle.write(b"staged but never linked")
+        store.crash()
+        report = store.recover()
+        assert report.tmp_files_removed == 1
+        assert not os.path.exists(orphan)
+
+    def test_corrupt_journal_record_stops_replay_and_truncates(self, store):
+        store.put("early", b"kept", 1)
+        journal = store._journal_path()
+        store.close()
+        # Flip a payload byte inside the *last* record so its framing
+        # CRC fails while the file length stays plausible.
+        with open(journal, "r+b") as handle:
+            handle.seek(-3, os.SEEK_END)
+            byte = handle.read(1)
+            handle.seek(-3, os.SEEK_END)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        report = store.recover()
+        assert report.corrupt_records == 1
+        assert report.keys == 0  # the damaged record was 'early''s
+
+    def test_unrecognised_journal_header_starts_fresh(self, tmp_path):
+        directory = str(tmp_path / "bad")
+        os.makedirs(directory)
+        with open(os.path.join(directory, "journal.log"), "wb") as handle:
+            handle.write(b"garbage-not-a-journal")
+        store = ShardStore(directory)
+        assert store.last_recovery.corrupt_records == 1
+        store.put("k", b"fine", 1)
+        assert store.get("k") == b"fine"
+
+    def test_missing_segment_quarantined_on_recovery(self, store):
+        entry = store.put("k", b"data", 1)
+        store.crash()
+        os.unlink(store._segment_path(entry.hash_hex))
+        report = store.recover()
+        assert report.segments_missing == 1
+        with pytest.raises(Quarantined):
+            store.get("k")
+
+
+class TestQuarantine:
+    def test_bit_flip_raises_typed_chained_onto_checksum_error(self, store):
+        entry = store.put("k", b"payload" * 64, 1)
+        FaultInjector(seed=1).file_bit_flip(
+            store._segment_path(entry.hash_hex), 3
+        )
+        with pytest.raises(Quarantined) as excinfo:
+            store.get("k")
+        assert isinstance(excinfo.value.__cause__, ChecksumError)
+        # The damaged segment was moved aside for forensics.
+        assert os.path.exists(
+            os.path.join(store.quarantine_dir, f"{entry.hash_hex}.seg")
+        )
+        # Subsequent reads stay typed without re-probing the disk.
+        with pytest.raises(Quarantined):
+            store.get("k")
+
+    def test_quarantined_key_absent_from_digest(self, store):
+        entry = store.put("k", b"data", 1)
+        store.put("clean", b"fine", 2)
+        FaultInjector(seed=2).file_truncate(
+            store._segment_path(entry.hash_hex), at=1
+        )
+        with pytest.raises(Quarantined):
+            store.get("k")
+        assert set(store.digest()) == {"clean"}
+
+    def test_rewrite_after_quarantine_restores_service(self, store):
+        entry = store.put("k", b"original", 1)
+        FaultInjector(seed=3).file_unlink(
+            store._segment_path(entry.hash_hex)
+        )
+        with pytest.raises(Quarantined):
+            store.get("k")
+        store.put("k", b"original", 2)  # e.g. an anti-entropy repair copy
+        assert store.get("k") == b"original"
+
+
+class TestScrub:
+    def test_scrub_finds_latent_damage_before_a_reader(self, store):
+        entries = {
+            f"k{i}": store.put(f"k{i}", os.urandom(512), i + 1)
+            for i in range(6)
+        }
+        FaultInjector(seed=4).file_bit_flip(
+            store._segment_path(entries["k3"].hash_hex), 1
+        )
+        outcome = store.scrub(None)
+        assert outcome["corrupt"] == ["k3"]
+        assert store.counters["scrub_corrupt"] == 1
+        with pytest.raises(Quarantined):
+            store.get("k3")
+        assert store.get("k1") is not None
+
+    def test_budgeted_scrub_round_robins_all_keys(self, store):
+        for i in range(5):
+            store.put(f"k{i}", bytes([i]) * 64, i + 1)
+        seen = 0
+        for _ in range(5):
+            seen += store.scrub(1)["checked"]
+        assert seen == 5
+        assert store.counters["scrub_checked"] == 5
+
+
+class TestScan:
+    def test_clean_store_scans_clean(self, store):
+        store.put("k", b"data", 1)
+        scan = scan_store(store.directory, deep=True)
+        assert scan["issues"] == []
+        assert scan["keys"] == 1
+
+    def test_scan_classifies_torn_vs_corrupt(self, store):
+        store.put("k", b"data", 1)
+        store.close()
+        with open(store._journal_path(), "ab") as handle:
+            handle.write(struct.pack("<II", 4096, 0))  # torn header
+        scan = scan_store(store.directory)
+        assert scan["torn_tail"]
+        assert [c for c, _, _ in scan["issues"]] == ["torn"]
+
+    def test_scan_deep_catches_payload_rot(self, store):
+        entry = store.put("k", b"data" * 100, 1)
+        store.close()
+        path = store._segment_path(entry.hash_hex)
+        with open(path, "r+b") as handle:
+            handle.write(b"\x00")
+        fast = scan_store(store.directory, deep=False)
+        assert fast["issues"] == []  # length unchanged: fast scan is blind
+        deep = scan_store(store.directory, deep=True)
+        assert [c for c, _, _ in deep["issues"]] == ["corrupt"]
+
+    def test_scan_does_not_mutate(self, store):
+        store.put("k", b"data", 1)
+        store.close()
+        with open(store._journal_path(), "ab") as handle:
+            handle.write(b"\x01\x02")
+        before = os.path.getsize(store._journal_path())
+        scan_store(store.directory)
+        assert os.path.getsize(store._journal_path()) == before
+
+
+class TestConcurrentWriters:
+    """Racing writers on one store (satellite).
+
+    Mirrors the checkpoint racing-writer suite: unique temp segment
+    names mean stagings never interleave, and the journal lock means
+    the record stream is always a sequence of complete records --
+    whatever the interleaving, recovery must see one winner per key
+    and zero torn state.
+    """
+
+    def test_many_writers_distinct_keys_all_durable(self, store):
+        errors = []
+
+        def writer(index):
+            try:
+                for op in range(8):
+                    store.put(
+                        f"w{index}-{op}",
+                        bytes([index]) * (64 + op),
+                        index * 100 + op,
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        store.crash()
+        report = store.recover()
+        assert report.keys == 48
+        assert not report.torn_tail and not report.corrupt_records
+        for index in range(6):
+            for op in range(8):
+                assert store.get(f"w{index}-{op}") == bytes([index]) * (64 + op)
+
+    def test_barrier_synchronised_same_key_race_single_winner(
+        self, store, monkeypatch
+    ):
+        import os as os_module
+
+        barrier = threading.Barrier(2, timeout=30.0)
+        real_replace = os_module.replace
+
+        def synced_replace(src, dst):
+            # Both writers fully stage their segments before either
+            # rename lands -- the worst-case interleaving.
+            if os.sep + ".tmp." in src:
+                try:
+                    barrier.wait()
+                except threading.BrokenBarrierError:
+                    pass
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os_module, "replace", synced_replace)
+
+        errors = []
+
+        def writer(tag):
+            try:
+                store.put("contested", bytes([tag]) * 256, tag)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(tag,)) for tag in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # The committed value is exactly ONE writer's payload...
+        value = store.get("contested")
+        assert value in (bytes([1]) * 256, bytes([2]) * 256)
+        # ...the higher version, per the version-guarded index.
+        assert value == bytes([2]) * 256
+        # And recovery replays to the same winner.
+        store.crash()
+        store.recover()
+        assert store.get("contested") == bytes([2]) * 256
+
+    def test_crash_between_stage_and_rename_leaves_no_damage(self, store):
+        """One writer dies after staging, before the journal append."""
+        store.put("durable", b"base", 1)
+
+        class Die(Exception):
+            pass
+
+        def gate(stage):
+            if stage == "segment_linked":
+                raise Die()
+
+        with pytest.raises(Die):
+            store.put("doomed", b"never-acked", 2, gate=gate)
+        store.crash()
+        report = store.recover()
+        # The linked segment is an unreferenced blob, not damage: no
+        # torn tail, no corrupt records, the durable key intact.
+        assert not report.torn_tail and not report.corrupt_records
+        assert store.get("durable") == b"base"
+        with pytest.raises(NotFound):
+            store.get("doomed")
+
+
+class TestDiskFaultInjector:
+    """The FaultInjector's at-rest modes (satellite)."""
+
+    def test_file_bit_flip_changes_exactly_content(self, tmp_path):
+        path = str(tmp_path / "f")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * 100)
+        injector = FaultInjector(seed=5)
+        assert injector.file_bit_flip(path, 2) == 2
+        blob = open(path, "rb").read()
+        assert len(blob) == 100 and blob != b"\x00" * 100
+        assert injector.injected == 1
+
+    def test_file_truncate_and_unlink(self, tmp_path):
+        path = str(tmp_path / "f")
+        with open(path, "wb") as handle:
+            handle.write(b"x" * 100)
+        injector = FaultInjector(seed=6)
+        removed = injector.file_truncate(path)
+        assert removed > 0 and os.path.getsize(path) == 100 - removed
+        assert injector.file_unlink(path)
+        assert not os.path.exists(path)
+        assert injector.injected == 2
+
+    def test_damage_file_is_seeded_and_reports_mode(self, tmp_path):
+        modes = []
+        for seed in range(8):
+            path = str(tmp_path / f"f{seed}")
+            with open(path, "wb") as handle:
+                handle.write(os.urandom(64))
+            modes.append(FaultInjector(seed=seed).damage_file(path))
+        assert all(m in ("bit_flip", "truncate", "unlink") for m in modes)
+        assert len(set(modes)) > 1  # the draw actually varies
+        # Same seed, same file content -> same mode (reproducible).
+        path = str(tmp_path / "again")
+        with open(path, "wb") as handle:
+            handle.write(os.urandom(64))
+        assert FaultInjector(seed=0).damage_file(path) == modes[0]
+
+    def test_missing_file_is_a_noop_not_an_error(self, tmp_path):
+        injector = FaultInjector(seed=7)
+        ghost = str(tmp_path / "ghost")
+        assert injector.file_bit_flip(ghost) == 0
+        assert injector.file_truncate(ghost) == 0
+        assert not injector.file_unlink(ghost)
+        assert injector.injected == 0
