@@ -4,20 +4,28 @@ Measures encode / decode MB/s on a seeded synthetic tensor at the
 standard QPs, for a fixed ladder of engine configurations:
 
 - ``baseline``   -- the pre-optimisation serial path (legacy scalar RD
-  search, primitive-call entropy writer).  This is the reference the
-  tracked speedups are measured against.
+  search, primitive-call entropy writer, pure-Python coder).  This is
+  the reference the tracked speedups are measured against.
 - ``vectorized`` -- the default engine: vectorized RD mode search and
-  the fused entropy writer, still serial.  Byte-identical to
-  ``baseline`` by construction (same decisions, faster evaluation);
-  the bench verifies that on every run.
+  the fused entropy writer, still serial and still pure Python
+  (``encode="python"``).  Byte-identical to ``baseline`` by
+  construction (same decisions, faster evaluation); the bench
+  verifies that on every run.
 - ``turbo``      -- the two-pass transform-domain search
-  (``rd_search="turbo"``): batched whole-frame mode costing against
-  source references, quadtree DP, exact re-coding of the chosen
-  leaves.  Streams are fully decodable and drift-free but *decisions*
-  may differ slightly from the exact search, so its bytes/MSE are
-  tracked as a quality delta rather than required identical.
-- ``parallel``   -- the turbo engine plus slice-parallel encode and
-  decode over a worker pool.  Byte-identical to serial ``turbo``
+  (``rd_search="turbo"``), pure Python: batched whole-frame mode
+  costing against source references, quadtree DP, exact re-coding of
+  the chosen leaves.  Streams are fully decodable and drift-free but
+  *decisions* may differ slightly from the exact search, so its
+  bytes/MSE are tracked as a quality delta rather than required
+  identical.
+- ``native``     -- turbo plus the self-building C kernels
+  (``encode="native"``): the fused entropy write kernel, the batched
+  RD cost kernel, and the reference-gather kernel.  Byte-identical to
+  pure-Python ``turbo`` (same decisions, same bits -- the kernels are
+  bit-exact transliterations) and verified on every run; this rung's
+  speedup over ``baseline`` is the headline encode number.
+- ``parallel``   -- the native engine plus slice-parallel encode and
+  decode over a worker pool.  Byte-identical to serial ``native``
   (verified on every run; divergence fails the bench, and CI runs
   ``llm265 bench --quick`` exactly to catch that).
 
@@ -56,8 +64,12 @@ from repro.tensor.precision import grid_for
 
 #: JSON schema identifier written into every result file.
 #: v2 added the decode ladder (legacy / vectorized / parallel) with
-#: per-rung ``decode_speedup`` fields.
-SCHEMA = "llm265-bench-v2"
+#: per-rung ``decode_speedup`` fields.  v3 added the ``native`` encode
+#: rung (C write/cost/refs kernels, gated byte-identical to pure-Python
+#: turbo), pinned the pure rungs to ``encode="python"``, replaced the
+#: ``scan_kernel`` config string with the per-kernel ``kernels`` map,
+#: and added ``median_native_encode_speedup`` to the summary.
+SCHEMA = "llm265-bench-v3"
 #: Standard QPs: fine / mid / coarse operating points.
 DEFAULT_QPS = (18.0, 26.0, 34.0)
 _SEED = 20260806
@@ -157,11 +169,13 @@ def bench_configs(workers: int) -> Dict[str, EncoderConfig]:
         return EncoderConfig(profile=H265_PROFILE, qp=24.0, **kw)
 
     return {
-        "baseline": cfg(rd_search="legacy", fast_entropy=False),
-        "vectorized": cfg(),
-        "turbo": cfg(rd_search="turbo"),
+        "baseline": cfg(rd_search="legacy", fast_entropy=False, encode="python"),
+        "vectorized": cfg(encode="python"),
+        "turbo": cfg(rd_search="turbo", encode="python"),
+        "native": cfg(rd_search="turbo", encode="native"),
         "parallel": cfg(
             rd_search="turbo",
+            encode="native",
             parallel=ParallelConfig(workers=workers, executor="thread"),
         ),
     }
@@ -191,6 +205,7 @@ def run_benchmark(
                 qp=qp,
                 rd_search=base_cfg.rd_search,
                 fast_entropy=base_cfg.fast_entropy,
+                encode=base_cfg.encode,
                 parallel=base_cfg.parallel,
             )
             seconds, result = _time_best(
@@ -205,7 +220,8 @@ def run_benchmark(
             }
         row["bitstreams_identical"] = (
             streams["vectorized"] == streams["baseline"]
-            and streams["parallel"] == streams["turbo"]
+            and streams["native"] == streams["turbo"]
+            and streams["parallel"] == streams["native"]
         )
         row["turbo_matches_exact"] = streams["turbo"] == streams["vectorized"]
         divergent = divergent or not row["bitstreams_identical"]
@@ -263,8 +279,15 @@ def run_benchmark(
         results.append(row)
 
     speedups = [r["encode_speedup"]["parallel"] for r in results]
+    native_speedups = sorted(r["encode_speedup"]["native"] for r in results)
     dec_speedups = [r["decode_speedup"]["vectorized"] for r in results]
     par_vs_serial = [r["decode"]["parallel_vs_serial"] for r in results]
+    mid = len(native_speedups) // 2
+    median_native = (
+        native_speedups[mid]
+        if len(native_speedups) % 2
+        else (native_speedups[mid - 1] + native_speedups[mid]) / 2
+    )
     return {
         "schema": SCHEMA,
         "git_rev": _git_rev(),
@@ -276,12 +299,18 @@ def run_benchmark(
             "repeats": repeats,
             "qps": list(qps),
             "seed": _SEED,
-            "scan_kernel": native.build_info(),
+            "kernels": native.kernel_status(),
         },
         "results": results,
         "summary": {
             "best_encode_speedup": max(speedups),
             "mean_encode_speedup": round(sum(speedups) / len(speedups), 3),
+            # The headline encode number: serial native-kernel rung over
+            # baseline, median across QPs (robust to one noisy QP).
+            "median_native_encode_speedup": round(median_native, 3),
+            "mean_native_encode_speedup": round(
+                sum(native_speedups) / len(native_speedups), 3
+            ),
             "best_decode_speedup": max(dec_speedups),
             "mean_decode_speedup": round(
                 sum(dec_speedups) / len(dec_speedups), 3
@@ -301,6 +330,11 @@ def format_report(doc: dict) -> str:
         f"{doc['config']['size_mb']:.2f} MB tensor, "
         f"{doc['config']['workers']} workers, "
         f"best of {doc['config']['repeats']}",
+        "kernels: "
+        + "  ".join(
+            f"{name}={state}"
+            for name, state in doc["config"].get("kernels", {}).items()
+        ),
         f"{'QP':>5s} {'config':<14s} {'MB/s':>9s} {'speedup':>8s} {'bytes':>9s}",
     ]
     for row in doc["results"]:
@@ -322,7 +356,8 @@ def format_report(doc: dict) -> str:
     s = doc["summary"]
     lines.append(
         f"summary: encode speedup mean {s['mean_encode_speedup']:.2f}x "
-        f"best {s['best_encode_speedup']:.2f}x | "
+        f"best {s['best_encode_speedup']:.2f}x "
+        f"native median {s['median_native_encode_speedup']:.2f}x | "
         f"decode speedup mean {s['mean_decode_speedup']:.2f}x "
         f"best {s['best_decode_speedup']:.2f}x "
         f"(parallel/serial {s['parallel_vs_serial_decode']:.2f}x) | "

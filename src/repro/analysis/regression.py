@@ -243,6 +243,11 @@ def compare_codec_bench(baseline: dict, fresh: dict,
         for metric, rel_tol in (
             ("mean_encode_speedup", SPEEDUP_REL_TOL),
             ("best_encode_speedup", SPEEDUP_REL_TOL),
+            # v3: the serial native-kernel rung's median speedup over
+            # baseline -- the claim of the native-encode PR.  Guarded by
+            # presence in both summaries so a v2 baseline is skipped,
+            # not failed.
+            ("median_native_encode_speedup", SPEEDUP_REL_TOL),
             ("mean_decode_speedup", SPEEDUP_REL_TOL),
             ("best_decode_speedup", SPEEDUP_REL_TOL),
             # The paired ratio is the steadiest statistic in the file;

@@ -437,10 +437,14 @@ def _print_stats(
                 print(f"{stage:<18s} {decode_seconds[stage] * 1e3:>10.2f} ms")
         for name in sorted(decode_counts):
             print(f"{name:<18s} {int(decode_counts[name]):>10d}")
-        from repro.codec.entropy import native as _native
-
-        print(f"{'scan kernel':<18s} {_native.build_info():>10s}")
         print()
+
+    from repro.codec.entropy import native as _native
+
+    print("-- native kernels --")
+    for name, state in _native.kernel_status().items():
+        print(f"{name + ' kernel':<18s} {state:>14s}")
+    print()
 
     print("-- session telemetry (all encodes incl. rate-control search) --")
     print(telemetry.summary_table(registry))

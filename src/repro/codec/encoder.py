@@ -14,6 +14,7 @@ pipeline one stage at a time.
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 from functools import lru_cache
@@ -25,6 +26,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 import repro.telemetry as telemetry
 from repro.codec import intra
+from repro.codec.entropy import native
 from repro.codec.entropy.arithmetic import BinaryEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
 from repro.parallel import ParallelConfig, parallel_map
@@ -67,6 +69,42 @@ from repro.codec.transform import (
 #: exact search.  Inter frames fall back to the per-leaf variant
 #: (:meth:`FrameEncoder._plan_leaf_intra_turbo`).
 RD_SEARCHES = ("vectorized", "legacy", "turbo")
+
+#: Entropy/costing backends: ``"native"`` dispatches the fused
+#: coefficient-scan writer and the batched turbo RD costing to the
+#: self-building C kernels (:mod:`repro.codec.entropy.native`) when
+#: they are available, falling back transparently to the pure-Python
+#: paths otherwise.  ``"python"`` pins the pure-Python paths even with
+#: the kernels loaded -- the bit-exactness reference the benchmark
+#: identity gates and the differential fuzz suite compare against.
+#: Streams are byte-identical between the two by construction and by
+#: test (tests/test_encode_fuzz.py, tests/test_native_encode.py).
+ENCODES = ("native", "python")
+
+#: Parallel encode dispatch thresholds, mirroring the decoder's.  Below
+#: either bound the fan-out overhead (task submission, per-worker
+#: encoder construction, result marshalling) costs more than the encode
+#: itself, so the encoder silently stays serial.  Encodes must have at
+#: least this many frames (= slices) ...
+_PARALLEL_MIN_SLICES = 4
+#: ... and at least this many raw sample bytes (4 x 128^2 tiles) to fan
+#: out.  The values mirror the decoder's pinned thresholds -- same
+#: fan-out machinery, same per-task overhead -- rather than a fresh
+#: measurement: on single-CPU hosts the ``_effective_cpus() > 1`` guard
+#: below makes the thresholds moot (parallel encode can never beat
+#: serial there, so the encoder always stays serial), and that guard is
+#: what the "parallel never loses to serial" bench claim leans on.
+#: tests/test_native_encode.py pins the constants and the fallback
+#: accounting.
+_PARALLEL_MIN_BYTES = 1 << 16
+
+
+def _effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
 
 
 @lru_cache(maxsize=None)
@@ -119,6 +157,89 @@ def _anchor_mode_bits(modes: Tuple[int, ...]) -> np.ndarray:
     bits.setflags(write=False)
     return bits
 
+
+#: Fixed-point scale of the level-rate table: rates are stored as
+#: ``round(log2(m + 1) * 2**15)`` so per-row sums are *integer* sums --
+#: order-independent, hence bitwise identical between the C cost kernel
+#: and the numpy fallback -- while staying within 2**-15 bits per
+#: coefficient of the float proxy they replace (``2*log2(m+1)`` per
+#: level, converted back via one exact power-of-two division).
+_RATE_SCALE_BITS = 15
+
+
+@lru_cache(maxsize=None)
+def _level_rate_table() -> np.ndarray:
+    """Level magnitude -> fixed-point rate, int64, length 65536.
+
+    Entry 0 is exactly 0, so zero coefficients can be summed without
+    masking; magnitudes beyond the table share the top entry (the RD
+    search only needs relative order up there).
+    """
+    mags = np.arange(1 << 16, dtype=np.float64)
+    table = np.round(np.log2(mags + 1.0) * (1 << _RATE_SCALE_BITS)).astype(
+        np.int64
+    )
+    table.setflags(write=False)
+    return table
+
+
+def _quantize_costs(
+    flat: np.ndarray, deadzone: float, native_ok: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Quantize a ``(rows, width)`` batch and gather its rate statistics.
+
+    Returns ``(levels, rate, nnz, last)``: float64 levels, the int64
+    fixed-point rate sums over :func:`_level_rate_table`, nonzero counts,
+    and the highest nonzero index per row (-1 when empty).  Dispatches to
+    the compiled cost kernel when ``native_ok`` and one is available;
+    the numpy fallback below is bitwise identical (integer rate sums,
+    and a quantizer built from the same exactly-rounded primitives), so
+    RD decisions -- and therefore output streams -- cannot depend on
+    which path ran.
+    """
+    table = _level_rate_table()
+    if native_ok:
+        out = native.cost(flat, deadzone, table)
+        if out is not None:
+            return out
+    if deadzone:
+        # sign(x) * floor(|x| + c)  ==  trunc(x + copysign(c, x))
+        levels = np.trunc(flat + np.copysign(0.5 - deadzone, flat))
+    else:
+        levels = np.rint(flat)
+    mags = np.abs(levels)
+    nonzero = mags > 0.0
+    nnz = nonzero.sum(axis=1)
+    width = flat.shape[1]
+    last = np.where(nnz > 0, width - 1 - np.argmax(nonzero[:, ::-1], axis=1), -1)
+    idx = np.minimum(mags, float(len(table) - 1)).astype(np.int64)
+    rate = np.take(table, idx).sum(axis=1)
+    return levels, rate, nnz.astype(np.int64), last.astype(np.int64)
+
+
+def _pass1_err_costs(
+    cscaled: np.ndarray, pred: np.ndarray, deadzone: float, native_ok: bool
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Quantization errors + rate stats for a (blocks, modes) candidate grid.
+
+    Candidate row ``b * modes + m`` is ``cscaled[b] - pred[b, m]``; the
+    native kernel forms that difference element by element while
+    quantizing, so the full candidate tensor is never materialised.
+    The fallback materialises it with the same broadcast subtraction
+    and reuses :func:`_quantize_costs`; both paths return bitwise
+    identical ``(err, rate, nnz, last)`` (the error is the same single
+    float subtraction on the same operands), so pass-1 decisions cannot
+    depend on which ran.
+    """
+    if native_ok:
+        out = native.cost_fused(cscaled, pred, deadzone, _level_rate_table())
+        if out is not None:
+            return out
+    flat = (cscaled[:, None, :] - pred).reshape(-1, cscaled.shape[1])
+    levels, rate, nnz, last = _quantize_costs(flat, deadzone, native_ok)
+    return levels - flat, rate, nnz, last
+
+
 MAGIC = b"LV65"
 #: Version 2 introduced error-resilient slices: each frame is an
 #: independently decodable segment (own arithmetic coder + contexts)
@@ -170,6 +291,12 @@ class EncoderConfig:
     #: primitive loop; False reproduces the pre-optimisation write path,
     #: which benchmarks use as the baseline).
     fast_entropy: bool = True
+    #: Entropy/costing backend, one of :data:`ENCODES`.  "native" uses
+    #: the compiled write/cost kernels when available (byte-identical
+    #: output, see :data:`ENCODES`); "python" pins the pure-Python
+    #: reference paths.  Only meaningful with ``fast_entropy=True`` --
+    #: the primitive-call writer is always pure Python.
+    encode: str = "native"
     #: Slice-parallel fan-out policy (None = serial).  Frames are
     #: independently decodable slices, so parallel output is
     #: byte-identical to serial; automatically falls back to serial
@@ -189,6 +316,10 @@ class EncoderConfig:
         if self.rd_search not in RD_SEARCHES:
             raise ValueError(
                 f"rd_search must be one of {RD_SEARCHES}, got {self.rd_search!r}"
+            )
+        if self.encode not in ENCODES:
+            raise ValueError(
+                f"encode must be one of {ENCODES}, got {self.encode!r}"
             )
         if self.satd_prune < 0:
             raise ValueError("satd_prune must be >= 0 (0 = no pruning)")
@@ -352,6 +483,7 @@ class FrameEncoder:
         if self.config.profile.min_cu_size < 4:
             raise ValueError("minimum CU size is 4")
         self._stats: Optional[telemetry.EncodeStats] = None
+        self._native_ok = self.config.encode == "native"
 
     # -- public API ----------------------------------------------------
 
@@ -390,13 +522,24 @@ class FrameEncoder:
         # so fan-out is gated on ``use_inter``.  The parallel path is
         # byte-identical to the serial loop: same per-frame coder and
         # contexts, and the dither state for frame i is reconstructed in
-        # closed form (QpDither.advanced).
-        use_parallel = (
+        # closed form (QpDither.advanced).  As on the decode side,
+        # eligibility and profitability are separate questions: a
+        # parallel-capable encode below the dispatch thresholds runs
+        # serially -- small inputs were measurably *slower* parallel.
+        par_capable = (
             par is not None
             and not par.is_serial()
             and len(frames) > 1
             and not cfg.use_inter
         )
+        use_parallel = (
+            par_capable
+            and len(frames) >= _PARALLEL_MIN_SLICES
+            and sum(f.nbytes for f in frames) >= _PARALLEL_MIN_BYTES
+            and _effective_cpus() > 1
+        )
+        if par_capable and not use_parallel:
+            telemetry.count("encode.parallel_threshold_fallbacks")
         with telemetry.span("frames.encode"):
             if use_parallel:
                 pad_h = height + (-height) % self._ctu
@@ -708,20 +851,16 @@ class FrameEncoder:
         operator = _mode_coeff_operator(tuple(modes), size)
         scaled = orig_scaled - (operator @ refs).reshape(len(modes), size * size)
         deadzone = self.config.profile.deadzone
-        if deadzone:
-            # sign(x) * floor(|x| + c)  ==  trunc(x + copysign(c, x))
-            levels = np.trunc(scaled + np.copysign(0.5 - deadzone, scaled))
-        else:
-            levels = np.rint(scaled)
+        levels, rate, nnz, last = _quantize_costs(
+            scaled, deadzone, self._native_ok
+        )
         err = levels - scaled
-        sse = (err * err).sum(axis=1) * (self._qstep * self._qstep)
+        sse = np.einsum("ij,ij->i", err, err) * (self._qstep * self._qstep)
 
-        # Same rate proxy as _code_residual, already in scan order.
-        mags = np.abs(levels)
-        nonzero = mags > 0.0
-        nnz = nonzero.sum(axis=1)
-        last = size * size - 1 - np.argmax(nonzero[:, ::-1], axis=1)
-        level_bits = 2.0 * np.log2(mags + 1.0).sum(axis=1) + 2.0 * nnz
+        # Fixed-point form of the usual rate proxy (2*log2(m+1) bits per
+        # level + 2 per nonzero for sig/sign); the 2**14 divisor folds
+        # the table scale and the factor of two in one exact division.
+        level_bits = rate / float(1 << (_RATE_SCALE_BITS - 1)) + 2.0 * nnz
         bits = np.where(nnz > 0, 5.0 + last + level_bits, 1.0)
         mode_bits = estimate_mode_bits_many(modes, left_mode, top_mode)
         return sse + self._lambda * (bits + mode_bits), levels
@@ -842,26 +981,26 @@ class FrameEncoder:
             step = qstep(float(qp))
             lam = rd_lambda(float(qp))
             inv_step = 1.0 / step
-            pred = (operator @ (refs[idx].T * inv_step)).reshape(
-                len(modes), n * n, len(idx)
+            # Block-major gemm orientation: the (blocks, modes, n*n)
+            # prediction comes out C-contiguous, so the fused cost
+            # kernel (or the fallback's broadcast subtraction) walks it
+            # row by row -- no transpose copy of the full candidate
+            # tensor per QP group.
+            pred = ((refs[idx] * inv_step) @ operator.T).reshape(
+                len(idx), len(modes), n * n
             )
-            diff = coeffs[idx].T * inv_step - pred
-            if deadzone:
-                levels = np.trunc(diff + np.copysign(0.5 - deadzone, diff))
-            else:
-                levels = np.rint(diff)
-            err = levels - diff
-            sse = (err * err).sum(axis=1) * (step * step)
-            mags = np.abs(levels)
-            nonzero = mags > 0.0
-            nnz = nonzero.sum(axis=1)
-            last = n * n - 1 - np.argmax(nonzero[:, ::-1, :], axis=1)
-            level_bits = 2.0 * np.log2(mags + 1.0).sum(axis=1) + 2.0 * nnz
+            err, rate, nnz, last = _pass1_err_costs(
+                coeffs[idx] * inv_step, pred, deadzone, self._native_ok
+            )
+            sse = np.einsum("ij,ij->i", err, err) * (step * step)
+            level_bits = rate / float(1 << (_RATE_SCALE_BITS - 1)) + 2.0 * nnz
             bits = np.where(nnz > 0, 5.0 + last + level_bits, 1.0)
-            costs = sse + lam * (bits + mode_bits[:, None])
-            pick = np.argmin(costs, axis=0)
+            costs = (sse + lam * bits).reshape(len(idx), len(modes)) + (
+                lam * mode_bits[None, :]
+            )
+            pick = np.argmin(costs, axis=1)
             best_modes[idx] = mode_arr[pick]
-            best_costs[idx] = costs[pick, np.arange(len(idx))]
+            best_costs[idx] = costs[np.arange(len(idx)), pick]
         return best_modes, best_costs
 
     def _turbo_choose(
@@ -1251,7 +1390,14 @@ class FrameEncoder:
             )
             if stats is not None:
                 stats.add_bits("intra_mode", enc.tell_bits() - mark)
-        encode_coeff_block(enc, ctx, levels, stats, fast=cfg.fast_entropy)
+        encode_coeff_block(
+            enc,
+            ctx,
+            levels,
+            stats,
+            fast=cfg.fast_entropy,
+            native_ok=self._native_ok,
+        )
 
     def _neighbor_mode_for_signal(self, y: int, x: int) -> Optional[int]:
         """Neighbour mode exactly as the decoder will know it.

@@ -1,0 +1,131 @@
+/* Native batched RD costing for the turbo quadtree search.
+ *
+ * Two layouts share the one entry point:
+ *
+ *   pred == NULL  "flat" mode: row r of `cscaled` IS the candidate
+ *                 coefficient block already scaled into step units
+ *                 (n_modes is ignored, rows = n_blocks).
+ *   pred != NULL  "fused" mode: candidate row r is block r / n_modes
+ *                 of `cscaled` minus row r of `pred` -- the broadcast
+ *                 subtraction the numpy fallback materialises as a
+ *                 full (blocks * modes, width) temporary happens here
+ *                 element by element instead, saving that allocation
+ *                 and a complete memory round-trip per QP group.
+ *
+ * For every candidate row the kernel performs the dead-zone quantize
+ * and accumulates the three integer rate statistics the Python cost
+ * model needs:
+ *
+ *   out[r][i]     emit_err == 0: the quantized level, as float64.
+ *                 emit_err != 0: level - x, the quantization error the
+ *                 SSE term consumes (the subtraction is the identical
+ *                 single float op the numpy fallback performs on the
+ *                 identical operands, so it is bitwise equal).
+ *   rate[r]       sum of rate_table[min(|level|, table_len - 1)], an
+ *                 int64 fixed-point (2^15-scaled log2(m + 1)) sum that
+ *                 is order-independent and therefore exactly equal to
+ *                 the numpy np.take(...).sum() fallback.
+ *   nnz[r]        count of nonzero levels.
+ *   last[r]       highest nonzero index, -1 for an all-zero row.
+ *
+ * rint() under the default FE_TONEAREST mode is round-half-even and
+ * trunc/copysign are exact, so levels are bitwise identical to
+ * np.rint / np.trunc(x + copysign(...)).  Distortion (sum of squared
+ * error) deliberately stays in numpy on both the native and fallback
+ * paths: float summation order matters there, and numpy's pairwise
+ * reduction is not worth reproducing in C.  Since the errors produced
+ * here are bitwise identical to the numpy quantizer's, both paths feed
+ * the same floats into the same numpy sum and every downstream cost,
+ * argmin, and bitstream byte agrees.
+ *
+ * Built on demand by repro.codec.entropy.native (GIL released).
+ * Return status: 0 = ok, 1 = a row wider than the stack level buffer
+ * (the wrapper falls back to numpy; no output was written).
+ */
+
+#include <math.h>
+#include <stdint.h>
+
+/* Largest n * n of any profile (64 x 64 CTU). */
+#define MAX_WIDTH 4096
+
+int64_t llm265_cost_blocks(
+    const double *cscaled, const double *pred,
+    int64_t n_blocks, int64_t n_modes, int64_t width, double deadzone,
+    const int64_t *rate_table, int64_t table_len, int64_t emit_err,
+    double *out, int64_t *rate, int64_t *nnz, int64_t *last)
+{
+    int64_t n_rows = pred ? n_blocks * n_modes : n_blocks;
+    int64_t r, i;
+    double top = (double)(table_len - 1);
+    double off = 0.5 - deadzone;
+    double lvbuf[MAX_WIDTH];
+
+    if (width < 1 || width > MAX_WIDTH)
+        return 1;
+    for (r = 0; r < n_rows; r++) {
+        const double *crow =
+            pred ? cscaled + (r / n_modes) * width : cscaled + r * width;
+        const double *prow = pred ? pred + r * width : 0;
+        double *orow = out + r * width;
+        /* The stats pass reads exact levels; in emit_err mode they go
+         * to the stack row (L1-resident) while `out` receives errors. */
+        double *lrow = emit_err ? lvbuf : orow;
+        int64_t row_rate = 0, row_nnz = 0, row_last = -1;
+        /* Quantize first in branch-hoisted loops the compiler can
+         * vectorize (trunc/copysign/rint inline to single packed
+         * instructions with SSE4.1), then gather the rate stats in a
+         * second pass. */
+        if (deadzone != 0.0) {
+            if (prow)
+                for (i = 0; i < width; i++) {
+                    double x = crow[i] - prow[i];
+                    double lv = trunc(x + copysign(off, x));
+                    lrow[i] = lv;
+                    if (emit_err)
+                        orow[i] = lv - x;
+                }
+            else
+                for (i = 0; i < width; i++) {
+                    double x = crow[i];
+                    double lv = trunc(x + copysign(off, x));
+                    lrow[i] = lv;
+                    if (emit_err)
+                        orow[i] = lv - x;
+                }
+        } else {
+            if (prow)
+                for (i = 0; i < width; i++) {
+                    double x = crow[i] - prow[i];
+                    double lv = rint(x);
+                    lrow[i] = lv;
+                    if (emit_err)
+                        orow[i] = lv - x;
+                }
+            else
+                for (i = 0; i < width; i++) {
+                    double x = crow[i];
+                    double lv = rint(x);
+                    lrow[i] = lv;
+                    if (emit_err)
+                        orow[i] = lv - x;
+                }
+        }
+        for (i = 0; i < width; i++) {
+            double mag = fabs(lrow[i]);
+            if (mag > 0.0) {
+                row_nnz++;
+                row_last = i;
+                /* Clamp before the cast: magnitudes beyond the table
+                 * share its top entry, and casting a double above
+                 * INT64_MAX would be undefined. */
+                int64_t m = mag < top ? (int64_t)mag : table_len - 1;
+                row_rate += rate_table[m];
+            }
+        }
+        rate[r] = row_rate;
+        nnz[r] = row_nnz;
+        last[r] = row_last;
+    }
+    return 0;
+}

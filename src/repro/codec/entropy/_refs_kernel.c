@@ -1,0 +1,66 @@
+/* Native intra reference gather (HEVC-style boundary substitution).
+ *
+ * Walks the 4n + 1 boundary positions of one n x n block -- left
+ * column bottom-to-top, the corner, then the top row left-to-right --
+ * reading reconstructed samples where the availability mask allows and
+ * substituting the nearest previously-available sample (mid-grey 128
+ * when the whole boundary is unavailable), exactly like
+ * repro.codec.intra.gather_references.  This is pure data movement: no
+ * arithmetic is performed on the samples, so the output is trivially
+ * bit-identical to the numpy walk and the kernel can serve every
+ * encode path (and the decoder) without affecting any identity gate.
+ *
+ * Built on demand by repro.codec.entropy.native; the numpy walk
+ * remains the fallback.
+ *
+ * Return status: 0 = ok, 1 = block size beyond the stack buffer (the
+ * wrapper falls back to the numpy path; no output was written).
+ */
+
+#include <stdint.h>
+
+#define MAX_N 512
+#define DEFAULT_SAMPLE 128.0
+
+int64_t llm265_gather_refs(
+    const double *recon, const uint8_t *mask,
+    int64_t height, int64_t width,
+    int64_t y0, int64_t x0, int64_t n,
+    double *top, double *left)
+{
+    double values[4 * MAX_N + 1];
+    int64_t total = 4 * n + 1;
+    int64_t t, first = -1;
+    double prev = 0.0;
+
+    if (n < 1 || n > MAX_N)
+        return 1;
+    for (t = 0; t < total; t++) {
+        /* Boundary coordinates: t in [0, 2n) is the left column from
+         * the bottom, t == 2n the corner, beyond that the top row. */
+        int64_t r = t < 2 * n ? y0 + 2 * n - 1 - t : y0 - 1;
+        int64_t c = t <= 2 * n ? x0 - 1 : x0 + (t - 2 * n - 1);
+        if (r >= 0 && r < height && c >= 0 && c < width &&
+            mask[r * width + c]) {
+            prev = recon[r * width + c];
+            if (first < 0)
+                first = t;
+        }
+        /* prev is the nearest available sample at or before t; the
+         * leading gap before the first available one is backfilled
+         * below. */
+        values[t] = prev;
+    }
+    if (first < 0) {
+        for (t = 0; t < total; t++)
+            values[t] = DEFAULT_SAMPLE;
+    } else {
+        for (t = 0; t < first; t++)
+            values[t] = values[first];
+    }
+    for (t = 0; t <= 2 * n; t++) {
+        left[t] = values[2 * n - t];
+        top[t] = values[2 * n + t];
+    }
+    return 0;
+}

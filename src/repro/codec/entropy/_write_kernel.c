@@ -1,0 +1,188 @@
+/* Native hot loop for coefficient-block entropy encoding.
+ *
+ * Encodes one whole coefficient block exactly as the Python fast path
+ * in syntax.encode_coeff_block does: the cbf=1 context bin, the
+ * last-position adaptive-UEG code, then the fused significance /
+ * level / sign scan of BinaryEncoder.encode_coeff_scan.  The range
+ * coder is the same LZMA-style design (32-bit range, 64-bit low with
+ * carry propagation, 11-bit probabilities, shift-5 adaptation) and
+ * every integer operation is exact in uint32/uint64, so the bytes
+ * emitted -- and the coder state left behind (low/range/carry cache
+ * and every context probability) -- are bit-identical to the
+ * pure-Python loops.  tests/test_native_encode.py and
+ * tests/test_encode_fuzz.py lock the two together.
+ *
+ * Carry propagation never rewrites already-emitted bytes: a carry out
+ * of the 32-bit low lands in the pending (cache, cache_size) pair at
+ * the moment those bytes are flushed, which is what lets this kernel
+ * append to a caller-provided scratch buffer that Python then extends
+ * onto the encoder's output bytearray.  The scratch capacity the
+ * Python wrapper allocates is derived from the worst-case bin count
+ * (each bin triggers at most one byte shift), so the overflow status
+ * below is a can't-happen guard, not a working code path.
+ *
+ * Built on demand by repro.codec.entropy.native (cc -O2 -shared); the
+ * pure-Python loops remain the behaviourally-identical fallback.
+ *
+ * Return status: 0 = ok, 1 = scratch buffer overflow.  Coder state is
+ * only written back on status 0; since the wrapper sizes the scratch
+ * for the worst case, it treats status 1 as a broken invariant and
+ * raises (the context banks are adapted in place, so a silent fallback
+ * after a partial write could not restore them).
+ */
+
+#include <stdint.h>
+
+#define PROB_BITS 11
+#define PROB_ONE 2048
+#define ADAPT_SHIFT 5
+#define TOP (1u << 24)
+#define MASK32 0xFFFFFFFFull
+
+typedef struct {
+    uint64_t low;
+    uint32_t rng;
+    int64_t cache;
+    int64_t csize;
+    uint8_t *out;
+    int64_t cap;
+    int64_t len;
+} coder;
+
+/* BinaryEncoder._shift_low driven by the `while range < TOP` loop of
+ * _renorm: shift the range up one byte at a time, flushing the carry
+ * cache when low leaves the [0xFF000000, 0xFFFFFFFF] pending window. */
+static inline int renorm(coder *c)
+{
+    while (c->rng < TOP) {
+        c->rng <<= 8; /* (rng << 8) & MASK32: uint32 wraps identically */
+        if (c->low < 0xFF000000ull || c->low > MASK32) {
+            uint64_t carry = c->low >> 32;
+            int64_t j;
+            if (c->len + c->csize > c->cap)
+                return 1;
+            c->out[c->len++] = (uint8_t)((c->cache + (int64_t)carry) & 0xFF);
+            for (j = 0; j < c->csize - 1; j++)
+                c->out[c->len++] = (uint8_t)((0xFF + carry) & 0xFF);
+            c->cache = (int64_t)((c->low >> 24) & 0xFF);
+            c->csize = 0;
+        }
+        c->csize += 1;
+        c->low = (c->low << 8) & MASK32;
+    }
+    return 0;
+}
+
+/* BinaryEncoder.encode_bit on localized state. */
+static inline int ctx_bin(coder *c, int32_t *probs, int64_t idx, int bit)
+{
+    int32_t prob = probs[idx];
+    uint32_t bound = (c->rng >> PROB_BITS) * (uint32_t)prob;
+    if (bit == 0) {
+        c->rng = bound;
+        probs[idx] = prob + ((PROB_ONE - prob) >> ADAPT_SHIFT);
+    } else {
+        c->low += bound;
+        c->rng -= bound;
+        probs[idx] = prob - (prob >> ADAPT_SHIFT);
+    }
+    if (c->rng < TOP)
+        return renorm(c);
+    return 0;
+}
+
+static inline int bypass_bin(coder *c, int bit)
+{
+    c->rng >>= 1;
+    if (bit)
+        c->low += c->rng;
+    if (c->rng < TOP)
+        return renorm(c);
+    return 0;
+}
+
+/* BinaryEncoder.encode_ueg: adaptive truncated-unary prefix over
+ * probs[base .. base+max_prefix-1] (top context reused at saturation),
+ * order-k Exp-Golomb bypass suffix beyond max_prefix.  The combined
+ * 2*prefix_len..0 loop emits prefix_len leading zero bypasses followed
+ * by shifted msb-first in prefix_len + 1 bins; shifted >> shift is
+ * only evaluated for shift <= prefix_len (<= 63), mirroring Python's
+ * short-circuit -- a shift of 64+ on uint64 would be undefined. */
+static inline int ueg(coder *c, int32_t *probs, int64_t base,
+                      uint64_t value, int64_t max_prefix, int64_t k)
+{
+    int64_t top_ctx = max_prefix - 1;
+    int64_t prefix =
+        value < (uint64_t)max_prefix ? (int64_t)value : max_prefix;
+    int64_t t;
+    for (t = 0; t < prefix; t++)
+        if (ctx_bin(c, probs, base + (t < top_ctx ? t : top_ctx), 1))
+            return 1;
+    if (prefix < max_prefix)
+        return ctx_bin(c, probs, base + (prefix < top_ctx ? prefix : top_ctx),
+                       0);
+    uint64_t remainder = value - (uint64_t)max_prefix;
+    uint64_t shifted = (remainder >> k) + 1;
+    int64_t prefix_len = 0;
+    uint64_t s = shifted;
+    while (s > 1) {
+        s >>= 1;
+        prefix_len++;
+    }
+    int64_t shift;
+    for (shift = 2 * prefix_len; shift >= 0; shift--)
+        if (bypass_bin(c, shift <= prefix_len && ((shifted >> shift) & 1)))
+            return 1;
+    for (shift = k - 1; shift >= 0; shift--)
+        if (bypass_bin(c, (remainder >> shift) & 1))
+            return 1;
+    return 0;
+}
+
+int64_t llm265_encode_coeff_block(
+    const int64_t *scanned, int64_t last,
+    int32_t *cbf_probs, int64_t cbf_index,
+    int32_t *last_probs, int64_t last_base,
+    int64_t last_max_prefix, int64_t last_k,
+    int32_t *sig_probs, int64_t sig_base, const int32_t *sig_buckets,
+    int32_t *level_probs, int64_t level_base,
+    int64_t max_prefix, int64_t k,
+    uint64_t *low_io, uint32_t *rng_io,
+    int64_t *cache_io, int64_t *cache_size_io,
+    uint8_t *out, int64_t out_cap, int64_t *out_len_io)
+{
+    coder c = {*low_io, *rng_io, *cache_io, *cache_size_io,
+               out,     out_cap, 0};
+    int64_t i;
+
+    if (ctx_bin(&c, cbf_probs, cbf_index, 1))
+        return 1;
+    if (ueg(&c, last_probs, last_base, (uint64_t)last, last_max_prefix,
+            last_k))
+        return 1;
+    for (i = last; i >= 0; i--) {
+        int64_t level = scanned[i];
+        if (i != last) {
+            if (ctx_bin(&c, sig_probs, sig_base + sig_buckets[i],
+                        level != 0))
+                return 1;
+            if (level == 0)
+                continue;
+        }
+        /* magnitude - 1; the negation is done in uint64 so INT64_MIN
+         * (can't occur from the quantizer, but legal input) stays
+         * exact, matching Python's unbounded ints. */
+        uint64_t mag = level < 0 ? (uint64_t)0 - (uint64_t)level
+                                 : (uint64_t)level;
+        if (ueg(&c, level_probs, level_base, mag - 1, max_prefix, k))
+            return 1;
+        if (bypass_bin(&c, level < 0))
+            return 1;
+    }
+    *low_io = c.low;
+    *rng_io = c.rng;
+    *cache_io = c.cache;
+    *cache_size_io = c.csize;
+    *out_len_io = c.len;
+    return 0;
+}

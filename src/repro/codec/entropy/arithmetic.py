@@ -16,6 +16,7 @@ context objects are touched in the same order.
 
 from __future__ import annotations
 
+from array import array
 from typing import List
 
 from repro.resilience.errors import CorruptStreamError
@@ -51,10 +52,18 @@ def _renorm(low, rng, cache, csize, out):
 
 
 class ContextSet:
-    """A bank of adaptive binary contexts addressed by integer index."""
+    """A bank of adaptive binary contexts addressed by integer index.
+
+    The probabilities live in an ``array('i')`` rather than a list: the
+    semantics are identical for every pure-Python coder loop (integer
+    indexing, slicing, equality), but the flat int32 buffer lets the
+    native kernels operate on the live contexts in place -- no per-call
+    copy in or write-back.
+    """
 
     def __init__(self, count: int) -> None:
-        self.probs: List[int] = [_PROB_INIT] * count
+        self.probs = array("i", bytes(4 * count))
+        self.reset()
 
     def reset(self) -> None:
         """Re-initialise every context to the equiprobable state."""

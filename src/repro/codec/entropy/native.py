@@ -1,23 +1,37 @@
-"""Optional native kernel for the fused coefficient-scan decode.
+"""Optional native kernels for the entropy-coder hot loops.
 
-The two-phase decoder's entropy stage is a pure-Python bin loop; even
-with localized state it tops out around 4 Mbins/s.  This module
-compiles ``_scan_kernel.c`` -- a line-for-line transliteration of
-:meth:`BinaryDecoder.decode_coeff_scan` -- into a tiny shared library
-with the system C compiler the first time it is needed, caches the
-``.so`` under ``_build/`` keyed by a content hash of the source, and
-exposes it through :func:`scan`.
+Three small C kernels share one self-building pipeline:
 
-Everything degrades gracefully: no compiler, a failed build, a failed
-``dlopen``, or ``LLM265_PURE_PYTHON=1`` in the environment all make
-:func:`available` return ``False`` and the decoder silently uses the
-pure-Python fused loop instead (same bits out, ~2x slower).  Nothing
-is downloaded and no third-party package is involved -- the kernel is
-1 C file, ``cc``, and ``ctypes``.
+``scan``   ``_scan_kernel.c``  -- fused coefficient-scan *decode*, a
+           line-for-line transliteration of
+           :meth:`BinaryDecoder.decode_coeff_scan` (PR 5).
+``write``  ``_write_kernel.c`` -- whole-coefficient-block *encode*
+           (cbf bin + last UEG + the fused scan), the exact mirror of
+           the fast path in :func:`repro.codec.syntax.encode_coeff_block`.
+``cost``   ``_cost_kernel.c``  -- batched quantize + fixed-point rate
+           accumulation for the turbo RD search.
+``refs``   ``_refs_kernel.c``  -- intra reference gather with boundary
+           substitution (pure data movement shared by every path).
 
-The kernel releases the GIL for the duration of each scan call (plain
-``ctypes.CDLL`` behaviour), which is what lets thread-parallel decode
-scale on multi-core machines.
+Each kernel is compiled with the system C compiler the first time it is
+needed and cached under ``_build/`` keyed by a content hash of its own
+source, so editing one kernel never invalidates the others.  Shared
+objects whose hash no longer matches any current source are pruned on
+first use (counted by the ``native.cache_pruned`` telemetry counter) so
+the cache cannot accumulate orphans across source edits.
+
+Everything degrades gracefully and *per kernel*: no compiler, a failed
+build, a failed ``dlopen``, or ``LLM265_PURE_PYTHON=1`` in the
+environment make the corresponding dispatch helper return ``None`` and
+the caller silently uses the pure-Python path instead (same bits out,
+slower).  A build failure is recorded once per kernel per process -- one
+``native.build_failed`` flight-recorder event and counter, never a
+retry per call.  Nothing is downloaded and no third-party package is
+involved -- the kernels are three C files, ``cc``, and ``ctypes``.
+
+The kernels release the GIL for the duration of each call (plain
+``ctypes.CDLL`` behaviour), which is what lets thread-parallel encode
+and decode scale on multi-core machines.
 """
 
 from __future__ import annotations
@@ -25,23 +39,122 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import platform
 import shutil
 import subprocess
 import tempfile
 import threading
 from array import array
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["available", "build_info", "scan"]
+__all__ = [
+    "available",
+    "build_info",
+    "kernel_status",
+    "scan",
+    "write",
+    "cost",
+    "cost_fused",
+    "refs",
+]
 
-_SRC = os.path.join(os.path.dirname(__file__), "_scan_kernel.c")
 _BUILD_DIR = os.path.join(os.path.dirname(__file__), "_build")
 
-_lock = threading.Lock()
-_fn = None  # resolved kernel function, or None
-_state = "unloaded"  # unloaded | ready | disabled | failed
+_PROB_ARGS = [
+    ctypes.c_void_p,  # sig_probs
+    ctypes.c_int64,  # sig_base
+    ctypes.c_void_p,  # sig_buckets
+    ctypes.c_void_p,  # level_probs
+    ctypes.c_int64,  # level_base
+    ctypes.c_int64,  # max_prefix
+    ctypes.c_int64,  # k
+]
+
+_SCAN_ARGTYPES = [
+    ctypes.c_char_p,  # data
+    ctypes.c_int64,  # dlen
+    ctypes.POINTER(ctypes.c_int64),  # pos_io
+    ctypes.POINTER(ctypes.c_uint32),  # rng_io
+    ctypes.POINTER(ctypes.c_uint32),  # code_io
+    ctypes.c_int64,  # n_scan
+    ctypes.c_int64,  # last
+    *_PROB_ARGS,
+    ctypes.c_void_p,  # out
+    ctypes.POINTER(ctypes.c_int64),  # bins_io
+]
+
+_WRITE_ARGTYPES = [
+    ctypes.c_void_p,  # scanned (int64)
+    ctypes.c_int64,  # last
+    ctypes.c_void_p,  # cbf_probs
+    ctypes.c_int64,  # cbf_index
+    ctypes.c_void_p,  # last_probs
+    ctypes.c_int64,  # last_base
+    ctypes.c_int64,  # last_max_prefix
+    ctypes.c_int64,  # last_k
+    *_PROB_ARGS,
+    ctypes.POINTER(ctypes.c_uint64),  # low_io
+    ctypes.POINTER(ctypes.c_uint32),  # rng_io
+    ctypes.POINTER(ctypes.c_int64),  # cache_io
+    ctypes.POINTER(ctypes.c_int64),  # cache_size_io
+    ctypes.c_void_p,  # out
+    ctypes.c_int64,  # out_cap
+    ctypes.POINTER(ctypes.c_int64),  # out_len_io
+]
+
+_REFS_ARGTYPES = [
+    ctypes.c_void_p,  # recon (float64)
+    ctypes.c_void_p,  # mask (uint8/bool)
+    ctypes.c_int64,  # height
+    ctypes.c_int64,  # width
+    ctypes.c_int64,  # y0
+    ctypes.c_int64,  # x0
+    ctypes.c_int64,  # n
+    ctypes.c_void_p,  # top out (float64)
+    ctypes.c_void_p,  # left out (float64)
+]
+
+_COST_ARGTYPES = [
+    ctypes.c_void_p,  # cscaled (float64)
+    ctypes.c_void_p,  # pred (float64, NULL for flat mode)
+    ctypes.c_int64,  # n_blocks
+    ctypes.c_int64,  # n_modes
+    ctypes.c_int64,  # width
+    ctypes.c_double,  # deadzone
+    ctypes.c_void_p,  # rate_table (int64)
+    ctypes.c_int64,  # table_len
+    ctypes.c_int64,  # emit_err
+    ctypes.c_void_p,  # out: levels or errors (float64)
+    ctypes.c_void_p,  # rate out (int64)
+    ctypes.c_void_p,  # nnz out (int64)
+    ctypes.c_void_p,  # last out (int64)
+]
+
+
+@dataclass
+class _Kernel:
+    name: str  # build-cache prefix, e.g. "scan" -> scan_kernel_<tag>.so
+    source: str  # C file next to this module
+    symbol: str
+    argtypes: list
+    state: str = "unloaded"  # unloaded | building | ready | pure-python
+    #                        | no-compiler | failed
+    fn: object = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+_KERNELS: Dict[str, _Kernel] = {
+    k.name: k
+    for k in (
+        _Kernel("scan", "_scan_kernel.c", "llm265_decode_coeff_scan", _SCAN_ARGTYPES),
+        _Kernel("write", "_write_kernel.c", "llm265_encode_coeff_block", _WRITE_ARGTYPES),
+        _Kernel("cost", "_cost_kernel.c", "llm265_cost_blocks", _COST_ARGTYPES),
+        _Kernel("refs", "_refs_kernel.c", "llm265_gather_refs", _REFS_ARGTYPES),
+    )
+}
 
 
 def _compiler() -> Optional[str]:
@@ -51,16 +164,95 @@ def _compiler() -> Optional[str]:
     return None
 
 
-def _build_and_load():
-    """Compile (if not cached) and dlopen the kernel; may raise."""
-    with open(_SRC, "rb") as fh:
-        source = fh.read()
-    tag = hashlib.sha256(source).hexdigest()[:16]
-    so_path = os.path.join(_BUILD_DIR, f"scan_kernel_{tag}.so")
+def _source_path(kernel: _Kernel) -> str:
+    return os.path.join(os.path.dirname(__file__), kernel.source)
+
+
+# -fno-math-errno lets the compiler inline rint/trunc/copysign (their
+# IEEE results are unchanged; only the unused errno side effect is
+# dropped), which matters for the cost kernel's per-element rounding.
+# On x86-64 the roundsd/roundpd instructions those inline to need
+# SSE4.1 -- universal on hardware from the last 15+ years but not part
+# of the baseline ABI, so it is opted into explicitly (never
+# -march=native: the cached .so must stay valid if the build directory
+# travels to a different machine of the same architecture).
+_CFLAGS = (
+    "-O2",
+    "-fno-math-errno",
+    *(("-msse4.1",) if platform.machine() in ("x86_64", "AMD64") else ()),
+    "-shared",
+    "-fPIC",
+)
+
+
+def _source_tag(kernel: _Kernel) -> str:
+    digest = hashlib.sha256()
+    with open(_source_path(kernel), "rb") as fh:
+        digest.update(fh.read())
+    # Flags participate in the cache key: a flag change must rebuild.
+    digest.update(" ".join(_CFLAGS).encode())
+    return digest.hexdigest()[:16]
+
+
+_pruned = False
+
+
+def _prune_stale() -> int:
+    """Drop cached .so files whose content hash matches no current source.
+
+    Runs once per process, on the first kernel resolve that finds (or
+    creates) the build directory.  Idempotent and best-effort: a file
+    another process is mid-replace on simply survives until next time.
+    """
+    global _pruned
+    if _pruned:
+        return 0
+    _pruned = True
+    try:
+        entries = os.listdir(_BUILD_DIR)
+    except OSError:
+        return 0
+    live = {f"{k.name}_kernel_{_source_tag(k)}.so" for k in _KERNELS.values()}
+    removed = 0
+    for name in entries:
+        if not name.endswith(".so") or name in live:
+            continue
+        try:
+            os.unlink(os.path.join(_BUILD_DIR, name))
+            removed += 1
+        except OSError:
+            pass
+    if removed:
+        import repro.telemetry as telemetry
+
+        telemetry.count("native.cache_pruned", removed)
+    return removed
+
+
+def _record_failure(kernel: _Kernel, reason: str) -> None:
+    """One flight-recorder event per kernel per process, not per call."""
+    try:
+        import repro.telemetry as telemetry
+        from repro.telemetry import flightrecorder
+
+        flightrecorder.record(
+            "native.build_failed", kernel=kernel.name, reason=reason
+        )
+        telemetry.count("native.build_failed")
+    except Exception:
+        pass
+
+
+def _build_and_load(kernel: _Kernel):
+    """Compile (if not cached) and dlopen one kernel; may raise."""
+    src = _source_path(kernel)
+    so_path = os.path.join(
+        _BUILD_DIR, f"{kernel.name}_kernel_{_source_tag(kernel)}.so"
+    )
     if not os.path.exists(so_path):
         cc = _compiler()
         if cc is None:
-            raise RuntimeError("no C compiler on PATH")
+            raise FileNotFoundError("no C compiler on PATH")
         os.makedirs(_BUILD_DIR, exist_ok=True)
         # Build to a temp name and os.replace() so concurrent builders
         # (parallel test workers, process-pool warm-up) never observe a
@@ -69,7 +261,7 @@ def _build_and_load():
         os.close(fd)
         try:
             subprocess.run(
-                [cc, "-O2", "-shared", "-fPIC", "-o", tmp, _SRC],
+                [cc, *_CFLAGS, "-o", tmp, src],
                 check=True,
                 capture_output=True,
                 timeout=120,
@@ -79,58 +271,66 @@ def _build_and_load():
             if os.path.exists(tmp):
                 os.unlink(tmp)
     lib = ctypes.CDLL(so_path)
-    fn = lib.llm265_decode_coeff_scan
+    fn = getattr(lib, kernel.symbol)
     fn.restype = ctypes.c_int64
-    fn.argtypes = [
-        ctypes.c_char_p,  # data
-        ctypes.c_int64,  # dlen
-        ctypes.POINTER(ctypes.c_int64),  # pos_io
-        ctypes.POINTER(ctypes.c_uint32),  # rng_io
-        ctypes.POINTER(ctypes.c_uint32),  # code_io
-        ctypes.c_int64,  # n_scan
-        ctypes.c_int64,  # last
-        ctypes.c_void_p,  # sig_probs
-        ctypes.c_int64,  # sig_base
-        ctypes.c_void_p,  # sig_buckets
-        ctypes.c_void_p,  # level_probs
-        ctypes.c_int64,  # level_base
-        ctypes.c_int64,  # max_prefix
-        ctypes.c_int64,  # k
-        ctypes.c_void_p,  # out
-        ctypes.POINTER(ctypes.c_int64),  # bins_io
-    ]
+    fn.argtypes = kernel.argtypes
     return fn
 
 
-def _resolve():
-    """One-time lazy init; never raises."""
-    global _fn, _state
-    if _state != "unloaded":
-        return _fn
-    with _lock:
-        if _state != "unloaded":
-            return _fn
+def _resolve(name: str):
+    """One-time lazy init for one kernel; never raises."""
+    kernel = _KERNELS[name]
+    if kernel.state not in ("unloaded", "building"):
+        return kernel.fn
+    with kernel.lock:
+        if kernel.state not in ("unloaded", "building"):
+            return kernel.fn
         if os.environ.get("LLM265_PURE_PYTHON"):
-            _state = "disabled"
+            kernel.state = "pure-python"
             return None
+        kernel.state = "building"
         try:
-            _fn = _build_and_load()
-            _state = "ready"
-        except Exception:
-            _fn = None
-            _state = "failed"
-    return _fn
+            kernel.fn = _build_and_load(kernel)
+            kernel.state = "ready"
+            _prune_stale()
+        except FileNotFoundError as exc:
+            kernel.fn = None
+            kernel.state = "no-compiler"
+            _record_failure(kernel, str(exc))
+        except Exception as exc:
+            kernel.fn = None
+            kernel.state = "failed"
+            _record_failure(kernel, repr(exc))
+    return kernel.fn
 
 
 def available() -> bool:
-    """True when the compiled scan kernel is loaded and usable."""
-    return _resolve() is not None
+    """True when the compiled *scan* kernel is loaded and usable.
+
+    Kept with this exact meaning (and no arguments) for back-compat:
+    decoder call sites and tests monkeypatch it to force the pure path.
+    The encode-side kernels are gated by :func:`write` / :func:`cost`
+    returning ``None`` instead.
+    """
+    return _resolve("scan") is not None
 
 
 def build_info() -> str:
-    """Human-readable kernel state for ``llm265 stats`` / diagnostics."""
-    _resolve()
-    return _state
+    """Scan-kernel state string for legacy callers; see kernel_status."""
+    _resolve("scan")
+    return _KERNELS["scan"].state
+
+
+def kernel_status(resolve: bool = True) -> Dict[str, str]:
+    """Per-kernel state map for ``llm265 stats`` / bench reports.
+
+    States: ``ready`` / ``building`` / ``pure-python`` / ``no-compiler``
+    / ``failed`` (plus ``unloaded`` when ``resolve=False``).
+    """
+    if resolve:
+        for name in _KERNELS:
+            _resolve(name)
+    return {name: k.state for name, k in _KERNELS.items()}
 
 
 # Per-size bucket arrays are tiny and fixed; cache their C form.
@@ -144,6 +344,20 @@ def _bucket_array(buckets: Sequence[int]) -> array:
         arr = array("i", key)
         _bucket_cache[key] = arr
     return arr
+
+
+def _prob_buffer(probs) -> Tuple[array, bool]:
+    """C view of a context-probability bank.
+
+    ``ContextSet.probs`` is already an ``array('i')`` -- the kernel
+    adapts the live contexts in place and nothing needs copying in
+    either direction.  Plain sequences (tests, external callers) are
+    copied in, and the second element tells the caller a write-back is
+    needed.
+    """
+    if type(probs) is array and probs.typecode == "i":
+        return probs, False
+    return array("i", probs), True
 
 
 def scan(
@@ -167,7 +381,7 @@ def scan(
     magnitude that does not fit int64 (what ``np.asarray`` raises on
     the pure path's big int), so callers cannot tell the paths apart.
     """
-    fn = _resolve()
+    fn = _resolve("scan")
     if fn is None:
         return None
     from repro.resilience.errors import CorruptStreamError
@@ -177,8 +391,8 @@ def scan(
     rng = ctypes.c_uint32(dec._range)
     code = ctypes.c_uint32(dec._code)
     bins = ctypes.c_int64(0)
-    sig_arr = array("i", sig_probs)
-    lvl_arr = array("i", level_probs)
+    sig_arr, sig_copied = _prob_buffer(sig_probs)
+    lvl_arr, lvl_copied = _prob_buffer(level_probs)
     buckets = _bucket_array(sig_buckets)
     out = np.empty(n_scan, dtype=np.int64)
     status = fn(
@@ -200,9 +414,12 @@ def scan(
         ctypes.byref(bins),
     )
     # Write state back unconditionally -- the Python loop also adapts
-    # contexts and advances the coder before raising.
-    sig_probs[:] = sig_arr
-    level_probs[:] = lvl_arr
+    # contexts and advances the coder before raising.  (Live ContextSet
+    # banks were adapted in place; only copied-in sequences need it.)
+    if sig_copied:
+        sig_probs[:] = sig_arr
+    if lvl_copied:
+        level_probs[:] = lvl_arr
     dec._pos = pos.value
     dec._range = rng.value
     dec._code = code.value
@@ -212,3 +429,258 @@ def scan(
     if status == 2:
         raise OverflowError("decoded coefficient magnitude exceeds int64")
     return out
+
+
+# Worst-case bins per coefficient: 1 significance + max_prefix (<= 10
+# via the last-prefix, 3 in the coeff scan) truncated-unary bins + the
+# Exp-Golomb suffix (2 * 63 + 1 + k bins for an int64 magnitude) + 1
+# sign.  133 is a safe per-coefficient ceiling for every profile in the
+# format; each bin shifts out at most one byte.
+_MAX_BINS_PER_COEFF = 133
+
+# The write scratch is reused per thread (the cap is worst-case sized,
+# so allocating it fresh per block dominated the wrapper's cost).
+_scratch_local = threading.local()
+
+
+def _scratch(cap: int) -> np.ndarray:
+    buf = getattr(_scratch_local, "buf", None)
+    if buf is None or len(buf) < cap:
+        buf = np.empty(max(cap, 1 << 16), dtype=np.uint8)
+        _scratch_local.buf = buf
+    return buf
+
+
+def write(
+    enc,
+    scanned: np.ndarray,
+    last: int,
+    cbf_probs: List[int],
+    cbf_index: int,
+    last_probs: List[int],
+    last_base: int,
+    last_max_prefix: int,
+    last_k: int,
+    sig_probs: List[int],
+    sig_base: int,
+    sig_buckets: Sequence[int],
+    level_probs: List[int],
+    level_base: int,
+    max_prefix: int,
+    k: int,
+) -> bool:
+    """Run the native block write; return True iff the bits were emitted.
+
+    Encodes the whole non-empty coefficient block -- the cbf=1 context
+    bin, the last-position UEG code and the fused significance/level/
+    sign scan -- exactly as the pure-Python fast path does: bytes
+    appended to ``enc._out``, coder state (low/range/carry cache) and
+    every adapted context probability land bit-identical.  The coder
+    state on ``enc`` is written back only on success; the scratch
+    capacity is worst-case sized, so a nonzero kernel status means a
+    broken sizing invariant and raises rather than risking a silent
+    half-adapted context bank.
+    """
+    fn = _resolve("write")
+    if fn is None:
+        return False
+    if scanned.dtype != np.int64 or not scanned.flags.c_contiguous:
+        scanned = np.ascontiguousarray(scanned, dtype=np.int64)
+    low = ctypes.c_uint64(enc._low)
+    rng = ctypes.c_uint32(enc._range)
+    cache = ctypes.c_int64(enc._cache)
+    csize = ctypes.c_int64(enc._cache_size)
+    out_len = ctypes.c_int64(0)
+    cbf_arr, cbf_copied = _prob_buffer(cbf_probs)
+    last_arr, last_copied = _prob_buffer(last_probs)
+    sig_arr, sig_copied = _prob_buffer(sig_probs)
+    lvl_arr, lvl_copied = _prob_buffer(level_probs)
+    buckets = _bucket_array(sig_buckets)
+    # + 64 headroom covers the cbf bin and the last-position UEG code
+    # (<= last_max_prefix + the Exp-Golomb suffix of a 12-bit value).
+    cap = _MAX_BINS_PER_COEFF * (last + 1) + enc._cache_size + 64
+    scratch = _scratch(cap)
+    status = fn(
+        scanned.ctypes.data,
+        last,
+        cbf_arr.buffer_info()[0],
+        cbf_index,
+        last_arr.buffer_info()[0],
+        last_base,
+        last_max_prefix,
+        last_k,
+        sig_arr.buffer_info()[0],
+        sig_base,
+        buckets.buffer_info()[0],
+        lvl_arr.buffer_info()[0],
+        level_base,
+        max_prefix,
+        k,
+        ctypes.byref(low),
+        ctypes.byref(rng),
+        ctypes.byref(cache),
+        ctypes.byref(csize),
+        scratch.ctypes.data,
+        cap,
+        ctypes.byref(out_len),
+    )
+    if status != 0:
+        raise RuntimeError(
+            "native write kernel overflowed its worst-case scratch "
+            f"(last={last}, cap={cap})"
+        )
+    if cbf_copied:
+        cbf_probs[:] = cbf_arr
+    if last_copied:
+        last_probs[:] = last_arr
+    if sig_copied:
+        sig_probs[:] = sig_arr
+    if lvl_copied:
+        level_probs[:] = lvl_arr
+    enc._low = low.value
+    enc._range = rng.value
+    enc._cache = cache.value
+    enc._cache_size = csize.value
+    if out_len.value:
+        enc._out += scratch[: out_len.value].tobytes()
+    return True
+
+
+def cost(
+    diff: np.ndarray,
+    deadzone: float,
+    rate_table: np.ndarray,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Batched quantize + rate stats; None when the kernel is unavailable.
+
+    ``diff`` is a C-contiguous float64 ``(rows, width)`` batch of
+    step-scaled residuals; ``rate_table`` is the int64 fixed-point
+    level-rate table.  Returns ``(levels, rate, nnz, last)`` arrays
+    bitwise identical to the numpy fallback in
+    :func:`repro.codec.encoder._quantize_costs`.
+    """
+    fn = _resolve("cost")
+    if fn is None:
+        return None
+    diff = np.ascontiguousarray(diff, dtype=np.float64)
+    rows, width = diff.shape
+    levels = np.empty_like(diff)
+    rate = np.empty(rows, dtype=np.int64)
+    nnz = np.empty(rows, dtype=np.int64)
+    last = np.empty(rows, dtype=np.int64)
+    status = fn(
+        diff.ctypes.data,
+        None,  # flat mode
+        rows,
+        1,
+        width,
+        deadzone,
+        rate_table.ctypes.data,
+        len(rate_table),
+        0,  # emit levels
+        levels.ctypes.data,
+        rate.ctypes.data,
+        nnz.ctypes.data,
+        last.ctypes.data,
+    )
+    if status != 0:
+        return None
+    return levels, rate, nnz, last
+
+
+def cost_fused(
+    cscaled: np.ndarray,
+    pred: np.ndarray,
+    deadzone: float,
+    rate_table: np.ndarray,
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Fused predict-subtract + quantize + rate stats for pass 1.
+
+    ``cscaled`` is the ``(blocks, width)`` step-scaled coefficient
+    batch and ``pred`` the ``(blocks, modes, width)`` candidate
+    predictions; candidate row ``b * modes + m`` is quantized from
+    ``cscaled[b] - pred[b, m]`` without ever materialising that
+    difference.  Returns ``(err, rate, nnz, last)`` where ``err`` holds
+    the quantization errors (``level - x``) the SSE term consumes --
+    all four bitwise identical to the numpy fallback in
+    :func:`repro.codec.encoder._pass1_err_costs`.
+    """
+    fn = _resolve("cost")
+    if fn is None:
+        return None
+    if (
+        cscaled.dtype != np.float64
+        or not cscaled.flags.c_contiguous
+        or pred.dtype != np.float64
+        or not pred.flags.c_contiguous
+    ):
+        return None
+    n_blocks, width = cscaled.shape
+    n_modes = pred.shape[1]
+    rows = n_blocks * n_modes
+    err = np.empty((rows, width), dtype=np.float64)
+    rate = np.empty(rows, dtype=np.int64)
+    nnz = np.empty(rows, dtype=np.int64)
+    last = np.empty(rows, dtype=np.int64)
+    status = fn(
+        cscaled.ctypes.data,
+        pred.ctypes.data,
+        n_blocks,
+        n_modes,
+        width,
+        deadzone,
+        rate_table.ctypes.data,
+        len(rate_table),
+        1,  # emit errors
+        err.ctypes.data,
+        rate.ctypes.data,
+        nnz.ctypes.data,
+        last.ctypes.data,
+    )
+    if status != 0:
+        return None
+    return err, rate, nnz, last
+
+
+def refs(
+    recon: np.ndarray,
+    mask: np.ndarray,
+    y0: int,
+    x0: int,
+    n: int,
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Native intra reference gather; None when unavailable.
+
+    Returns ``(top, left)`` exactly as
+    :func:`repro.codec.intra.gather_references` computes them.  Pure
+    data movement, so the arrays are bit-identical to the numpy walk
+    and the kernel is safe on every path (it does not participate in
+    the native-vs-python encode identity split).
+    """
+    fn = _resolve("refs")
+    if fn is None:
+        return None
+    if (
+        recon.dtype != np.float64
+        or not recon.flags.c_contiguous
+        or mask.dtype != np.bool_
+        or not mask.flags.c_contiguous
+    ):
+        return None
+    top = np.empty(2 * n + 1, dtype=np.float64)
+    left = np.empty(2 * n + 1, dtype=np.float64)
+    height, width = recon.shape
+    status = fn(
+        recon.ctypes.data,
+        mask.ctypes.data,
+        height,
+        width,
+        y0,
+        x0,
+        n,
+        top.ctypes.data,
+        left.ctypes.data,
+    )
+    if status != 0:
+        return None
+    return top, left

@@ -17,6 +17,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.codec.entropy import native
+
 PLANAR = 0
 DC = 1
 ANGULAR_FIRST = 2
@@ -83,8 +85,13 @@ def gather_references(
     The boundary walk, availability test, and nearest-neighbour fill
     are fully vectorised (this runs once per candidate block in the RD
     search, so it is hot); output is bit-identical to the original
-    per-sample loop.
+    per-sample loop.  When the compiled refs kernel is available it
+    does the walk instead -- pure data movement, so the arrays (and
+    every stream downstream of them) are unchanged byte for byte.
     """
+    gathered = native.refs(recon, mask, y0, x0, n)
+    if gathered is not None:
+        return gathered
     height, width = recon.shape
     dy, dx = _boundary_offsets(n)
     rows = y0 + dy

@@ -69,7 +69,7 @@ def _sig_buckets(n: int) -> Tuple[int, ...]:
 
 def encode_coeff_block(
     enc: BinaryEncoder, ctx: CodecContexts, levels: np.ndarray, stats=None,
-    fast: bool = True,
+    fast: bool = True, native_ok: bool = True,
 ) -> None:
     """Entropy-code one quantized coefficient block (any square size).
 
@@ -82,6 +82,11 @@ def encode_coeff_block(
     ``fast=False`` forces the primitive-call loop even without stats --
     used by benchmarks to reproduce the pre-optimisation write path and
     by tests to pin the fused coder against the primitives.
+
+    ``native_ok=False`` keeps the fast path on the pure-Python fused
+    coder even when the compiled write kernel is loaded -- the
+    ``encode="python"`` rung, and the reference side of the native
+    identity gates.
     """
     n = levels.shape[0]
     cls = size_class(n)
@@ -89,14 +94,34 @@ def encode_coeff_block(
     nz = np.nonzero(scanned)[0]
     track = stats is not None
     if fast and not track:
-        # Fast path: same bin sequence, emitted by the fused scan coder
-        # (bit-exact with the instrumented loop below by construction
-        # and by test).
+        # Fast path: same bin sequence, emitted by the compiled write
+        # kernel when one is available, else the fused pure-Python scan
+        # coder (bit-exact with the instrumented loop below by
+        # construction and by test).
         if nz.size == 0:
             enc.encode_bit(ctx.cbf, 0, 0)
             return
-        enc.encode_bit(ctx.cbf, 0, 1)
         last = int(nz[-1])
+        if native_ok and native.write(
+            enc,
+            scanned,
+            last,
+            ctx.cbf.probs,
+            0,
+            ctx.last.probs,
+            cls * _LAST_PREFIX,
+            _LAST_PREFIX,
+            1,
+            ctx.sig.probs,
+            cls * _SIG_CTX_PER_CLASS,
+            _sig_buckets(n),
+            ctx.level.probs,
+            cls * _LEVEL_PREFIX,
+            _LEVEL_PREFIX,
+            1,
+        ):
+            return
+        enc.encode_bit(ctx.cbf, 0, 1)
         enc.encode_ueg(ctx.last, cls * _LAST_PREFIX, last, _LAST_PREFIX, k=1)
         enc.encode_coeff_scan(
             scanned.tolist(),

@@ -33,38 +33,46 @@ __all__ = ["DEFAULT_LADDER", "DegradationLadder", "Rung"]
 
 @dataclass(frozen=True)
 class Rung:
-    """One service configuration: search/decode strategies + fan-out."""
+    """One service configuration: search/encode/decode strategies + fan-out."""
 
     name: str
     rd_search: str
     parallel: Optional[ParallelConfig] = None
     decode: str = "vectorized"
+    encode: str = "native"
 
     def __post_init__(self) -> None:
         from repro.codec.decoder import DECODES
-        from repro.codec.encoder import RD_SEARCHES
+        from repro.codec.encoder import ENCODES, RD_SEARCHES
 
         if self.rd_search not in RD_SEARCHES:
             raise ValueError(f"unknown rd_search {self.rd_search!r}")
         if self.decode not in DECODES:
             raise ValueError(f"unknown decode {self.decode!r}")
+        if self.encode not in ENCODES:
+            raise ValueError(f"unknown encode {self.encode!r}")
 
 
 #: turbo+threads -> vectorized serial -> legacy serial.  Thread (not
 #: process) fan-out on the top rung: request bodies already run on
-#: supervised threads, and numpy / the native scan kernel release the
-#: GIL in the hot loops.  The decode axis steps down in lockstep with
-#: rd-search: the floor rung serves with the interleaved reference
-#: decoder, so a rung-2 response exercises no fast-path code at all.
+#: supervised threads, and numpy / the native scan and write kernels
+#: release the GIL in the hot loops.  The decode axis steps down in
+#: lockstep with rd-search: the floor rung serves with the interleaved
+#: reference decoder and the pure-Python entropy writer, so a rung-2
+#: response exercises no fast-path code at all.  (``encode="native"``
+#: on the upper rungs degrades by itself to pure Python when no
+#: compiler is present -- same bytes, slower -- so it is not a
+#: correctness axis the ladder needs to step through.)
 DEFAULT_LADDER: Tuple[Rung, ...] = (
     Rung(
         "turbo",
         "turbo",
         ParallelConfig(workers=2, executor="thread"),
         decode="vectorized",
+        encode="native",
     ),
-    Rung("vectorized", "vectorized", None, decode="vectorized"),
-    Rung("legacy", "legacy", None, decode="legacy"),
+    Rung("vectorized", "vectorized", None, decode="vectorized", encode="native"),
+    Rung("legacy", "legacy", None, decode="legacy", encode="python"),
 )
 
 

@@ -153,6 +153,7 @@ class CodecService:
                 parallel=rung.parallel,
                 rd_search=rung.rd_search,
                 decode=rung.decode,
+                encode=rung.encode,
             )
             for rung in self.ladder.rungs
         }

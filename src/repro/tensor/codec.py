@@ -23,7 +23,7 @@ import numpy as np
 
 import repro.telemetry as telemetry
 from repro.codec.decoder import DECODES, FrameDecoder
-from repro.codec.encoder import RD_SEARCHES, EncoderConfig, FrameEncoder
+from repro.codec.encoder import ENCODES, RD_SEARCHES, EncoderConfig, FrameEncoder
 from repro.codec.profiles import H265_PROFILE, CodecProfile
 from repro.parallel import ParallelConfig
 from repro.resilience.deadline import Deadline
@@ -341,6 +341,12 @@ class TensorCodec:
         decoder, ``"legacy"`` the interleaved reference decoder.  Both
         produce byte-identical reconstructions; stored as
         :attr:`decode_mode` (``decode`` the method keeps its name).
+    encode:
+        Entropy/costing backend forwarded to the frame encoder:
+        ``"native"`` (default) uses the compiled write/cost kernels
+        when available, ``"python"`` pins the pure-Python reference
+        paths.  Bitstreams are byte-identical either way; stored as
+        :attr:`encode_mode` (``encode`` the method keeps its name).
     """
 
     def __init__(
@@ -353,6 +359,7 @@ class TensorCodec:
         parallel: Optional[ParallelConfig] = None,
         rd_search: str = "vectorized",
         decode: str = "vectorized",
+        encode: str = "native",
     ) -> None:
         if alignment not in ("minmax", "mx"):
             raise ValueError("alignment must be 'minmax' or 'mx'")
@@ -362,6 +369,8 @@ class TensorCodec:
             )
         if decode not in DECODES:
             raise ValueError(f"decode must be one of {DECODES}, got {decode!r}")
+        if encode not in ENCODES:
+            raise ValueError(f"encode must be one of {ENCODES}, got {encode!r}")
         self.profile = profile
         self.tile = tile
         self.use_inter = use_inter
@@ -370,6 +379,7 @@ class TensorCodec:
         self.parallel = parallel
         self.rd_search = rd_search
         self.decode_mode = decode
+        self.encode_mode = encode
 
     # -- encoding --------------------------------------------------------
 
@@ -495,6 +505,7 @@ class TensorCodec:
             use_inter=self.use_inter,
             parallel=self.parallel,
             rd_search=self.rd_search,
+            encode=self.encode_mode,
             deadline=deadline,
         )
 

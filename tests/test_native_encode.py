@@ -1,0 +1,377 @@
+"""Unit tests for the native encode kernels and their plumbing.
+
+Covers, kernel by kernel, the exactness contracts the fuzz suite
+(``test_encode_fuzz.py``) relies on at the stream level:
+
+- the write kernel against the primitive-call entropy coder (bytes and
+  adapted context banks);
+- the cost kernel, flat and fused layouts, against the numpy quantizer
+  (bitwise, all four outputs);
+- the refs kernel against the original scalar boundary walk;
+- the build pipeline: per-kernel status, cache GC accounting, and the
+  degrade-once-with-one-event behaviour on build failure;
+- the parallel-encode dispatch thresholds and fallback accounting;
+- the ``encode=`` plumbing through config, codec, and serving rungs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.codec.encoder import (
+    _PARALLEL_MIN_BYTES,
+    _PARALLEL_MIN_SLICES,
+    ENCODES,
+    EncoderConfig,
+    FrameEncoder,
+    _level_rate_table,
+    _pass1_err_costs,
+    _quantize_costs,
+)
+from repro.codec.entropy import native
+from repro.codec.entropy.arithmetic import BinaryEncoder
+from repro.codec.intra import gather_references, gather_references_scalar
+from repro.codec.syntax import CodecContexts, encode_coeff_block
+from repro.parallel import ParallelConfig
+from repro.serving.ladder import DEFAULT_LADDER, Rung
+from repro.telemetry import flightrecorder
+from repro.tensor.codec import TensorCodec
+
+_READY = native.kernel_status()
+needs_write = pytest.mark.skipif(
+    _READY.get("write") != "ready", reason="write kernel unavailable"
+)
+needs_cost = pytest.mark.skipif(
+    _READY.get("cost") != "ready", reason="cost kernel unavailable"
+)
+needs_refs = pytest.mark.skipif(
+    _READY.get("refs") != "ready", reason="refs kernel unavailable"
+)
+
+
+def _blocks(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    blocks = [
+        rng.integers(-30, 30, (n, n)).astype(np.int64) for n in (4, 8, 16, 32)
+    ]
+    blocks.append(np.zeros((8, 8), dtype=np.int64))  # cbf=0 path
+    sparse = np.zeros((16, 16), dtype=np.int64)
+    sparse[0, 0] = 1
+    sparse[15, 15] = -3
+    blocks.append(sparse)
+    big = np.zeros((4, 4), dtype=np.int64)
+    big[0, 0] = 1 << 40  # long Exp-Golomb suffix
+    big[3, 3] = -(1 << 33)
+    blocks.append(big)
+    return blocks
+
+
+def _code(blocks, *, fast: bool, native_ok: bool):
+    """(stream bytes, context banks) after coding ``blocks`` in order."""
+    enc = BinaryEncoder()
+    ctx = CodecContexts()
+    for block in blocks:
+        encode_coeff_block(enc, ctx, block, fast=fast, native_ok=native_ok)
+    banks = [list(ctx.cbf.probs), list(ctx.last.probs),
+             list(ctx.sig.probs), list(ctx.level.probs)]
+    return enc.finish(), banks
+
+
+class TestWriteKernel:
+    @needs_write
+    def test_matches_primitive_coder(self):
+        blocks = _blocks(3)
+        native_out = _code(blocks, fast=True, native_ok=True)
+        fused_out = _code(blocks, fast=True, native_ok=False)
+        primitive_out = _code(blocks, fast=False, native_ok=False)
+        # Bytes AND every adapted context probability: the kernel codes
+        # the cbf bin, the last-position UEG, and the full scan.
+        assert native_out == fused_out == primitive_out
+
+    @needs_write
+    def test_interleaved_with_python_blocks(self):
+        # Alternating native / pure blocks on one shared coder: the
+        # written-back state must be exact mid-stream, not just at the
+        # end.
+        blocks = _blocks(9)
+        enc_mixed = BinaryEncoder()
+        ctx_mixed = CodecContexts()
+        for index, block in enumerate(blocks):
+            encode_coeff_block(
+                enc_mixed, ctx_mixed, block, native_ok=bool(index % 2)
+            )
+        ref, _banks = _code(blocks, fast=True, native_ok=False)
+        assert enc_mixed.finish() == ref
+
+    @needs_write
+    def test_scratch_overflow_raises(self, monkeypatch):
+        # A broken sizing invariant must raise, never half-adapt the
+        # shared context banks silently.
+        monkeypatch.setattr(native, "_MAX_BINS_PER_COEFF", 0)
+        monkeypatch.setattr(
+            native, "_scratch", lambda cap: np.empty(max(cap, 1), dtype=np.uint8)
+        )
+        enc = BinaryEncoder()
+        ctx = CodecContexts()
+        block = np.full((8, 8), 1000, dtype=np.int64)
+        with pytest.raises(RuntimeError):
+            encode_coeff_block(enc, ctx, block, native_ok=True)
+
+
+class TestCostKernel:
+    @needs_cost
+    @pytest.mark.parametrize("deadzone", [0.0, 0.25])
+    def test_flat_matches_numpy_bitwise(self, deadzone):
+        rng = np.random.default_rng(11)
+        flat = rng.normal(0, 6, (40, 256))
+        flat[rng.random(flat.shape) < 0.5] = 0.0
+        flat[5] = 0.0  # all-zero row: last must be -1
+        a = _quantize_costs(flat, deadzone, native_ok=True)
+        b = _quantize_costs(flat, deadzone, native_ok=False)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    @needs_cost
+    @pytest.mark.parametrize("deadzone", [0.0, 0.25])
+    def test_fused_matches_numpy_bitwise(self, deadzone):
+        rng = np.random.default_rng(13)
+        cscaled = np.ascontiguousarray(rng.normal(0, 8, (10, 64)))
+        pred = np.ascontiguousarray(rng.normal(0, 8, (10, 7, 64)))
+        a = _pass1_err_costs(cscaled, pred, deadzone, native_ok=True)
+        b = _pass1_err_costs(cscaled, pred, deadzone, native_ok=False)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    @needs_cost
+    def test_huge_magnitudes_clamp_to_table_top(self):
+        table = _level_rate_table()
+        flat = np.array([[1e9, -1e9, 0.0, float(len(table))]])
+        a = _quantize_costs(flat, 0.0, native_ok=True)
+        b = _quantize_costs(flat, 0.0, native_ok=False)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    @needs_cost
+    def test_width_beyond_stack_buffer_falls_back(self):
+        # The kernel's level buffer covers every profile (64x64 = 4096);
+        # wider rows return None and the caller uses numpy.
+        table = _level_rate_table()
+        assert native.cost(np.zeros((2, 4097)), 0.0, table) is None
+
+    @needs_cost
+    def test_fused_rejects_noncontiguous(self):
+        table = _level_rate_table()
+        cscaled = np.zeros((4, 128))[:, ::2]
+        pred = np.zeros((4, 3, 64))
+        assert native.cost_fused(cscaled, pred, 0.0, table) is None
+
+
+class TestRefsKernel:
+    @needs_refs
+    def test_fuzz_against_scalar_walk(self):
+        rng = np.random.default_rng(17)
+        for _ in range(150):
+            h = int(rng.integers(8, 80))
+            w = int(rng.integers(8, 80))
+            recon = rng.normal(128, 40, (h, w))
+            mask = rng.random((h, w)) < rng.random()
+            n = int(rng.choice([4, 8, 16, 32]))
+            y0 = int(rng.integers(-4, h + 4))
+            x0 = int(rng.integers(-4, w + 4))
+            got = native.refs(recon, mask, y0, x0, n)
+            assert got is not None
+            top, left = got
+            ref_top, ref_left = gather_references_scalar(recon, mask, y0, x0, n)
+            np.testing.assert_array_equal(top, ref_top)
+            np.testing.assert_array_equal(left, ref_left)
+
+    @needs_refs
+    def test_all_unavailable_is_midgrey(self):
+        recon = np.zeros((16, 16))
+        mask = np.zeros((16, 16), dtype=bool)
+        top, left = gather_references(recon, mask, 0, 0, 8)
+        assert (top == 128.0).all() and (left == 128.0).all()
+
+    @needs_refs
+    def test_guards_fall_back(self):
+        mask = np.ones((16, 16), dtype=bool)
+        # Wrong dtype and oversized block both decline, never crash.
+        assert native.refs(np.zeros((16, 16), np.float32), mask, 0, 0, 4) is None
+        assert native.refs(np.zeros((16, 16)), mask, 0, 0, 600) is None
+
+
+class TestBuildPipeline:
+    def test_kernel_status_shape(self):
+        status = native.kernel_status(resolve=False)
+        assert set(status) == {"scan", "write", "cost", "refs"}
+        allowed = {"unloaded", "building", "ready", "pure-python",
+                   "no-compiler", "failed"}
+        assert set(status.values()) <= allowed
+
+    def test_cache_gc_prunes_stale_objects(self, monkeypatch):
+        os.makedirs(native._BUILD_DIR, exist_ok=True)
+        stale = os.path.join(native._BUILD_DIR, "write_kernel_0000dead0000.so")
+        keep = os.path.join(native._BUILD_DIR, "notes.txt")
+        for path in (stale, keep):
+            with open(path, "w") as fh:
+                fh.write("x")
+        try:
+            monkeypatch.setattr(native, "_pruned", False)
+            with telemetry.session() as registry:
+                removed = native._prune_stale()
+            assert removed >= 1
+            assert not os.path.exists(stale)
+            assert os.path.exists(keep)  # only .so files are GC'd
+            assert registry.counters.get("native.cache_pruned", 0) >= 1
+            # Live kernels survived the sweep.
+            for kernel in native._KERNELS.values():
+                live = os.path.join(
+                    native._BUILD_DIR,
+                    f"{kernel.name}_kernel_{native._source_tag(kernel)}.so",
+                )
+                if kernel.state == "ready":
+                    assert os.path.exists(live)
+        finally:
+            for path in (stale, keep):
+                if os.path.exists(path):
+                    os.unlink(path)
+
+    def test_gc_runs_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(native, "_pruned", True)
+        assert native._prune_stale() == 0
+
+    def test_build_failure_degrades_with_one_event(self, monkeypatch):
+        # The pure-python opt-out short-circuits before any build is
+        # attempted; lift it so the failure path actually runs.
+        monkeypatch.delenv("LLM265_PURE_PYTHON", raising=False)
+        kernel = native._KERNELS["write"]
+        monkeypatch.setattr(kernel, "state", "unloaded")
+        monkeypatch.setattr(kernel, "fn", None)
+
+        def boom(_kernel):
+            raise FileNotFoundError("no C compiler on PATH")
+
+        monkeypatch.setattr(native, "_build_and_load", boom)
+        recorder = flightrecorder.FlightRecorder()
+        previous = flightrecorder.set_recorder(recorder)
+        try:
+            with telemetry.session() as registry:
+                assert native._resolve("write") is None
+                assert kernel.state == "no-compiler"
+                # Repeated resolves degrade silently: still one event.
+                assert native._resolve("write") is None
+                events = [
+                    e for e in recorder.snapshot()
+                    if e["kind"] == "native.build_failed"
+                ]
+                assert len(events) == 1
+                assert events[0]["fields"]["kernel"] == "write"
+                assert registry.counters.get("native.build_failed") == 1
+        finally:
+            flightrecorder.set_recorder(previous)
+
+    def test_missing_kernel_never_blocks_encode(self, monkeypatch):
+        # encode="native" with the write/cost kernels unavailable is the
+        # pure path with the same bytes, not an error.
+        frames = [np.full((32, 32), 90, dtype=np.uint8)]
+        ref = FrameEncoder(EncoderConfig(qp=24.0, encode="python")).encode(frames)
+        monkeypatch.setattr(native, "write", lambda *a, **k: False)
+        monkeypatch.setattr(native, "cost", lambda *a, **k: None)
+        monkeypatch.setattr(native, "cost_fused", lambda *a, **k: None)
+        got = FrameEncoder(EncoderConfig(qp=24.0, encode="native")).encode(frames)
+        assert got.data == ref.data
+
+
+class TestParallelDispatch:
+    def test_thresholds_pinned(self):
+        # The dispatch gate (these constants + the >1 effective CPU
+        # guard) is what backs the "parallel encode never loses to
+        # serial" claim; changing either needs a deliberate re-measure.
+        assert _PARALLEL_MIN_SLICES == 4
+        assert _PARALLEL_MIN_BYTES == 1 << 16
+
+    @staticmethod
+    def _tiny_frames(n):
+        rng = np.random.default_rng(23)
+        return [
+            rng.integers(0, 255, (32, 32)).astype(np.uint8) for _ in range(n)
+        ]
+
+    def test_below_threshold_falls_back_serial(self):
+        frames = self._tiny_frames(2)  # < MIN_SLICES and < MIN_BYTES
+        par = ParallelConfig(workers=2, executor="thread")
+        with telemetry.session() as registry:
+            got = FrameEncoder(
+                EncoderConfig(qp=24.0, parallel=par)
+            ).encode(frames)
+        assert registry.counters.get("encode.parallel_threshold_fallbacks") == 1
+        serial = FrameEncoder(EncoderConfig(qp=24.0)).encode(frames)
+        assert got.data == serial.data
+
+    def test_single_cpu_falls_back_serial(self, monkeypatch):
+        import repro.codec.encoder as encoder_mod
+
+        monkeypatch.setattr(encoder_mod, "_effective_cpus", lambda: 1)
+        frames = [
+            np.zeros((128, 128), dtype=np.uint8) for _ in range(_PARALLEL_MIN_SLICES)
+        ]  # above both size thresholds; the CPU guard alone must trip
+        par = ParallelConfig(workers=2, executor="thread")
+        with telemetry.session() as registry:
+            got = FrameEncoder(
+                EncoderConfig(qp=24.0, parallel=par)
+            ).encode(frames)
+        assert registry.counters.get("encode.parallel_threshold_fallbacks") == 1
+        serial = FrameEncoder(EncoderConfig(qp=24.0)).encode(frames)
+        assert got.data == serial.data
+
+    def test_parallel_stream_identical_when_dispatched(self, monkeypatch):
+        import repro.codec.encoder as encoder_mod
+
+        monkeypatch.setattr(encoder_mod, "_effective_cpus", lambda: 4)
+        rng = np.random.default_rng(29)
+        frames = [
+            rng.integers(0, 255, (128, 128)).astype(np.uint8)
+            for _ in range(_PARALLEL_MIN_SLICES)
+        ]
+        par = ParallelConfig(workers=2, executor="thread")
+        with telemetry.session() as registry:
+            got = FrameEncoder(
+                EncoderConfig(qp=24.0, parallel=par)
+            ).encode(frames)
+            fallbacks = registry.counters.get(
+                "encode.parallel_threshold_fallbacks", 0
+            )
+        assert fallbacks == 0  # this one actually fanned out
+        serial = FrameEncoder(EncoderConfig(qp=24.0)).encode(frames)
+        assert got.data == serial.data and got.mse == serial.mse
+
+
+class TestEncodePlumbing:
+    def test_encoder_config_validates(self):
+        assert EncoderConfig(encode="python").encode == "python"
+        with pytest.raises(ValueError):
+            EncoderConfig(encode="bogus")
+
+    def test_tensor_codec_forwards_backend(self):
+        with pytest.raises(ValueError):
+            TensorCodec(encode="bogus")
+        tensor = np.linspace(-1, 1, 64 * 64, dtype=np.float32).reshape(64, 64)
+        a = TensorCodec(tile=64, encode="native").encode(tensor, qp=24.0)
+        b = TensorCodec(tile=64, encode="python").encode(tensor, qp=24.0)
+        assert a.data == b.data
+
+    def test_ladder_rungs_pin_backends(self):
+        with pytest.raises(ValueError):
+            Rung("bad", "turbo", None, encode="bogus")
+        by_name = {rung.name: rung for rung in DEFAULT_LADDER}
+        assert by_name["turbo"].encode == "native"
+        assert by_name["vectorized"].encode == "native"
+        # The floor rung serves with no fast-path code at all.
+        assert by_name["legacy"].encode == "python"
+
+    def test_encodes_tuple_is_closed(self):
+        assert ENCODES == ("native", "python")

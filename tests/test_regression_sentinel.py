@@ -74,6 +74,24 @@ class TestCodecComparison:
                    if f["status"] == "regression"]
         assert metrics == ["mean_encode_speedup"]
 
+    def test_doctored_native_speedup_regresses(self, fresh_doc):
+        doctored = copy.deepcopy(fresh_doc)
+        doctored["summary"]["median_native_encode_speedup"] *= 10
+        report = compare_codec_bench(doctored, fresh_doc)
+        assert report["exit_code"] == EXIT_REGRESSION
+        metrics = [f["metric"] for f in report["findings"]
+                   if f["status"] == "regression"]
+        assert metrics == ["median_native_encode_speedup"]
+
+    def test_v2_baseline_without_native_metric_passes(self, fresh_doc):
+        # A pre-v3 baseline has no native-rung summary; the floor is
+        # guarded by presence, so it skips rather than KeyErrors.
+        old = copy.deepcopy(fresh_doc)
+        old["schema"] = "llm265-bench-v2"
+        del old["summary"]["median_native_encode_speedup"]
+        report = compare_codec_bench(old, fresh_doc)
+        assert report["exit_code"] == EXIT_OK
+
     def test_slack_loosens_the_floor(self, fresh_doc):
         doctored = copy.deepcopy(fresh_doc)
         doctored["summary"]["mean_encode_speedup"] = (
